@@ -1,0 +1,117 @@
+"""Fig. 7: weight update (batch 16) of Inception-v3 layers.
+
+Compares Sunstone against TL-fast/TL-slow, dMaze-fast/dMaze-slow and
+Interstellar on the conventional accelerator, reporting EDP (Fig. 7a),
+time-to-solution (Fig. 7b) and — crucially — which tools return *invalid*
+results (no mapping meets the utilisation constraints; asymmetric layers
+rejected outright).
+
+Paper shape: Sunstone is fastest with best-or-equal EDP; dMaze is invalid
+on light and asymmetric layers; Interstellar's CK-only unrolling loses on
+some layers.
+"""
+
+import pytest
+
+from repro.arch import conventional
+from repro.baselines import (
+    DMAZE_FAST,
+    DMAZE_SLOW,
+    TimeloopConfig,
+    dmazerunner_search,
+    interstellar_search,
+    timeloop_search,
+)
+from repro.core import schedule
+from repro.workloads import INCEPTION_V3_LAYERS
+
+# A representative subset spanning light, heavy and asymmetric layers, so
+# the figure regenerates in minutes.
+LAYER_NAMES = ("conv2_3x3", "mixed_5x5", "mixed_3x3", "1x7_deep", "3x1_deep")
+TL_FAST = TimeloopConfig(timeout=3000, victory_condition=50)
+
+
+@pytest.fixture(scope="module")
+def results():
+    arch = conventional()
+    rows = {}
+    for layer in INCEPTION_V3_LAYERS:
+        if layer.name not in LAYER_NAMES:
+            continue
+        wl = layer.weight_update(batch=16)
+        rows[layer.name] = {
+            "sunstone": schedule(wl, arch),
+            "timeloop": timeloop_search(wl, arch, TL_FAST),
+            "dmaze-fast": dmazerunner_search(wl, arch, DMAZE_FAST),
+            "dmaze-slow": dmazerunner_search(wl, arch, DMAZE_SLOW),
+            "interstellar": interstellar_search(wl, arch),
+        }
+    return rows
+
+
+def _edp(result) -> float:
+    return result.edp if result.found else float("inf")
+
+
+def _time(result) -> float:
+    return getattr(result, "wall_time_s", None) or result.stats.wall_time_s
+
+
+def test_fig7a_edp_and_validity(results, paper_report):
+    tools = ["sunstone", "timeloop", "dmaze-fast", "dmaze-slow",
+             "interstellar"]
+    lines = [f"{'layer':<10} " + " ".join(f"{t:>13}" for t in tools)]
+    for layer, row in results.items():
+        cells = []
+        for tool in tools:
+            result = row[tool]
+            cells.append(f"{_edp(result):>13.3e}" if result.found
+                         else f"{'invalid':>13}")
+        lines.append(f"{layer:<10} " + " ".join(cells))
+    paper_report("Fig. 7a: Inception-v3 weight-update EDP "
+                 "(invalid = no mapping)", lines)
+
+    for layer, row in results.items():
+        sun = row["sunstone"]
+        assert sun.found and sun.cost.valid, layer
+        # Sunstone's EDP is never worse than any tool that found a mapping.
+        for tool in tools[1:]:
+            other = row[tool]
+            if other.found and other.valid:
+                assert sun.edp <= _edp(other) * 1.02, (layer, tool)
+
+
+def test_fig7_dmaze_fails_on_asymmetric_layers(results):
+    for layer in ("1x7_deep", "3x1_deep"):
+        assert not results[layer]["dmaze-fast"].found
+        assert "asymmetric" in results[layer]["dmaze-fast"].invalid_reason
+
+
+def test_fig7_dmaze_invalid_on_some_layers(results):
+    invalid = sum(
+        1 for row in results.values() if not row["dmaze-fast"].found
+    )
+    assert invalid >= 2  # asymmetric + threshold failures
+
+
+def test_fig7b_time_to_solution(results, paper_report):
+    lines = [f"{'layer':<10} {'Sunstone':>9} {'TL':>9} {'dMaze':>9} "
+             f"{'INTER':>9}  (seconds)"]
+    for layer, row in results.items():
+        lines.append(
+            f"{layer:<10} {_time(row['sunstone']):>9.2f} "
+            f"{_time(row['timeloop']):>9.2f} "
+            f"{_time(row['dmaze-fast']):>9.2f} "
+            f"{_time(row['interstellar']):>9.2f}"
+        )
+    paper_report("Fig. 7b: time-to-solution", lines)
+
+
+def test_sunstone_weight_update_benchmark(benchmark):
+    layer = next(l for l in INCEPTION_V3_LAYERS if l.name == "mixed_5x5")
+    wl = layer.weight_update(batch=16)
+    arch = conventional()
+    result = benchmark.pedantic(lambda: schedule(wl, arch),
+                                rounds=1, iterations=1)
+    assert result.found
+    benchmark.extra_info["edp"] = result.edp

@@ -1,0 +1,86 @@
+"""Table VI: effect of the optimization order on space size and EDP.
+
+Sweeps the inter-level direction (bottom-up vs top-down) and the three
+intra-level orders (unrolling/tiling/ordering permutations) on a ResNet-18
+convolution layer mapped to the Eyeriss-like conventional accelerator.
+
+Paper shape: within a level the order barely matters (same EDP, similar
+space); across levels, top-down examines roughly an order of magnitude more
+candidates for an (at best) marginal EDP difference, because alpha-beta
+estimates are far from the final energy when the cheap low levels are still
+undecided.
+"""
+
+import pytest
+
+from repro.arch import conventional
+from repro.core import INTRA_LEVEL_ORDERS, SchedulerOptions, schedule
+from repro.workloads import RESNET18_LAYERS
+
+# conv5_x at batch 1 keeps the (deliberately unpruned) top-down sweep
+# affordable while showing the blow-up.
+LAYER = next(l for l in RESNET18_LAYERS if l.name == "conv5_x")
+
+
+@pytest.fixture(scope="module")
+def results():
+    wl = LAYER.inference(batch=1)
+    arch = conventional()
+    rows = {}
+    for mode in INTRA_LEVEL_ORDERS:
+        options = SchedulerOptions(direction="bottom-up",
+                                   intra_level_order=mode, polish=False)
+        rows[("bottom-up", mode)] = schedule(wl, arch, options)
+    rows[("top-down", INTRA_LEVEL_ORDERS[0])] = schedule(
+        wl, arch,
+        SchedulerOptions(direction="top-down", polish=False,
+                         beam_width=256),
+    )
+    return rows
+
+
+def test_table6_rows(results, paper_report):
+    lines = [f"{'inter-level':<11} {'intra-level':<28} {'space':>8} "
+             f"{'EDP':>12}"]
+    for (direction, mode), result in results.items():
+        lines.append(
+            f"{direction:<11} {mode:<28} "
+            f"{result.stats.evaluations:>8} {result.edp:>12.3e}"
+        )
+    paper_report(
+        f"Table VI: optimization order ({LAYER.name}, conventional)", lines,
+    )
+    for result in results.values():
+        assert result.found
+        assert result.cost.valid
+
+
+def test_table6_intra_level_order_is_immaterial(results):
+    """Within a level, changing the order barely changes solution quality."""
+    edps = [results[("bottom-up", mode)].edp for mode in INTRA_LEVEL_ORDERS]
+    assert max(edps) <= min(edps) * 1.25
+
+
+def test_table6_top_down_explores_more(results):
+    """Across levels, top-down examines many more candidates."""
+    bottom_up = results[("bottom-up", INTRA_LEVEL_ORDERS[0])]
+    top_down = results[("top-down", INTRA_LEVEL_ORDERS[0])]
+    assert top_down.stats.evaluations > 3 * bottom_up.stats.evaluations
+
+
+def test_table6_top_down_edp_similar(results):
+    bottom_up = results[("bottom-up", INTRA_LEVEL_ORDERS[0])]
+    top_down = results[("top-down", INTRA_LEVEL_ORDERS[0])]
+    ratio = top_down.edp / bottom_up.edp
+    assert 0.5 < ratio < 2.0
+
+
+def test_bottom_up_benchmark(benchmark):
+    wl = LAYER.inference(batch=1)
+    arch = conventional()
+    result = benchmark.pedantic(
+        lambda: schedule(wl, arch, SchedulerOptions(polish=False)),
+        rounds=1, iterations=1,
+    )
+    assert result.found
+    benchmark.extra_info["evaluations"] = result.stats.evaluations

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Define a custom accelerator and explore a design sweep.
+
+Shows the architecture-description API: a three-level hierarchy with a
+per-datatype L1 and weight bypass, plus a sweep over PE-array sizes to see
+how the best achievable EDP scales — the kind of design-space exploration
+a scalable mapper enables.
+
+Usage::
+
+    python examples/custom_architecture.py
+"""
+
+from repro.arch import Architecture, MemoryLevel, words
+from repro.core import schedule
+from repro.energy import NocModel, dram_energy, estimate_area, sram_estimate
+from repro.workloads import conv2d
+
+
+def make_accelerator(pes_per_side: int) -> Architecture:
+    """A custom accelerator: per-datatype L1s, weights bypass the L2."""
+    word_bits = 16
+    fanout = pes_per_side * pes_per_side
+    l1_est = sram_estimate(2 * 1024, word_bits)
+    l1 = MemoryLevel(
+        name="L1",
+        capacity_words={
+            "ifmap": words(0.5, word_bits),
+            "weight": words(1, word_bits),
+            "ofmap": words(0.5, word_bits),
+        },
+        fanout=fanout,
+        fanout_shape=(pes_per_side, pes_per_side),
+        read_energy=l1_est.read_energy,
+        write_energy=l1_est.write_energy,
+        network_energy=NocModel((pes_per_side, pes_per_side),
+                                word_bits).unicast_energy(),
+        read_bandwidth=16,
+        write_bandwidth=16,
+    )
+    l2_est = sram_estimate(1024 * 1024, word_bits)
+    l2 = MemoryLevel(
+        name="L2",
+        capacity_words={  # weights stream from DRAM (bypass)
+            "ifmap": words(512, word_bits),
+            "ofmap": words(512, word_bits),
+        },
+        read_energy=l2_est.read_energy,
+        write_energy=l2_est.write_energy,
+        read_bandwidth=32,
+        write_bandwidth=32,
+    )
+    dram = MemoryLevel(
+        name="DRAM",
+        capacity_words=None,
+        read_energy=dram_energy(word_bits),
+        write_energy=dram_energy(word_bits),
+        read_bandwidth=16,
+        write_bandwidth=16,
+    )
+    return Architecture(f"custom-{pes_per_side}x{pes_per_side}",
+                        levels=(l1, l2, dram), mac_energy=2.2)
+
+
+def main() -> None:
+    layer = conv2d(N=1, K=128, C=128, P=28, Q=28, R=3, S=3, name="conv3_x")
+    print(f"Design sweep for {layer.name} "
+          f"({layer.total_operations / 1e6:.0f} M MACs)\n")
+    print(f"{'PE array':>9} | {'EDP':>11} | {'energy (uJ)':>11} | "
+          f"{'cycles':>9} | {'util':>5} | {'area mm2':>8} | {'search (s)':>10}")
+    print("-" * 79)
+    for side in (4, 8, 16, 32):
+        arch = make_accelerator(side)
+        result = schedule(layer, arch)
+        if not result.found:
+            print(f"{side:>7}^2 | no valid mapping")
+            continue
+        cost = result.cost
+        area = estimate_area(arch).total_mm2
+        print(f"{side:>7}^2 | {cost.edp:>11.3e} | "
+              f"{cost.energy_pj / 1e6:>11.2f} | {cost.cycles:>9.0f} | "
+              f"{cost.utilization:>4.0%} | {area:>8.2f} | "
+              f"{result.stats.wall_time_s:>10.2f}")
+    print("\nLarger arrays cut latency (EDP) until utilisation or "
+          "bandwidth limits bite — exactly the trade-off a fast mapper "
+          "lets an architect sweep.")
+
+
+if __name__ == "__main__":
+    main()

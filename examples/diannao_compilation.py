@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compile a mapping to DianNao-style instructions (the Fig. 9 scenario).
+
+Schedules a ResNet-18 layer for the DianNao-like accelerator, compiles the
+resulting dataflow to the 256-bit instruction stream, simulates it, and
+prints the energy breakdown versus the naive stream-from-DRAM baseline —
+quantifying the overheads (instructions, data reordering) that tiling and
+unrolling introduce, and the much larger savings they buy.
+
+Usage::
+
+    python examples/diannao_compilation.py
+"""
+
+from repro.arch import diannao_like
+from repro.core import schedule
+from repro.sim import Opcode, compile_mapping, compile_naive, run_program
+from repro.workloads import RESNET18_LAYERS
+
+
+def main() -> None:
+    arch = diannao_like()
+    layer = RESNET18_LAYERS[1]  # conv2_x: 3x3, 64 channels
+    workload = layer.inference(batch=1)
+
+    print(f"Scheduling {layer.name} on {arch.name}...")
+    result = schedule(workload, arch)
+    print(f"  mapping: {result.mapping}")
+
+    program = compile_mapping(result.mapping)
+    opcode_mix = {}
+    for instr in program.instructions:
+        opcode_mix[instr.opcode.name] = opcode_mix.get(instr.opcode.name, 0) + 1
+    print(f"\nCompiled program: {program.num_instructions} instructions "
+          f"({len(program.encode())} bytes), {program.passes} passes")
+    for opcode, count in sorted(opcode_mix.items()):
+        print(f"  {opcode:<8} {count}")
+
+    optimized = run_program(program)
+    naive = run_program(compile_naive(workload))
+
+    print("\nOptimized execution energy breakdown:")
+    for component, fraction in optimized.normalized_breakdown().items():
+        bar = "#" * int(fraction * 40)
+        print(f"  {component:<13} {fraction:>6.1%} {bar}")
+    print(f"  total: {optimized.total_energy / 1e6:.2f} uJ")
+
+    print("\nNaive (stream-from-DRAM) execution:")
+    for component, fraction in naive.normalized_breakdown().items():
+        if fraction:
+            print(f"  {component:<13} {fraction:>6.1%}")
+    print(f"  total: {naive.total_energy / 1e6:.2f} uJ")
+
+    ratio = naive.total_energy / optimized.total_energy
+    overhead = optimized.normalized_breakdown()
+    print(f"\nTiling + unrolling make execution {ratio:.1f}x more energy "
+          f"efficient (paper: 2.9x for full ResNet-18), at an instruction "
+          f"overhead of {overhead['Instructions']:.1%} and reordering "
+          f"overhead of {overhead['Reordering']:.1%}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Schedule a whole network, dedupe shapes, and persist the mappings.
+
+Demonstrates the production-facing surfaces of the library:
+
+* :func:`repro.core.schedule_network` — per-network scheduling with
+  identical-shape deduplication and aggregated energy/latency totals;
+* :mod:`repro.mapping.serialize` — saving every discovered mapping as a
+  self-contained JSON document and reloading it for re-evaluation.
+
+Usage::
+
+    python examples/network_scheduling_io.py [output_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.arch import conventional
+from repro.core import schedule_network
+from repro.mapping import load_mapping, save_mapping
+from repro.model import evaluate
+from repro.workloads import RESNET18_LAYERS
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.mkdtemp(prefix="sunstone_mappings_"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    arch = conventional()
+    # Include a couple of repeated shapes to show deduplication at work.
+    layers = [layer.inference(batch=1) for layer in RESNET18_LAYERS]
+    layers.insert(2, RESNET18_LAYERS[1].inference(batch=1))
+
+    print(f"Scheduling {len(layers)} layers on {arch.name}...\n")
+    network = schedule_network(layers, arch)
+    print(network.summary())
+
+    print(f"\nSaving mapping documents to {out_dir}")
+    for index, entry in enumerate(network.layers):
+        if not entry.result.found or entry.shared_with:
+            continue
+        path = out_dir / f"{index:02d}_{entry.workload.name}.json"
+        save_mapping(entry.result.mapping, str(path))
+
+    saved = sorted(out_dir.glob("*.json"))
+    print(f"saved {len(saved)} unique mappings; re-evaluating the first:")
+    mapping = load_mapping(str(saved[0]))
+    print(f"  {mapping}")
+    print(f"  {evaluate(mapping).summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule one convolution layer on two accelerators.
+
+Runs Sunstone on a ResNet-18 convolution layer, prints the discovered
+mapping as a tiled loop nest, and compares the conventional (Eyeriss-like)
+and modern (Simba-like) architectures of the paper's Table IV.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.arch import conventional, simba_like
+from repro.core import schedule
+from repro.mapping import render_nest
+from repro.workloads import conv2d
+
+
+def main() -> None:
+    # A ResNet-18 conv4_x layer at batch 1.
+    layer = conv2d(N=1, K=256, C=256, P=14, Q=14, R=3, S=3,
+                   name="resnet18_conv4_x")
+    print(f"Workload: {layer}")
+    print(f"  {layer.total_operations / 1e6:.1f} M MACs")
+    print()
+
+    for arch in (conventional(), simba_like()):
+        print("=" * 70)
+        print(arch.describe())
+        print()
+        result = schedule(layer, arch)
+        if not result.found:
+            print("no valid mapping found")
+            continue
+        print(f"Best mapping ({result.stats.evaluations} candidates "
+              f"evaluated in {result.stats.wall_time_s:.2f}s):")
+        print(render_nest(result.mapping))
+        print()
+        cost = result.cost
+        print(f"  energy : {cost.energy_pj / 1e6:.2f} uJ")
+        print(f"  latency: {cost.cycles / 1e3:.1f} kcycles")
+        print(f"  EDP    : {cost.edp:.3e} pJ*cy")
+        print(f"  PE util: {cost.utilization:.0%}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

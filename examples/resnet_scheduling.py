@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Schedule all of ResNet-18 and compare mappers (the Fig. 8 scenario).
+
+Runs Sunstone, the Timeloop-like random search and the CoSA-like one-shot
+mapper over every distinct ResNet-18 convolution shape on the Simba-like
+architecture, and prints a per-layer comparison table: EDP, time-to-solution
+and validity.
+
+Usage::
+
+    python examples/resnet_scheduling.py [--batch N] [--conventional]
+"""
+
+import argparse
+
+from repro.arch import conventional, simba_like
+from repro.baselines import (
+    TimeloopConfig,
+    cosa_search,
+    simba_constraints,
+    timeloop_search,
+)
+from repro.core import schedule
+from repro.workloads import RESNET18_LAYERS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--conventional", action="store_true",
+                        help="use the Eyeriss-like architecture instead")
+    parser.add_argument("--layers", type=int, default=None,
+                        help="limit the number of layers (for a quick look)")
+    args = parser.parse_args()
+
+    arch = conventional() if args.conventional else simba_like()
+    constraints = None if args.conventional else simba_constraints(arch)
+    tl_config = TimeloopConfig(timeout=2000, victory_condition=100)
+
+    layers = RESNET18_LAYERS[: args.layers]
+    print(f"ResNet-18 (batch {args.batch}) on {arch.name}")
+    header = (f"{'layer':<10} | {'Sunstone EDP':>13} {'t(s)':>6} | "
+              f"{'TL EDP':>13} {'t(s)':>6} | {'CoSA EDP':>13} {'valid':>5}")
+    print(header)
+    print("-" * len(header))
+
+    totals = {"sunstone": 0.0, "timeloop": 0.0}
+    for layer in layers:
+        wl = layer.inference(batch=args.batch)
+        sun = schedule(wl, arch)
+        tl = timeloop_search(wl, arch, tl_config, constraints=constraints)
+        cosa = cosa_search(wl, arch)
+        totals["sunstone"] += sun.edp
+        if tl.found:
+            totals["timeloop"] += tl.edp
+        print(f"{layer.name:<10} | {sun.edp:>13.3e} "
+              f"{sun.stats.wall_time_s:>6.1f} | "
+              f"{tl.edp:>13.3e} {tl.wall_time_s:>6.1f} | "
+              f"{cosa.edp:>13.3e} {'yes' if cosa.valid else 'NO':>5}")
+
+    print("-" * len(header))
+    if totals["timeloop"]:
+        ratio = totals["timeloop"] / totals["sunstone"]
+        print(f"network total: Timeloop-like EDP is {ratio:.2f}x Sunstone's "
+              f"(paper Fig. 8: ~1.5x on ResNet-18)")
+
+
+if __name__ == "__main__":
+    main()

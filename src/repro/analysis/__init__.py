@@ -1,0 +1,43 @@
+"""Search-space analysis (Table I) and experiment harness helpers."""
+
+from .report import ExperimentReport, ExperimentRow, geometric_mean
+from .validation import MapperOutcome, survey_table, validity_survey
+from .visualize import (
+    energy_chart,
+    mapping_report,
+    occupancy_chart,
+    reuse_chart,
+    spatial_chart,
+)
+from .space import (
+    SpaceEstimate,
+    dmazerunner_space,
+    interstellar_space,
+    marvel_space,
+    ordered_factorizations,
+    sunstone_space,
+    table1,
+    timeloop_space,
+)
+
+__all__ = [
+    "SpaceEstimate",
+    "ordered_factorizations",
+    "timeloop_space",
+    "marvel_space",
+    "interstellar_space",
+    "dmazerunner_space",
+    "sunstone_space",
+    "table1",
+    "ExperimentReport",
+    "ExperimentRow",
+    "geometric_mean",
+    "MapperOutcome",
+    "validity_survey",
+    "survey_table",
+    "mapping_report",
+    "occupancy_chart",
+    "energy_chart",
+    "spatial_chart",
+    "reuse_chart",
+]

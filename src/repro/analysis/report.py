@@ -1,0 +1,107 @@
+"""Experiment reporting: structured rows, markdown and CSV export.
+
+The benchmark harness and EXPERIMENTS.md generation share this module so
+that every table/figure is regenerated from one code path.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentRow:
+    """One data point of a reproduced table/figure."""
+
+    experiment: str  # e.g. "fig6a"
+    subject: str  # e.g. workload or layer name
+    tool: str  # e.g. "sunstone", "timeloop-like"
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+class ExperimentReport:
+    """Accumulates rows and renders them as markdown or CSV."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: list[ExperimentRow] = []
+
+    def add(self, experiment: str, subject: str, tool: str,
+            **metrics: Any) -> None:
+        self.rows.append(ExperimentRow(experiment, subject, tool, metrics))
+
+    def experiments(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.experiment, None)
+        return list(seen)
+
+    def _columns(self, experiment: str) -> list[str]:
+        columns: dict[str, None] = {}
+        for row in self.rows:
+            if row.experiment == experiment:
+                for key in row.metrics:
+                    columns.setdefault(key, None)
+        return list(columns)
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e4 or abs(value) < 1e-2:
+                return f"{value:.3e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def to_markdown(self) -> str:
+        """Render every experiment as a markdown table."""
+        chunks = [f"# {self.title}", ""]
+        for experiment in self.experiments():
+            columns = self._columns(experiment)
+            chunks.append(f"## {experiment}")
+            chunks.append("")
+            header = ["subject", "tool", *columns]
+            chunks.append("| " + " | ".join(header) + " |")
+            chunks.append("|" + "|".join("---" for _ in header) + "|")
+            for row in self.rows:
+                if row.experiment != experiment:
+                    continue
+                cells = [row.subject, row.tool] + [
+                    self._format(row.metrics.get(col, "")) for col in columns
+                ]
+                chunks.append("| " + " | ".join(cells) + " |")
+            chunks.append("")
+        return "\n".join(chunks)
+
+    def to_csv(self) -> str:
+        """Flat CSV with one row per (experiment, subject, tool, metric)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["experiment", "subject", "tool", "metric", "value"])
+        for row in self.rows:
+            for metric, value in row.metrics.items():
+                writer.writerow([row.experiment, row.subject, row.tool,
+                                 metric, value])
+        return buffer.getvalue()
+
+    def save(self, path: str) -> None:
+        """Write markdown (``.md``) or CSV (anything else) to ``path``."""
+        text = self.to_markdown() if path.endswith(".md") else self.to_csv()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the standard aggregate for speedups/ratios."""
+    if not values:
+        raise ValueError("need at least one value")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,108 @@
+"""Invalid-mapping-rate validation corpus (Table I, bottom rows).
+
+Table I reports whether each tool returns worse or *invalid* mappings:
+CoSA ~60 % of the time, dMazeRunner ~30 %, Interstellar ~10 %, Sunstone and
+Timeloop never.  This harness measures those rates over a workload corpus
+with every mapper judged by the same validity rules (capacity, fanout,
+2D-realisable unrolling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..arch.spec import Architecture
+from ..baselines.cosa import cosa_search
+from ..baselines.dmazerunner import DMAZE_FAST, dmazerunner_search
+from ..baselines.interstellar import interstellar_search
+from ..baselines.random_search import TIMELOOP_FAST, timeloop_search
+from ..core.scheduler import SunstoneScheduler
+from ..workloads.expression import Workload
+
+
+@dataclass
+class MapperOutcome:
+    """One mapper's behaviour over the corpus."""
+
+    mapper: str
+    attempted: int = 0
+    returned: int = 0  # produced some mapping
+    valid: int = 0  # mapping satisfies every hardware constraint
+    best: int = 0  # matched the best EDP seen for that workload (within 2%)
+
+    @property
+    def invalid_rate(self) -> float:
+        if self.attempted == 0:
+            return 0.0
+        return 1.0 - self.valid / self.attempted
+
+
+def _run_sunstone(workload: Workload, arch: Architecture):
+    result = SunstoneScheduler(workload, arch).schedule()
+
+    class _Shim:
+        found = result.found
+        valid = result.found and result.cost.valid
+        edp = result.edp
+    return _Shim()
+
+
+_MAPPERS: dict[str, Callable] = {
+    "sunstone": _run_sunstone,
+    "timeloop-like": lambda wl, arch: timeloop_search(wl, arch,
+                                                      TIMELOOP_FAST),
+    "dmazerunner-like": lambda wl, arch: dmazerunner_search(wl, arch,
+                                                            DMAZE_FAST),
+    "interstellar-like": interstellar_search,
+    "cosa-like": cosa_search,
+}
+
+
+def validity_survey(
+    workloads: Sequence[Workload],
+    arch: Architecture,
+    mappers: Sequence[str] | None = None,
+) -> dict[str, MapperOutcome]:
+    """Run every mapper over every workload and tabulate validity rates."""
+    names = list(mappers) if mappers else list(_MAPPERS)
+    unknown = [n for n in names if n not in _MAPPERS]
+    if unknown:
+        raise ValueError(f"unknown mappers {unknown}")
+    outcomes = {name: MapperOutcome(name) for name in names}
+    for workload in workloads:
+        results = {}
+        for name in names:
+            outcome = outcomes[name]
+            outcome.attempted += 1
+            result = _MAPPERS[name](workload, arch)
+            results[name] = result
+            if getattr(result, "found", False):
+                outcome.returned += 1
+                if getattr(result, "valid", False):
+                    outcome.valid += 1
+        best_edp = min(
+            (r.edp for r in results.values()
+             if getattr(r, "found", False) and getattr(r, "valid", False)),
+            default=float("inf"),
+        )
+        for name, result in results.items():
+            if (getattr(result, "found", False)
+                    and getattr(result, "valid", False)
+                    and result.edp <= best_edp * 1.02):
+                outcomes[name].best += 1
+    return outcomes
+
+
+def survey_table(outcomes: dict[str, MapperOutcome]) -> list[str]:
+    """Render the survey as aligned text rows."""
+    lines = [f"{'mapper':<18} {'returned':>8} {'valid':>6} {'invalid%':>9} "
+             f"{'best':>5}"]
+    for outcome in outcomes.values():
+        lines.append(
+            f"{outcome.mapper:<18} "
+            f"{outcome.returned:>5}/{outcome.attempted:<3}"
+            f"{outcome.valid:>5} {outcome.invalid_rate:>8.0%} "
+            f"{outcome.best:>5}"
+        )
+    return lines

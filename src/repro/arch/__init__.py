@@ -1,0 +1,16 @@
+"""Accelerator architecture descriptions and the paper's Table IV presets."""
+
+from .presets import conventional, diannao_like, simba_like, tiny
+from .spec import UNIFIED, Architecture, ArchitectureError, MemoryLevel, words
+
+__all__ = [
+    "Architecture",
+    "ArchitectureError",
+    "MemoryLevel",
+    "UNIFIED",
+    "words",
+    "conventional",
+    "simba_like",
+    "diannao_like",
+    "tiny",
+]

@@ -1,0 +1,223 @@
+"""The evaluated accelerator configurations (paper Table IV).
+
+* :func:`conventional` — Eyeriss-like: a 32x32 grid of single-MAC PEs with a
+  unified 512 B scratchpad each, a 3.1 MB unified global buffer, and DRAM.
+* :func:`simba_like` — a modern multi-level design: per-lane weight
+  registers under 8 vector MACs per PE, per-datatype PE buffers, a 512 KB
+  global buffer that weights bypass, and DRAM.
+* :func:`diannao_like` — the DianNao-style accelerator used by the paper's
+  overhead study (Fig. 9): NBin/NBout/SB buffers feeding a 16x16 multiplier
+  array.
+
+All per-access energies come from the Accelergy-style models in
+:mod:`repro.energy`.
+"""
+
+from __future__ import annotations
+
+from ..energy.cacti import regfile_energy, sram_estimate
+from ..energy.noc import NocModel
+from ..energy.table import dram_energy, mac_energy
+from .spec import UNIFIED, Architecture, MemoryLevel, words
+
+
+def _sram_level(
+    name: str,
+    capacity_words: dict[str, int],
+    capacity_bytes: int,
+    word_bits: int,
+    fanout: int = 1,
+    fanout_shape: tuple[int, int] | None = None,
+    read_bandwidth: float = float("inf"),
+    write_bandwidth: float = float("inf"),
+) -> MemoryLevel:
+    est = sram_estimate(capacity_bytes, word_bits)
+    noc = 0.0
+    if fanout > 1:
+        shape = fanout_shape or (fanout, 1)
+        noc = NocModel(shape, word_bits).unicast_energy()
+    return MemoryLevel(
+        name=name,
+        capacity_words=capacity_words,
+        fanout=fanout,
+        fanout_shape=fanout_shape,
+        read_energy=est.read_energy,
+        write_energy=est.write_energy,
+        network_energy=noc,
+        read_bandwidth=read_bandwidth,
+        write_bandwidth=write_bandwidth,
+    )
+
+
+def conventional() -> Architecture:
+    """Eyeriss-like conventional accelerator (Table IV, right column).
+
+    16-bit datapath, 32x32 PEs each with a unified 512 B L1, a unified
+    3.1 MB L2, and off-chip DRAM.
+    """
+    word_bits = 16
+    l1 = _sram_level(
+        "L1",
+        capacity_words={UNIFIED: words(0.5, word_bits)},  # 512 B -> 256 words
+        capacity_bytes=512,
+        word_bits=word_bits,
+        fanout=1024,
+        fanout_shape=(32, 32),
+        read_bandwidth=64,
+        write_bandwidth=64,
+    )
+    l2 = _sram_level(
+        "L2",
+        capacity_words={UNIFIED: words(3.1 * 1024, word_bits)},
+        capacity_bytes=int(3.1 * 1024 * 1024),
+        word_bits=word_bits,
+        read_bandwidth=32,
+        write_bandwidth=32,
+    )
+    dram = MemoryLevel(
+        name="DRAM",
+        capacity_words=None,
+        read_energy=dram_energy(word_bits),
+        write_energy=dram_energy(word_bits),
+        read_bandwidth=16,
+        write_bandwidth=16,
+    )
+    return Architecture(
+        "conventional",
+        levels=(l1, l2, dram),
+        mac_energy=mac_energy(word_bits),
+        mac_width=1,
+    )
+
+
+def simba_like() -> Architecture:
+    """Simba-like modern accelerator (Table IV, left column).
+
+    Two spatial levels: 8 vector-MAC lanes (each 8 wide, with a small weight
+    register file) inside each of 4x4 PEs.  Per-datatype PE buffers
+    (weights 32 KB @ 8 b, ifmap 8 KB @ 8 b, ofmap 3 KB @ 24 b); the 512 KB
+    global buffer holds only ifmap and ofmap — weights stream from DRAM.
+    """
+    reg_read, reg_write = regfile_energy(entries=8, word_bits=8)
+    regs = MemoryLevel(
+        name="Regs",
+        capacity_words={"weight": 8},
+        fanout=64,  # 8 vector MACs x 8 lanes each, modelled uniformly
+        fanout_shape=(8, 8),
+        read_energy=reg_read,
+        write_energy=reg_write,
+        network_energy=NocModel((8, 8), word_bits=8).unicast_energy(),
+        read_bandwidth=64,
+        write_bandwidth=8,
+    )
+    l1 = _sram_level(
+        "PEBuf",
+        capacity_words={
+            "weight": words(32, 8),
+            "ifmap": words(8, 8),
+            "ofmap": words(3, 24),
+        },
+        capacity_bytes=(32 + 8 + 3) * 1024,
+        word_bits=8,
+        fanout=16,
+        fanout_shape=(4, 4),
+        read_bandwidth=64,
+        write_bandwidth=8,
+    )
+    l2 = _sram_level(
+        "GlobalBuf",
+        capacity_words={
+            "ifmap": words(256, 8),
+            "ofmap": words(256, 24),
+        },
+        capacity_bytes=512 * 1024,
+        word_bits=16,
+        read_bandwidth=32,
+        write_bandwidth=32,
+    )
+    dram = MemoryLevel(
+        name="DRAM",
+        capacity_words=None,
+        read_energy=dram_energy(8),
+        write_energy=dram_energy(8),
+        read_bandwidth=16,
+        write_bandwidth=16,
+    )
+    return Architecture(
+        "simba-like",
+        levels=(regs, l1, l2, dram),
+        mac_energy=mac_energy(8),
+        mac_width=1,
+    )
+
+
+def diannao_like() -> Architecture:
+    """DianNao-like accelerator for the overhead study (Fig. 9).
+
+    A 16x16 multiplier array (the NFU) fed by three on-chip buffers: NBin
+    (ifmap), NBout (ofmap) and SB (weights).  The lanes have no local
+    storage; we model them as a capacity-1 pseudo-level so that spatial
+    unrolling across the array is expressible.
+    """
+    word_bits = 16
+    lanes = MemoryLevel(
+        name="Lanes",
+        capacity_words={UNIFIED: 4},
+        fanout=256,
+        fanout_shape=(16, 16),
+        read_energy=0.01,
+        write_energy=0.01,
+        network_energy=NocModel((16, 16), word_bits).unicast_energy(),
+    )
+    buffers = _sram_level(
+        "Buffers",
+        capacity_words={
+            "ifmap": words(2, word_bits),
+            "ofmap": words(2, word_bits),
+            "weight": words(32, word_bits),
+        },
+        capacity_bytes=(2 + 2 + 32) * 1024,
+        word_bits=word_bits,
+        read_bandwidth=512,
+        write_bandwidth=512,
+    )
+    dram = MemoryLevel(
+        name="DRAM",
+        capacity_words=None,
+        read_energy=dram_energy(word_bits),
+        write_energy=dram_energy(word_bits),
+        read_bandwidth=16,
+        write_bandwidth=16,
+    )
+    return Architecture(
+        "diannao-like",
+        levels=(lanes, buffers, dram),
+        mac_energy=mac_energy(word_bits),
+        mac_width=1,
+    )
+
+
+def tiny(l1_words: int = 8, l2_words: int = 64, pes: int = 4) -> Architecture:
+    """A miniature two-memory architecture for tests and examples."""
+    l1 = MemoryLevel(
+        name="L1",
+        capacity_words={UNIFIED: l1_words},
+        fanout=pes,
+        fanout_shape=(pes, 1),
+        read_energy=1.0,
+        write_energy=1.0,
+        network_energy=0.1,
+    )
+    l2 = MemoryLevel(
+        name="L2",
+        capacity_words={UNIFIED: l2_words},
+        read_energy=10.0,
+        write_energy=10.0,
+    )
+    dram = MemoryLevel(
+        name="DRAM",
+        capacity_words=None,
+        read_energy=100.0,
+        write_energy=100.0,
+    )
+    return Architecture("tiny", levels=(l1, l2, dram), mac_energy=0.5)

@@ -1,0 +1,223 @@
+"""Spatial-accelerator architecture description.
+
+An :class:`Architecture` is an ordered list of :class:`MemoryLevel` objects,
+innermost first.  Each level may fan out spatially: ``fanout`` instances of
+the level (and everything below it) exist per instance of the parent level.
+This uniform representation covers both the paper's "conventional"
+accelerator (one spatial level: a PE grid between L2 and the per-PE L1) and
+"modern" Simba-like designs (a second spatial level: vector-MAC lanes with
+operand registers inside each PE).
+
+Capacities are per *instance* and per datatype role; a level that does not
+list a role bypasses it (e.g. weights bypass the Simba global buffer).  The
+special role ``"*"`` denotes a unified buffer shared by all datatypes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+UNIFIED = "*"
+
+
+class ArchitectureError(ValueError):
+    """Raised when an architecture description is malformed."""
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One storage level of the hierarchy (innermost = index 0).
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (``"L1"``, ``"GlobalBuffer"``, ``"DRAM"``...).
+    capacity_words:
+        Per-instance capacity in words for each datatype role it stores,
+        or ``None`` for unbounded capacity (off-chip DRAM).  ``{"*": n}``
+        describes a unified buffer of ``n`` words.
+    fanout:
+        Number of instances of this level per parent-level instance; the
+        spatial unrolling between this level and its parent is bounded by
+        this.  ``1`` means no spatial boundary above this level.
+    fanout_shape:
+        Mesh shape ``(x, y)`` of the fanout, used for NoC energy estimates.
+    read_energy / write_energy:
+        Energy (pJ) per word read from / written to one instance.
+    network_energy:
+        Energy (pJ) per word crossing the interconnect between the parent
+        level and this level's instances (tagged multicast, Eyeriss-style).
+    read_bandwidth / write_bandwidth:
+        Words per cycle per instance (``inf`` = never a bottleneck).
+    """
+
+    name: str
+    capacity_words: Mapping[str, int] | None
+    fanout: int = 1
+    fanout_shape: tuple[int, int] | None = None
+    read_energy: float = 0.0
+    write_energy: float = 0.0
+    network_energy: float = 0.0
+    read_bandwidth: float = math.inf
+    write_bandwidth: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ArchitectureError(f"{self.name}: fanout must be >= 1")
+        if self.capacity_words is not None:
+            for role, words in self.capacity_words.items():
+                if words < 1:
+                    raise ArchitectureError(
+                        f"{self.name}: capacity for {role} must be positive"
+                    )
+        if self.fanout_shape is not None:
+            x, y = self.fanout_shape
+            if x * y != self.fanout:
+                raise ArchitectureError(
+                    f"{self.name}: fanout_shape {self.fanout_shape} does not "
+                    f"multiply to fanout {self.fanout}"
+                )
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.capacity_words is None
+
+    @property
+    def is_unified(self) -> bool:
+        return self.capacity_words is not None and UNIFIED in self.capacity_words
+
+    def stores(self, role: str) -> bool:
+        """Whether this level buffers the given datatype role."""
+        if self.capacity_words is None:
+            return True
+        return self.is_unified or role in self.capacity_words
+
+    def capacity_for(self, role: str) -> int | None:
+        """Capacity available to ``role`` (None = unbounded)."""
+        if self.capacity_words is None:
+            return None
+        if self.is_unified:
+            return self.capacity_words[UNIFIED]
+        return self.capacity_words.get(role, 0)
+
+
+class Architecture:
+    """A full accelerator: memory levels (innermost first) plus compute.
+
+    ``mac_energy`` is the energy of one multiply-accumulate; ``mac_width``
+    the number of scalar MACs ganged per lane (a Simba vector MAC has
+    ``mac_width == 8``).  Total peak parallelism is the product of all level
+    fanouts times ``mac_width``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        levels: Sequence[MemoryLevel],
+        mac_energy: float = 1.0,
+        mac_width: int = 1,
+    ) -> None:
+        if not levels:
+            raise ArchitectureError("architecture needs at least one level")
+        if not levels[-1].is_unbounded:
+            raise ArchitectureError("outermost level must be unbounded (DRAM)")
+        for level in levels[:-1]:
+            if level.is_unbounded:
+                raise ArchitectureError(
+                    f"only the outermost level may be unbounded, not {level.name}"
+                )
+        names = [level.name for level in levels]
+        if len(set(names)) != len(names):
+            raise ArchitectureError(f"duplicate level names: {names}")
+        if levels[-1].fanout != 1:
+            raise ArchitectureError("outermost level cannot have a fanout")
+        self.name = name
+        self.levels: tuple[MemoryLevel, ...] = tuple(levels)
+        self.mac_energy = mac_energy
+        self.mac_width = mac_width
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def spatial_levels(self) -> tuple[int, ...]:
+        """Indices of levels with a spatial boundary above them (fanout>1)."""
+        return tuple(i for i, lvl in enumerate(self.levels) if lvl.fanout > 1)
+
+    @property
+    def total_fanout(self) -> int:
+        """Peak spatial parallelism (excluding intra-lane vector width)."""
+        return math.prod(level.fanout for level in self.levels)
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.total_fanout * self.mac_width
+
+    def level_index(self, name: str) -> int:
+        for i, level in enumerate(self.levels):
+            if level.name == name:
+                return i
+        raise KeyError(name)
+
+    def instances_of(self, index: int) -> int:
+        """Total number of instances of level ``index`` in the machine.
+
+        ``fanout`` counts instances per parent, so the total multiplies the
+        fanouts of this level and everything above it.
+        """
+        return math.prod(level.fanout for level in self.levels[index:])
+
+    def storage_levels(self, role: str) -> tuple[int, ...]:
+        """Indices of levels that buffer ``role``, innermost first.
+
+        Every role is held at least by the unbounded outer level.
+        """
+        return tuple(
+            i for i, level in enumerate(self.levels) if level.stores(role)
+        )
+
+    def parent_storage(self, index: int, role: str) -> int | None:
+        """The next level above ``index`` that stores ``role`` (None at top)."""
+        for i in range(index + 1, self.num_levels):
+            if self.levels[i].stores(role):
+                return i
+        return None
+
+    def with_level(self, name: str, **changes) -> "Architecture":
+        """Return a copy with one level's attributes replaced."""
+        levels = [
+            replace(level, **changes) if level.name == name else level
+            for level in self.levels
+        ]
+        return Architecture(self.name, levels, self.mac_energy, self.mac_width)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"Architecture {self.name} "
+                 f"(peak {self.peak_macs_per_cycle} MACs/cycle)"]
+        for i in reversed(range(self.num_levels)):
+            level = self.levels[i]
+            if level.capacity_words is None:
+                cap = "unbounded"
+            else:
+                cap = ", ".join(
+                    f"{role}:{words}w" for role, words in level.capacity_words.items()
+                )
+            fan = f" x{level.fanout}" if level.fanout > 1 else ""
+            lines.append(
+                f"  [{i}] {level.name}{fan}: {cap} "
+                f"(rd {level.read_energy:.2f}pJ wr {level.write_energy:.2f}pJ)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Architecture({self.name}, {self.num_levels} levels)"
+
+
+def words(kib: float, word_bits: int) -> int:
+    """Capacity helper: words in ``kib`` KiB at ``word_bits`` per word."""
+    return int(kib * 1024 * 8 // word_bits)

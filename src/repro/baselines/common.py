@@ -1,0 +1,77 @@
+"""Shared result type and helpers for the baseline mappers."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import Mapping
+from ..model.cost import CostResult
+from ..workloads.expression import Workload
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a baseline search, comparable to
+    :class:`repro.core.scheduler.ScheduleResult`."""
+
+    mapper: str
+    mapping: Mapping | None
+    cost: CostResult | None
+    evaluations: int = 0
+    wall_time_s: float = 0.0
+    invalid_reason: str = ""
+
+    @property
+    def found(self) -> bool:
+        return self.mapping is not None
+
+    @property
+    def valid(self) -> bool:
+        return self.cost is not None and self.cost.valid
+
+    @property
+    def edp(self) -> float:
+        if self.cost is None:
+            return float("inf")
+        return self.cost.edp
+
+    @property
+    def energy_pj(self) -> float:
+        if self.cost is None:
+            return float("inf")
+        return self.cost.energy_pj
+
+
+def prime_factors(n: int) -> list[int]:
+    """Prime factorisation of ``n`` with multiplicity, ascending."""
+    factors: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def random_factor_split(
+    size: int,
+    slots: int,
+    rng: random.Random,
+) -> list[int]:
+    """Randomly distribute the prime factors of ``size`` over ``slots``."""
+    split = [1] * slots
+    for p in prime_factors(size):
+        split[rng.randrange(slots)] *= p
+    return split
+
+
+def spatial_slots(arch: Architecture) -> list[int]:
+    """Level indices that have a usable fanout boundary."""
+    return [i for i, level in enumerate(arch.levels) if level.fanout > 1]

@@ -1,0 +1,220 @@
+"""dMazeRunner-like directed search with utilisation thresholds (§V, Table V).
+
+dMazeRunner prunes the mapping space with empirically-chosen minimum
+utilisation thresholds: candidate tiles must fill at least a configured
+fraction of the L1 and L2 buffers, and spatial unrollings must occupy at
+least a fraction of the PE array.  Spatial reduction (unrolling a reduction
+dimension) can be disallowed.  Two published configurations are exposed
+(fast/aggressive and slow/conservative, paper Table V).
+
+Two documented limitations are reproduced:
+
+* the thresholds do not generalise — light layers that cannot fill 40-60 %
+  of a large L2 yield **no valid mapping** (Fig. 7's "invalid" bars);
+* symmetric-convolution assumption — workloads with unequal window extents
+  (Inception's 1x7 / 3x1 layers) are rejected outright.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..arch.spec import Architecture
+from ..core.order_trie import enumerate_orderings
+from ..core.scheduler import SchedulerStats, SunstoneScheduler, _State
+from ..core.tiling_tree import divisors
+from ..core.unrolling import enumerate_unrollings
+from ..mapping.mapping import Mapping
+from ..model.cost import CostResult, evaluate
+from ..workloads.expression import Workload
+from .common import SearchResult
+
+
+@dataclass(frozen=True)
+class DMazeConfig:
+    """Utilisation thresholds (paper Table V)."""
+
+    l1_utilization: float = 0.8
+    l2_utilization: float = 0.5
+    pe_utilization: float = 0.8
+    spatial_reduction_allowed: bool = False
+    beam_width: int = 8
+    max_tilings_per_state: int = 400
+    objective: str = "edp"
+
+
+DMAZE_FAST = DMazeConfig(
+    l1_utilization=0.8, l2_utilization=0.5, pe_utilization=0.8,
+    spatial_reduction_allowed=False,
+)
+DMAZE_SLOW = DMazeConfig(
+    l1_utilization=0.6, l2_utilization=0.4, pe_utilization=0.8,
+    spatial_reduction_allowed=True,
+)
+
+
+def _is_asymmetric_convolution(workload: Workload) -> bool:
+    """dMazeRunner assumes convolutions are symmetric (R == S)."""
+    window_sizes = []
+    for tensor in workload.tensors:
+        for expr in tensor.indices:
+            if expr.is_window:
+                inner = expr.dims[1:]
+                window_sizes.extend(workload.dims[d] for d in inner)
+    if len(window_sizes) < 2:
+        return False
+    return len(set(window_sizes)) > 1
+
+
+class _DMazeSearch(SunstoneScheduler):
+    """Level sweep with dMazeRunner's candidate generation.
+
+    Tilings enumerate *all* dimensions (no Tiling Principle) but are
+    filtered by minimum buffer utilisation; unrollings must meet the PE
+    utilisation threshold and may exclude reduction dimensions.
+    """
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 config: DMazeConfig, options) -> None:
+        super().__init__(workload, arch, options)
+        self.config = config
+
+    def _utilization(self, level_index: int, sizes: dict[str, int]) -> float:
+        """Buffer fill fraction at a bounded level (1.0 when bypassing)."""
+        level = self.arch.levels[level_index]
+        if level.capacity_words is None:
+            return 1.0
+        used = 0
+        cap = 0
+        if level.is_unified:
+            cap = level.capacity_for("*") or 0
+            used = sum(
+                t.footprint(sizes) for t in self.workload.tensors
+                if level.stores(t.role)
+            )
+        else:
+            for tensor in self.workload.tensors:
+                c = level.capacity_for(tensor.role)
+                if c:
+                    cap += c
+                    used += tensor.footprint(sizes)
+        if cap == 0:
+            return 1.0
+        return used / cap
+
+    def _threshold_for(self, level_index: int) -> float:
+        # Innermost bounded level plays the L1 role; the next one the L2
+        # role; anything further up is unconstrained.
+        bounded = [i for i, lvl in enumerate(self.arch.levels)
+                   if lvl.capacity_words is not None]
+        if not bounded:
+            return 0.0
+        if level_index == bounded[0]:
+            return self.config.l1_utilization
+        if len(bounded) > 1 and level_index == bounded[1]:
+            return self.config.l2_utilization
+        return 0.0
+
+    def _children_bottom_up(self, state: _State, level: int, orderings,
+                            stats: SchedulerStats) -> Iterator[_State]:
+        base = self._base_sizes(state, level)
+        remaining = dict(state.frontier)
+        fanout = self.arch.levels[level].fanout
+        threshold = self._threshold_for(level)
+
+        dims = [d for d in self.workload.dim_names if remaining.get(d, 1) > 1]
+        choice_lists = [divisors(remaining[d]) for d in dims]
+
+        if self.config.spatial_reduction_allowed:
+            unroll_dims = self.workload.dim_names
+        else:
+            output_dims: set[str] = set()
+            for tensor in self.workload.outputs:
+                output_dims |= set(tensor.indexing_dims)
+            unroll_dims = tuple(d for d in self.workload.dim_names
+                                if d in output_dims)
+
+        emitted_tilings = 0
+        for combo in itertools.product(*choice_lists):
+            if emitted_tilings >= self.config.max_tilings_per_state:
+                break
+            tiling = {d: f for d, f in zip(dims, combo) if f > 1}
+            sizes = {
+                d: base.get(d, 1) * tiling.get(d, 1)
+                for d in self.workload.dims
+            }
+            stats.tiling.nodes_visited += 1
+            utilization = self._utilization(level, sizes)
+            if utilization > 1.0 or utilization < threshold:
+                continue
+            emitted_tilings += 1
+            rem_after = {d: remaining[d] // tiling.get(d, 1) for d in remaining}
+            unrolls = enumerate_unrollings(
+                self.workload, fanout, rem_after, unroll_dims,
+                stats=stats.unrolling,
+                utilization_threshold=self.config.pe_utilization,
+                max_unrolled_dims=2,
+            )
+            for unroll in unrolls:
+                used = 1
+                for f in unroll.values():
+                    used *= f
+                if fanout > 1 and used < self.config.pe_utilization * fanout:
+                    continue
+                for order in orderings:
+                    child = self._extend_bottom_up(
+                        state, level, order.order, tiling, unroll,
+                    )
+                    if child is not None:
+                        yield child
+
+
+def dmazerunner_search(
+    workload: Workload,
+    arch: Architecture,
+    config: DMazeConfig = DMAZE_FAST,
+    partial_reuse: bool = True,
+) -> SearchResult:
+    """Run the dMazeRunner-like search."""
+    start = time.perf_counter()
+    if _is_asymmetric_convolution(workload):
+        return SearchResult(
+            mapper="dmazerunner-like",
+            mapping=None,
+            cost=None,
+            wall_time_s=time.perf_counter() - start,
+            invalid_reason="asymmetric convolution not supported",
+        )
+    from ..core.scheduler import SchedulerOptions
+
+    # dMazeRunner has no alpha-beta; rank candidates purely by estimate and
+    # keep a beam for tractability.
+    options = SchedulerOptions(
+        alpha_beta=False,
+        beam_width=config.beam_width,
+        objective=config.objective,
+        partial_reuse=partial_reuse,
+    )
+    search = _DMazeSearch(workload, arch, config, options)
+    result = search.schedule()
+    elapsed = time.perf_counter() - start
+    if not result.found:
+        return SearchResult(
+            mapper="dmazerunner-like",
+            mapping=None,
+            cost=None,
+            evaluations=result.stats.evaluations,
+            wall_time_s=elapsed,
+            invalid_reason="no mapping meets the minimum utilization "
+                           "constraints",
+        )
+    return SearchResult(
+        mapper="dmazerunner-like",
+        mapping=result.mapping,
+        cost=result.cost,
+        evaluations=result.stats.evaluations,
+        wall_time_s=elapsed,
+    )

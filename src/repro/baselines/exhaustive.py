@@ -1,0 +1,130 @@
+"""Exhaustive oracle mapper for small problems.
+
+Enumerates *every* mapping — all prime-factor distributions across temporal
+and spatial slots and all loop permutations per level — and returns the best
+valid one.  Exponential; guarded by an explicit budget so tests cannot hang.
+Used to verify that Sunstone's pruning never rejects all optimal mappings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from typing import Iterator
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import LevelMapping, Mapping
+from ..model.cost import evaluate
+from ..workloads.expression import Workload
+from .common import SearchResult, prime_factors, spatial_slots
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The exhaustive space is larger than the configured budget."""
+
+
+def _factor_assignments(size: int, slots: int) -> Iterator[tuple[int, ...]]:
+    """All ways to split ``size`` into an ordered product over ``slots``."""
+    primes = prime_factors(size)
+    if not primes:
+        yield (1,) * slots
+        return
+    seen: set[tuple[int, ...]] = set()
+    for placement in itertools.product(range(slots), repeat=len(primes)):
+        split = [1] * slots
+        for prime, slot in zip(primes, placement):
+            split[slot] *= prime
+        key = tuple(split)
+        if key not in seen:
+            seen.add(key)
+            yield key
+
+
+def exhaustive_search(
+    workload: Workload,
+    arch: Architecture,
+    max_evaluations: int = 2_000_000,
+    orders_per_level: int | None = None,
+    partial_reuse: bool = True,
+    objective: str = "edp",
+) -> SearchResult:
+    """Enumerate the full mapping space and return the best valid mapping.
+
+    ``orders_per_level`` caps the loop permutations tried per level (None =
+    all).  Raises :class:`SearchBudgetExceeded` when the space exceeds
+    ``max_evaluations``.
+    """
+    start = time.perf_counter()
+    num = arch.num_levels
+    boundaries = set(spatial_slots(arch))
+    dims = workload.dim_names
+
+    # Slots per dimension: temporal at every level, spatial at boundaries.
+    slots: list[tuple[str, int]] = []
+    for level in range(num):
+        slots.append(("t", level))
+        if level in boundaries:
+            slots.append(("s", level))
+
+    per_dim_assignments = [
+        list(_factor_assignments(workload.dims[d], len(slots))) for d in dims
+    ]
+    orderings = list(itertools.permutations(dims))
+    if orders_per_level is not None:
+        orderings = orderings[:orders_per_level]
+
+    space = math.prod(len(a) for a in per_dim_assignments)
+    space *= len(orderings) ** num
+    if space > max_evaluations:
+        raise SearchBudgetExceeded(
+            f"exhaustive space {space} exceeds budget {max_evaluations}"
+        )
+
+    best = None
+    evaluations = 0
+    for combo in itertools.product(*per_dim_assignments):
+        temporal = [dict[str, int]() for _ in range(num)]
+        spatial = [dict[str, int]() for _ in range(num)]
+        for dim, split in zip(dims, combo):
+            for (kind, level), factor in zip(slots, split):
+                if factor == 1:
+                    continue
+                store = temporal if kind == "t" else spatial
+                store[level][dim] = factor
+        for level_orders in itertools.product(orderings, repeat=num):
+            levels = []
+            for i in range(num):
+                nest = tuple(
+                    (d, temporal[i].get(d, 1)) for d in level_orders[i]
+                )
+                levels.append(LevelMapping(
+                    temporal=nest,
+                    spatial=tuple(sorted(spatial[i].items())),
+                ))
+            mapping = Mapping(workload, arch, levels)
+            cost = evaluate(mapping, partial_reuse=partial_reuse)
+            evaluations += 1
+            if not cost.valid:
+                continue
+            value = cost.edp if objective == "edp" else cost.energy_pj
+            if best is None or value < best[0]:
+                best = (value, mapping, cost)
+
+    elapsed = time.perf_counter() - start
+    if best is None:
+        return SearchResult(
+            mapper="exhaustive",
+            mapping=None,
+            cost=None,
+            evaluations=evaluations,
+            wall_time_s=elapsed,
+            invalid_reason="no valid mapping exists",
+        )
+    return SearchResult(
+        mapper="exhaustive",
+        mapping=best[1],
+        cost=best[2],
+        evaluations=evaluations,
+        wall_time_s=elapsed,
+    )

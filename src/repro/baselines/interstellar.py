@@ -1,0 +1,127 @@
+"""Interstellar-like mapper: preset CK spatial unrolling (§V, "INTER").
+
+Interstellar restricts spatial unrolling to the input- and output-channel
+dimensions (C and K) as prescribed in the paper, falling back to other
+dimensions only when CK cannot fully utilise the PE grid.  Tiling considers
+all dimensions, pruned by a high-throughput requirement.  The restriction
+shrinks the search space dramatically but sometimes excludes better
+mappings (e.g. it may reuse the output both temporally and spatially,
+against the Unrolling Principle) — reproduced here by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..arch.spec import Architecture
+from ..core.scheduler import SchedulerOptions, SchedulerStats, SunstoneScheduler, _State
+from ..core.tiling_tree import enumerate_tilings
+from ..core.unrolling import enumerate_unrollings
+from ..workloads.expression import Workload
+from .common import SearchResult
+
+
+@dataclass(frozen=True)
+class InterstellarConfig:
+    """Interstellar's (fixed) strategy knobs."""
+
+    preferred_spatial_dims: tuple[str, ...] = ("C", "K")
+    full_utilization: float = 1.0  # CK must fully utilise the grid, else relax
+    beam_width: int = 32
+    objective: str = "edp"
+
+
+class _InterstellarSearch(SunstoneScheduler):
+    """Level sweep with CK-preset unrolling and all-dims tiling growth."""
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 config: InterstellarConfig, options: SchedulerOptions) -> None:
+        super().__init__(workload, arch, options)
+        self.config = config
+
+    def _children_bottom_up(self, state: _State, level: int, orderings,
+                            stats: SchedulerStats) -> Iterator[_State]:
+        base = self._base_sizes(state, level)
+        remaining = dict(state.frontier)
+        fanout = self.arch.levels[level].fanout
+
+        preferred = tuple(
+            d for d in self.config.preferred_spatial_dims
+            if d in self.workload.dims
+        )
+        for order in orderings:
+            # Interstellar tiles over every dimension (no Tiling Principle).
+            tilings = enumerate_tilings(
+                self.workload, self.arch, level, base, remaining,
+                self.workload.dim_names, stats=stats.tiling,
+            )
+            for tiling in tilings:
+                rem_after = {
+                    d: remaining[d] // tiling.get(d, 1) for d in remaining
+                }
+                unrolls = enumerate_unrollings(
+                    self.workload, fanout, rem_after, preferred,
+                    stats=stats.unrolling,
+                    utilization_threshold=1.0,
+                )
+                best_pref = max(
+                    (self._unroll_size(u) for u in unrolls), default=1,
+                )
+                if fanout > 1 and best_pref < fanout:
+                    # CK cannot fill the grid: allow the other dimensions.
+                    unrolls = enumerate_unrollings(
+                        self.workload, fanout, rem_after,
+                        self.workload.dim_names,
+                        stats=stats.unrolling,
+                        utilization_threshold=1.0,
+                    )
+                for unroll in unrolls:
+                    child = self._extend_bottom_up(
+                        state, level, order.order, tiling, unroll,
+                    )
+                    if child is not None:
+                        yield child
+
+    @staticmethod
+    def _unroll_size(unroll: dict[str, int]) -> int:
+        size = 1
+        for f in unroll.values():
+            size *= f
+        return size
+
+
+def interstellar_search(
+    workload: Workload,
+    arch: Architecture,
+    config: InterstellarConfig = InterstellarConfig(),
+    partial_reuse: bool = True,
+) -> SearchResult:
+    """Run the Interstellar-like search."""
+    start = time.perf_counter()
+    options = SchedulerOptions(
+        alpha_beta=False,
+        beam_width=config.beam_width,
+        objective=config.objective,
+        partial_reuse=partial_reuse,
+    )
+    search = _InterstellarSearch(workload, arch, config, options)
+    result = search.schedule()
+    elapsed = time.perf_counter() - start
+    if not result.found:
+        return SearchResult(
+            mapper="interstellar-like",
+            mapping=None,
+            cost=None,
+            evaluations=result.stats.evaluations,
+            wall_time_s=elapsed,
+            invalid_reason="no mapping can use the preset unrolling",
+        )
+    return SearchResult(
+        mapper="interstellar-like",
+        mapping=result.mapping,
+        cost=result.cost,
+        evaluations=result.stats.evaluations,
+        wall_time_s=elapsed,
+    )

@@ -1,0 +1,164 @@
+"""Timeloop-style random search over the full mapping space (§V, "TL").
+
+Timeloop's mapper samples the unrestricted space — every combination of
+per-level tilings over *all* dimensions, all loop permutations, and all
+spatial unrollings — uniformly at random, keeps the best valid mapping, and
+stops on either a *timeout* (total sampled candidates) or a *victory
+condition* (consecutive valid candidates without improvement).  The paper's
+fast/slow hyperparameters (Table V) are exposed as presets.
+
+Optional :class:`MappingConstraints` mirror the user-supplied search-space
+constraints Timeloop needs before it can be invoked on deep hierarchies
+such as the Simba-like architecture (§V-B3).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import LevelMapping, Mapping
+from ..model.cost import CostResult, evaluate
+from ..workloads.expression import Workload
+from .common import SearchResult, prime_factors, spatial_slots
+
+
+@dataclass(frozen=True)
+class TimeloopConfig:
+    """Search hyperparameters (paper Table V)."""
+
+    timeout: int = 20000  # total candidates sampled
+    victory_condition: int = 25  # consecutive valid non-improving candidates
+    seed: int = 0
+    objective: str = "edp"
+    wall_clock_limit_s: float | None = None  # the paper's 1-hour cap
+
+
+TIMELOOP_FAST = TimeloopConfig(timeout=20000, victory_condition=25)
+TIMELOOP_SLOW = TimeloopConfig(timeout=80000, victory_condition=1500)
+
+
+@dataclass(frozen=True)
+class MappingConstraints:
+    """User-provided search-space constraints (needed for deep hierarchies).
+
+    ``spatial_dims[level]`` restricts which dimensions may be spatially
+    unrolled at a level's boundary; ``temporal_dims[level]`` restricts which
+    dimensions may receive temporal factors at a level (others stay 1).
+    Levels absent from the dictionaries are unconstrained.
+    """
+
+    spatial_dims: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    temporal_dims: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def allows_temporal(self, level: int, dim: str) -> bool:
+        allowed = self.temporal_dims.get(level)
+        return allowed is None or dim in allowed
+
+    def allows_spatial(self, level: int, dim: str) -> bool:
+        allowed = self.spatial_dims.get(level)
+        return allowed is None or dim in allowed
+
+
+def sample_random_mapping(
+    workload: Workload,
+    arch: Architecture,
+    rng: random.Random,
+    constraints: MappingConstraints | None = None,
+) -> Mapping:
+    """Draw one uniformly random mapping (possibly invalid)."""
+    num = arch.num_levels
+    boundaries = set(spatial_slots(arch))
+    temporal = [dict[str, int]() for _ in range(num)]
+    spatial = [dict[str, int]() for _ in range(num)]
+
+    for dim, size in workload.dims.items():
+        slots: list[tuple[str, int]] = []
+        for level in range(num):
+            if constraints is None or constraints.allows_temporal(level, dim):
+                slots.append(("t", level))
+            if level in boundaries and (
+                constraints is None or constraints.allows_spatial(level, dim)
+            ):
+                slots.append(("s", level))
+        if not slots:
+            slots = [("t", num - 1)]
+        for p in prime_factors(size):
+            kind, level = rng.choice(slots)
+            store = temporal if kind == "t" else spatial
+            store[level][dim] = store[level].get(dim, 1) * p
+
+    levels = []
+    for i in range(num):
+        order = list(workload.dim_names)
+        rng.shuffle(order)
+        nest = tuple((d, temporal[i].get(d, 1)) for d in order)
+        levels.append(LevelMapping(
+            temporal=nest,
+            spatial=tuple(sorted(spatial[i].items())),
+        ))
+    return Mapping(workload, arch, levels)
+
+
+def timeloop_search(
+    workload: Workload,
+    arch: Architecture,
+    config: TimeloopConfig = TIMELOOP_FAST,
+    constraints: MappingConstraints | None = None,
+    partial_reuse: bool = True,
+) -> SearchResult:
+    """Run the Timeloop-like random search."""
+    rng = random.Random(config.seed)
+    start = time.perf_counter()
+    best: tuple[float, Mapping, CostResult] | None = None
+    since_improvement = 0
+    sampled = 0
+
+    while sampled < config.timeout:
+        if (config.wall_clock_limit_s is not None
+                and time.perf_counter() - start > config.wall_clock_limit_s):
+            break
+        mapping = sample_random_mapping(workload, arch, rng, constraints)
+        sampled += 1
+        cost = evaluate(mapping, partial_reuse=partial_reuse)
+        if not cost.valid:
+            continue
+        value = cost.edp if config.objective == "edp" else cost.energy_pj
+        if best is None or value < best[0]:
+            best = (value, mapping, cost)
+            since_improvement = 0
+        else:
+            since_improvement += 1
+            if since_improvement >= config.victory_condition:
+                break
+
+    elapsed = time.perf_counter() - start
+    if best is None:
+        return SearchResult(
+            mapper="timeloop-like",
+            mapping=None,
+            cost=None,
+            evaluations=sampled,
+            wall_time_s=elapsed,
+            invalid_reason="no valid mapping sampled",
+        )
+    return SearchResult(
+        mapper="timeloop-like",
+        mapping=best[1],
+        cost=best[2],
+        evaluations=sampled,
+        wall_time_s=elapsed,
+    )
+
+
+def simba_constraints(arch: Architecture) -> MappingConstraints:
+    """Search-space constraints analogous to those shipped with Timeloop for
+    Simba-like architectures [42]: weights-stationary registers (only K
+    temporally inside the PE datapath) and channel-parallel boundaries."""
+    return MappingConstraints(
+        spatial_dims={0: ("C", "K"), 1: ("C", "K", "P", "Q")},
+        temporal_dims={0: ("K", "N", "P", "Q")},
+    )

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``schedule``
+    Map a workload onto an accelerator and print the mapping, its loop
+    nest and cost; optionally save the mapping document as JSON.
+``compare``
+    Run Sunstone and the baseline mappers on one workload and print a
+    comparison table.
+``evaluate``
+    Re-evaluate a saved mapping document.
+``describe``
+    Print an architecture preset or the reuse table of a workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .arch import Architecture, conventional, diannao_like, simba_like, tiny
+from .baselines import (
+    TIMELOOP_FAST,
+    cosa_search,
+    dmazerunner_search,
+    interstellar_search,
+    timeloop_search,
+)
+from .baselines.gamma import gamma_search
+from .core import SchedulerOptions, schedule
+from .mapping import render_nest
+from .mapping.serialize import load_mapping, save_mapping
+from .model import evaluate
+from .workloads import (
+    Workload,
+    attention_scores,
+    attention_values,
+    batched_matmul,
+    conv1d,
+    conv2d,
+    depthwise_conv2d,
+    fully_connected,
+    grouped_conv2d,
+    mmc,
+    mttkrp,
+    sddmm,
+    tcl,
+    ttmc,
+)
+
+ARCHITECTURES = {
+    "conventional": conventional,
+    "simba": simba_like,
+    "diannao": diannao_like,
+    "tiny": tiny,
+}
+
+_WORKLOAD_BUILDERS = {
+    "conv1d": (conv1d, ("K", "C", "P", "R")),
+    "conv2d": (conv2d, ("N", "K", "C", "P", "Q", "R", "S")),
+    "fc": (fully_connected, ("N", "K", "C")),
+    "mttkrp": (mttkrp, ("I", "K", "L", "J")),
+    "sddmm": (sddmm, ("I", "J", "K")),
+    "ttmc": (ttmc, ("I", "J", "K", "L", "M")),
+    "mmc": (mmc, ("I", "J", "K", "L")),
+    "tcl": (tcl, ("I", "J", "K", "L", "M", "N")),
+    "dwconv2d": (depthwise_conv2d, ("N", "C", "P", "Q", "R", "S")),
+    "gconv2d": (grouped_conv2d, ("N", "G", "K", "C", "P", "Q", "R", "S")),
+    "bmm": (batched_matmul, ("B", "M", "N", "K")),
+    "attn_qk": (attention_scores, ("B", "H", "L", "D")),
+    "attn_av": (attention_values, ("B", "H", "L", "D")),
+}
+
+
+def _parse_dims(pairs: Sequence[str]) -> dict[str, int]:
+    dims = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected DIM=SIZE, got {pair!r}")
+        name, _, value = pair.partition("=")
+        dims[name.upper()] = int(value)
+    return dims
+
+
+def build_workload(kind: str, dims: Sequence[str]) -> Workload:
+    """Construct a library workload from DIM=SIZE arguments."""
+    if kind not in _WORKLOAD_BUILDERS:
+        raise SystemExit(
+            f"unknown workload {kind!r}; choose from "
+            f"{sorted(_WORKLOAD_BUILDERS)}"
+        )
+    builder, required = _WORKLOAD_BUILDERS[kind]
+    given = _parse_dims(dims)
+    missing = [d for d in required if d not in given]
+    if missing:
+        raise SystemExit(f"{kind} needs dimensions {list(required)}; "
+                         f"missing {missing}")
+    return builder(**{d: given[d] for d in required})
+
+
+def build_architecture(name: str) -> Architecture:
+    """Resolve a preset name or a JSON architecture-config path."""
+    if name in ARCHITECTURES:
+        return ARCHITECTURES[name]()
+    if name.endswith(".json"):
+        from .mapping.serialize import architecture_from_dict
+        try:
+            with open(name, encoding="utf-8") as handle:
+                return architecture_from_dict(json.load(handle))
+        except OSError as error:
+            raise SystemExit(f"cannot read architecture config: {error}")
+    raise SystemExit(f"unknown architecture {name!r}; choose from "
+                     f"{sorted(ARCHITECTURES)} or pass a .json config")
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """Schedule one workload and print mapping, nest, cost (and report)."""
+    workload = build_workload(args.workload, args.dims)
+    arch = build_architecture(args.arch)
+    options = SchedulerOptions(objective=args.objective)
+    result = schedule(workload, arch, options)
+    if not result.found:
+        print("no valid mapping found", file=sys.stderr)
+        return 1
+    print(result.mapping)
+    print(render_nest(result.mapping))
+    print(result.cost.summary())
+    if args.report:
+        from .analysis.visualize import mapping_report
+        print()
+        print(mapping_report(result.mapping, result.cost))
+    print(f"candidates evaluated: {result.stats.evaluations} in "
+          f"{result.stats.wall_time_s:.2f}s")
+    if args.output:
+        save_mapping(result.mapping, args.output)
+        print(f"mapping saved to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run Sunstone and the selected baselines; print a comparison table."""
+    workload = build_workload(args.workload, args.dims)
+    arch = build_architecture(args.arch)
+    rows = [("sunstone", schedule(workload, arch))]
+    searches = {
+        "timeloop-like": lambda: timeloop_search(workload, arch,
+                                                 TIMELOOP_FAST),
+        "dmazerunner-like": lambda: dmazerunner_search(workload, arch),
+        "interstellar-like": lambda: interstellar_search(workload, arch),
+        "cosa-like": lambda: cosa_search(workload, arch),
+        "gamma-like": lambda: gamma_search(workload, arch),
+    }
+    selected = None
+    if args.mappers:
+        selected = {m.strip() for m in args.mappers.split(",") if m.strip()}
+    for name, runner in searches.items():
+        if selected is not None and name.split("-")[0] not in selected:
+            continue
+        rows.append((name, runner()))
+    print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
+          f"{'status':>8}")
+    for name, result in rows:
+        time_s = getattr(result, "wall_time_s", None)
+        if time_s is None:
+            time_s = result.stats.wall_time_s
+        evals = getattr(result, "evaluations", None)
+        if evals is None:
+            evals = result.stats.evaluations
+        status = "ok" if getattr(result, "valid", None) or (
+            result.found and result.cost.valid) else "invalid"
+        edp = result.edp if result.found else float("inf")
+        print(f"{name:<18} {edp:>12.3e} {time_s:>8.2f} {evals:>8} "
+              f"{status:>8}")
+    return 0
+
+
+def cmd_network(args: argparse.Namespace) -> int:
+    """Schedule every layer of a model description file."""
+    from .core.network import schedule_network
+    from .workloads.importer import load_model
+
+    model = load_model(args.model)
+    arch = build_architecture(args.arch)
+    network = schedule_network(model, arch, processes=args.processes)
+    print(network.summary())
+    return 0 if network.all_found else 1
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Re-evaluate a saved mapping document with the cost model."""
+    mapping = load_mapping(args.mapping)
+    result = evaluate(mapping)
+    print(mapping)
+    print(result.summary())
+    if args.json:
+        print(json.dumps({
+            "energy_pj": result.energy_pj,
+            "cycles": result.cycles,
+            "edp": result.edp,
+            "valid": result.valid,
+            "violations": result.violations,
+        }, indent=2))
+    return 0 if result.valid else 1
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    """Print an architecture summary and/or a workload reuse table."""
+    if args.arch:
+        print(build_architecture(args.arch).describe())
+    if args.workload:
+        workload = build_workload(args.workload, args.dims)
+        print(workload)
+        for name, info in workload.reuse_table().items():
+            print(f"  {name:<10} indexed by {sorted(info.indexed_by)}, "
+                  f"reused by {sorted(info.reused_by)}, "
+                  f"partial {sorted(info.partially_reused_by)}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="map a workload onto an accelerator")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--arch", default="conventional")
+    p.add_argument("--objective", default="edp", choices=("edp", "energy"))
+    p.add_argument("--output", help="save the mapping document (JSON)")
+    p.add_argument("--report", action="store_true",
+                   help="print the occupancy/energy/spatial dashboard")
+    p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("network",
+                       help="schedule a model description file")
+    p.add_argument("model", help="path to a model JSON (see configs/)")
+    p.add_argument("--arch", default="conventional")
+    p.add_argument("--processes", type=int, default=None)
+    p.set_defaults(func=cmd_network)
+
+    p = sub.add_parser("compare", help="compare Sunstone against baselines")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--arch", default="conventional")
+    p.add_argument("--mappers",
+                   help="comma-separated subset of "
+                        "timeloop,dmazerunner,interstellar,cosa,gamma")
+    p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("evaluate", help="re-evaluate a saved mapping")
+    p.add_argument("mapping", help="path to a mapping JSON document")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("describe", help="show an architecture or workload")
+    p.add_argument("--arch")
+    p.add_argument("--workload")
+    p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
+    p.set_defaults(func=cmd_describe)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

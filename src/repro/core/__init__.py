@@ -1,0 +1,50 @@
+"""Sunstone core: the algebra-derived dataflow optimiser."""
+
+from .network import LayerSchedule, NetworkSchedule, schedule_network
+
+from .order_trie import (
+    OrderingCandidate,
+    ReuseOutcome,
+    TrieStats,
+    enumerate_orderings,
+)
+from .scheduler import (
+    INTRA_LEVEL_ORDERS,
+    ScheduleResult,
+    SchedulerOptions,
+    SchedulerStats,
+    SunstoneScheduler,
+    schedule,
+)
+from .tiling_tree import (
+    TilingStats,
+    divisors,
+    enumerate_all_tilings,
+    enumerate_tilings,
+    next_divisor,
+)
+from .unrolling import UnrollingStats, allowed_unroll_dims, enumerate_unrollings
+
+__all__ = [
+    "OrderingCandidate",
+    "ReuseOutcome",
+    "TrieStats",
+    "enumerate_orderings",
+    "TilingStats",
+    "divisors",
+    "next_divisor",
+    "enumerate_tilings",
+    "enumerate_all_tilings",
+    "UnrollingStats",
+    "allowed_unroll_dims",
+    "enumerate_unrollings",
+    "SunstoneScheduler",
+    "SchedulerOptions",
+    "SchedulerStats",
+    "ScheduleResult",
+    "schedule",
+    "INTRA_LEVEL_ORDERS",
+    "schedule_network",
+    "NetworkSchedule",
+    "LayerSchedule",
+]

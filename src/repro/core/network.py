@@ -1,0 +1,164 @@
+"""Network-level scheduling: map a whole model, layer by layer.
+
+Dataflow optimisation is per-layer, but users schedule *networks*.  This
+module adds the obvious production conveniences:
+
+* shape deduplication — ResNet-18 has 20 conv layers but only 11 distinct
+  shapes; identical shapes share one search;
+* aggregated network totals (energy, cycles, EDP) and per-layer reports;
+* a pluggable mapper so the same harness drives Sunstone or any baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..arch.spec import Architecture
+from ..core.scheduler import ScheduleResult, SchedulerOptions, SunstoneScheduler
+from ..workloads.expression import Workload
+
+Mapper = Callable[[Workload, Architecture], ScheduleResult]
+
+
+def _schedule_one(args: tuple[Workload, Architecture,
+                              SchedulerOptions | None]) -> ScheduleResult:
+    """Top-level worker so process pools can pickle it."""
+    workload, arch, options = args
+    return SunstoneScheduler(workload, arch, options).schedule()
+
+
+@dataclass
+class LayerSchedule:
+    """One layer's outcome within a network schedule."""
+
+    workload: Workload
+    result: ScheduleResult
+    shared_with: str | None = None  # name of the layer whose search was reused
+
+
+@dataclass
+class NetworkSchedule:
+    """Aggregate of per-layer schedules."""
+
+    layers: list[LayerSchedule]
+    wall_time_s: float = 0.0
+
+    @property
+    def all_found(self) -> bool:
+        return all(entry.result.found for entry in self.layers)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(entry.result.cost.energy_pj for entry in self.layers
+                   if entry.result.found)
+
+    @property
+    def total_cycles(self) -> float:
+        # Layers execute back to back (no inter-layer pipelining).
+        return sum(entry.result.cost.cycles for entry in self.layers
+                   if entry.result.found)
+
+    @property
+    def total_edp(self) -> float:
+        """Network EDP: total energy x total latency."""
+        return self.total_energy_pj * self.total_cycles
+
+    @property
+    def unique_searches(self) -> int:
+        return sum(1 for entry in self.layers if entry.shared_with is None)
+
+    def summary(self) -> str:
+        lines = [
+            f"{'layer':<16} {'EDP':>12} {'energy(uJ)':>11} {'cycles':>12} "
+            f"{'util':>5}  note"
+        ]
+        for entry in self.layers:
+            result = entry.result
+            if not result.found:
+                lines.append(f"{entry.workload.name:<16} {'--':>12} "
+                             f"{'--':>11} {'--':>12} {'--':>5}  NO MAPPING")
+                continue
+            note = (f"shared with {entry.shared_with}"
+                    if entry.shared_with else "")
+            lines.append(
+                f"{entry.workload.name:<16} {result.edp:>12.3e} "
+                f"{result.cost.energy_pj / 1e6:>11.2f} "
+                f"{result.cost.cycles:>12.0f} "
+                f"{result.cost.utilization:>5.0%}  {note}"
+            )
+        lines.append(
+            f"total: energy {self.total_energy_pj / 1e6:.2f} uJ, "
+            f"latency {self.total_cycles:.3e} cy, EDP {self.total_edp:.3e} "
+            f"({self.unique_searches} unique searches, "
+            f"{self.wall_time_s:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+def _shape_key(workload: Workload) -> tuple:
+    return (
+        tuple(sorted(workload.dims.items())),
+        tuple(
+            (t.name, t.role, t.is_output,
+             tuple((e.dims, e.stride) for e in t.indices))
+            for t in workload.tensors
+        ),
+    )
+
+
+def schedule_network(
+    workloads: Sequence[Workload],
+    arch: Architecture,
+    options: SchedulerOptions | None = None,
+    mapper: Mapper | None = None,
+    processes: int | None = None,
+) -> NetworkSchedule:
+    """Schedule every layer of a network, deduplicating identical shapes.
+
+    ``mapper`` defaults to Sunstone; pass a baseline's search function to
+    reuse the same harness (it must return an object with ``found``,
+    ``cost`` and ``mapping``).  ``processes`` > 1 searches distinct shapes
+    in parallel worker processes (the paper runs its tools with 8 threads);
+    only the default Sunstone mapper supports it.
+    """
+    start = time.perf_counter()
+
+    # Deduplicate first so parallel workers never repeat a search.
+    keys = [_shape_key(workload) for workload in workloads]
+    first_index: dict[tuple, int] = {}
+    unique_indices: list[int] = []
+    for i, key in enumerate(keys):
+        if key not in first_index:
+            first_index[key] = i
+            unique_indices.append(i)
+
+    results: dict[int, ScheduleResult] = {}
+    if processes and processes > 1 and mapper is None:
+        jobs = [(workloads[i], arch, options) for i in unique_indices]
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            for i, result in zip(unique_indices,
+                                 pool.map(_schedule_one, jobs)):
+                results[i] = result
+    else:
+        if mapper is None:
+            def mapper(workload: Workload, arch: Architecture
+                       ) -> ScheduleResult:
+                return SunstoneScheduler(workload, arch, options).schedule()
+        for i in unique_indices:
+            results[i] = mapper(workloads[i], arch)
+
+    layers: list[LayerSchedule] = []
+    for i, workload in enumerate(workloads):
+        owner = first_index[keys[i]]
+        if owner == i:
+            layers.append(LayerSchedule(workload, results[owner]))
+        else:
+            layers.append(LayerSchedule(
+                workload, results[owner],
+                shared_with=workloads[owner].name,
+            ))
+    return NetworkSchedule(layers,
+                           wall_time_s=time.perf_counter() - start)

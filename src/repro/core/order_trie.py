@@ -1,0 +1,235 @@
+"""Loop-ordering trie (paper §IV-A).
+
+The space of loop orders at a memory level is represented as a trie whose
+nodes are partially-determined orders, built innermost-loop-first.  Each node
+is annotated with the reuse it provides; two pruning rules shrink the trie:
+
+1. **No further reuse** (Ordering Principle 3): a child whose added loop
+   contributes no reuse (given the loops already inside it) is pruned —
+   none of its descendants can add reuse either, and the ordering of loops
+   above a reuse-carrying suffix does not change access counts.
+2. **Dominance**: if one suffix's reuse outcome is a (weak) subset of
+   another's — same tensors reused across a subset of dimensions, with no
+   extra partial reuse — the dominated suffix is pruned (Fig. 4's rule for
+   discarding ``xxxC`` in favour of ``xxCR``).
+
+The surviving suffixes, completed with the remaining dimensions in canonical
+order (their order is irrelevant by Principle 3), are the level's candidate
+orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..workloads.expression import Workload
+
+
+@dataclass(frozen=True)
+class ReuseOutcome:
+    """Reuse achieved by one ordering suffix.
+
+    ``full`` maps a tensor name to the set of dimensions across which it is
+    fully (temporally) reused; ``partial`` to the set of sliding-window
+    dimensions giving partial reuse.
+    """
+
+    full: tuple[tuple[str, frozenset[str]], ...]
+    partial: tuple[tuple[str, frozenset[str]], ...]
+
+    @staticmethod
+    def from_dicts(full: dict[str, set[str]],
+                   partial: dict[str, set[str]]) -> "ReuseOutcome":
+        return ReuseOutcome(
+            full=tuple(sorted((t, frozenset(d)) for t, d in full.items() if d)),
+            partial=tuple(sorted(
+                (t, frozenset(d)) for t, d in partial.items() if d
+            )),
+        )
+
+    def full_dict(self) -> dict[str, frozenset[str]]:
+        return dict(self.full)
+
+    def partial_dict(self) -> dict[str, frozenset[str]]:
+        return dict(self.partial)
+
+    def dominates(self, other: "ReuseOutcome") -> bool:
+        """True when this outcome reuses at least everything ``other`` does."""
+        mine_full = self.full_dict()
+        mine_partial = self.partial_dict()
+        for tensor, dims in other.full:
+            if not dims <= mine_full.get(tensor, frozenset()):
+                return False
+        for tensor, dims in other.partial:
+            combined = (mine_partial.get(tensor, frozenset())
+                        | mine_full.get(tensor, frozenset()))
+            if not dims <= combined:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class OrderingCandidate:
+    """One surviving loop order for a memory level.
+
+    ``order`` lists dimensions outermost-first.  ``reused_tensors`` are the
+    tensors fully reused across the innermost loops (the "OP" of the Tiling
+    and Unrolling Principles); ``outcome`` records the full annotation.
+    """
+
+    order: tuple[str, ...]
+    reused_tensors: frozenset[str]
+    partially_reused_tensors: frozenset[str]
+    outcome: ReuseOutcome
+
+    def __str__(self) -> str:
+        return "".join(self.order)
+
+
+def _new_reuse(
+    workload: Workload,
+    dim: str,
+    below: Sequence[str],
+) -> tuple[set[str], set[str]]:
+    """Tensors gaining (full, partial) reuse from putting ``dim``'s loop
+    immediately above the loops in ``below`` (innermost first)."""
+    full: set[str] = set()
+    partial: set[str] = set()
+    for tensor in workload.tensors:
+        indexing = tensor.indexing_dims
+        windows = tensor.window_dims
+        if dim not in indexing:
+            # Full reuse requires every inner loop to also be non-indexing
+            # for this tensor (Ordering Principle 2).
+            if all(inner not in indexing for inner in below):
+                full.add(tensor.name)
+        elif dim in windows:
+            # Sliding-window partial reuse: inner loops must either not
+            # index the tensor or be window partners of the same coordinate.
+            partners = set()
+            for expr in tensor.indices:
+                if expr.is_window and dim in expr.dims:
+                    partners |= set(expr.dims)
+            ok = all(
+                inner not in indexing or inner in partners for inner in below
+            )
+            if ok:
+                partial.add(tensor.name)
+    return full, partial
+
+
+@dataclass
+class _Node:
+    suffix: tuple[str, ...] = ()  # innermost first
+    full: dict[str, set[str]] = field(default_factory=dict)
+    partial: dict[str, set[str]] = field(default_factory=dict)
+
+    def outcome(self) -> ReuseOutcome:
+        return ReuseOutcome.from_dicts(self.full, self.partial)
+
+
+@dataclass
+class TrieStats:
+    """Size accounting for the ordering search (used for Table I/VI)."""
+
+    nodes_visited: int = 0
+    nodes_pruned_no_reuse: int = 0
+    candidates_before_dominance: int = 0
+    candidates: int = 0
+
+
+def enumerate_orderings(
+    workload: Workload,
+    dims: Sequence[str] | None = None,
+    stats: TrieStats | None = None,
+) -> list[OrderingCandidate]:
+    """Enumerate the pruned set of loop orderings for one memory level.
+
+    ``dims`` restricts the ordered dimensions (default: every problem
+    dimension).  The result is typically a handful of orderings even for
+    7-dimensional convolutions, versus ``7! = 5040`` unpruned.
+    """
+    dims = tuple(dims if dims is not None else workload.dim_names)
+    stats = stats if stats is not None else TrieStats()
+
+    terminals: list[_Node] = []
+    frontier: list[_Node] = [_Node()]
+    while frontier:
+        node = frontier.pop()
+        extended = False
+        for dim in dims:
+            if dim in node.suffix:
+                continue
+            stats.nodes_visited += 1
+            full, partial = _new_reuse(workload, dim, node.suffix)
+            if not full and not partial:
+                stats.nodes_pruned_no_reuse += 1
+                continue
+            child = _Node(
+                suffix=(*node.suffix, dim),
+                full={t: set(d) for t, d in node.full.items()},
+                partial={t: set(d) for t, d in node.partial.items()},
+            )
+            for tensor in full:
+                child.full.setdefault(tensor, set()).add(dim)
+            for tensor in partial:
+                child.partial.setdefault(tensor, set()).add(dim)
+            frontier.append(child)
+            extended = True
+        if not extended:
+            terminals.append(node)
+
+    stats.candidates_before_dominance = len(terminals)
+
+    # Dominance pruning across terminal suffixes.
+    outcomes = [node.outcome() for node in terminals]
+    keep: list[int] = []
+    for i, outcome in enumerate(outcomes):
+        dominated = False
+        for j, other in enumerate(outcomes):
+            if i == j:
+                continue
+            if other.dominates(outcome):
+                if not outcome.dominates(other):
+                    dominated = True
+                    break
+                # Identical outcomes: keep the lexicographically first.
+                if j < i:
+                    dominated = True
+                    break
+        if not dominated:
+            keep.append(i)
+
+    candidates: list[OrderingCandidate] = []
+    for i in keep:
+        node = terminals[i]
+        rest = [d for d in dims if d not in node.suffix]
+        # suffix is innermost-first; order is outermost-first.
+        order = tuple(sorted(rest) + list(reversed(node.suffix)))
+        candidates.append(
+            OrderingCandidate(
+                order=order,
+                reused_tensors=frozenset(
+                    t for t, d in node.full.items() if d
+                ),
+                partially_reused_tensors=frozenset(
+                    t for t, d in node.partial.items() if d
+                ),
+                outcome=outcomes[i],
+            )
+        )
+    stats.candidates = len(candidates)
+    if not candidates:
+        # Degenerate workloads with no reuse anywhere: fall back to one
+        # canonical order.
+        candidates.append(
+            OrderingCandidate(
+                order=tuple(sorted(dims)),
+                reused_tensors=frozenset(),
+                partially_reused_tensors=frozenset(),
+                outcome=ReuseOutcome((), ()),
+            )
+        )
+        stats.candidates = 1
+    return candidates

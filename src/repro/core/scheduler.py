@@ -1,0 +1,922 @@
+"""The Sunstone scheduler: level-by-level dataflow optimisation (§III-C, §V).
+
+The optimiser proceeds memory level by memory level.  At each step it
+chooses, jointly:
+
+* the **loop ordering** of the parent level's nest (from the pruned trie of
+  :mod:`repro.core.order_trie`) — this fixes which operand ``OP`` is
+  temporally reused across the current level's tiles;
+* the **tile** of the current level (from the tiling tree of
+  :mod:`repro.core.tiling_tree`, grown only along ``OP``'s indexing
+  dimensions — the Tiling Principle);
+* the **spatial unrolling** of the current level's fanout boundary (from
+  :mod:`repro.core.unrolling`, excluding ``OP``'s non-indexing dimensions —
+  the Spatial Unrolling Principle).
+
+Partial schedules are ranked by evaluating their trivial completion (all
+residual factors at the outermost level) with the full cost model;
+alpha-beta pruning discards partials whose estimate exceeds the best
+estimate by more than a slack factor, and a beam bounds the frontier.
+
+Both the paper's default **bottom-up** sweep and the ablated **top-down**
+sweep are implemented, as are the three intra-level optimisation orders of
+Table VI.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import Mapping, build_mapping
+from ..model.cost import CostResult, evaluate
+from ..workloads.expression import Workload
+from .order_trie import OrderingCandidate, TrieStats, enumerate_orderings
+from .tiling_tree import (
+    TilingStats,
+    enumerate_all_tilings,
+    enumerate_tilings,
+    placement_fits,
+)
+from .unrolling import UnrollingStats, allowed_unroll_dims, enumerate_unrollings
+
+INTRA_LEVEL_ORDERS = (
+    "ordering-tiling-unrolling",
+    "tiling-unrolling-ordering",
+    "unrolling-tiling-ordering",
+)
+
+
+@dataclass(frozen=True)
+class SchedulerOptions:
+    """Knobs of the Sunstone search.
+
+    The defaults correspond to the paper's configuration: bottom-up,
+    ordering -> tiling -> unrolling within a level, alpha-beta pruning on,
+    high-throughput (maximal-utilisation) unrolling pruning on.
+    """
+
+    objective: str = "edp"  # "edp" or "energy"
+    direction: str = "bottom-up"  # or "top-down"
+    intra_level_order: str = "ordering-tiling-unrolling"
+    alpha_beta: bool = True
+    alpha_slack: float = 2.0
+    beam_width: int | None = 48
+    partial_reuse: bool = True
+    utilization_threshold: float = 1.0
+    max_unrolled_dims: int = 2
+    # Per-step candidate caps (bottom-up sweeps): keep the tilings with the
+    # largest footprints (most reuse) and the unrollings with the highest
+    # utilisation.  None = unlimited.
+    max_tilings_per_step: int | None = 10
+    max_unrolls_per_step: int | None = 12
+    # Greedy single-factor hill climb around the sweep's winner.
+    polish: bool = True
+    # When the capped search ends below full spatial utilisation, retry
+    # once with widened caps and keep the better result.  Layers that
+    # already saturate the array (the common case) never pay for this.
+    auto_escalate: bool = True
+    # Where a top-down partial parks its residual factors for estimation:
+    # "innermost" (paper-faithful: the estimate is far from the final
+    # energy, so alpha-beta prunes poorly — the Table VI effect) or
+    # "current" (park at the highest undecided level: estimates are real
+    # mappings and the sweep prunes as well as bottom-up).
+    topdown_estimate: str = "innermost"
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("edp", "energy"):
+            raise ValueError(f"unknown objective {self.objective}")
+        if self.direction not in ("bottom-up", "top-down"):
+            raise ValueError(f"unknown direction {self.direction}")
+        if self.intra_level_order not in INTRA_LEVEL_ORDERS:
+            raise ValueError(
+                f"unknown intra-level order {self.intra_level_order}"
+            )
+        if self.alpha_slack < 1.0:
+            raise ValueError("alpha_slack must be >= 1.0")
+        if self.topdown_estimate not in ("innermost", "current"):
+            raise ValueError(
+                f"unknown topdown_estimate {self.topdown_estimate}"
+            )
+
+
+@dataclass
+class SchedulerStats:
+    """Search-size and timing accounting (Table I, Table VI, Figs. 6-8)."""
+
+    evaluations: int = 0
+    pruned_alpha_beta: int = 0
+    pruned_beam: int = 0
+    wall_time_s: float = 0.0
+    trie: TrieStats = field(default_factory=TrieStats)
+    tiling: TilingStats = field(default_factory=TilingStats)
+    unrolling: UnrollingStats = field(default_factory=UnrollingStats)
+
+    @property
+    def space_size(self) -> int:
+        """Number of complete mappings the search evaluated."""
+        return self.evaluations
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a scheduling run."""
+
+    mapping: Mapping | None
+    cost: CostResult | None
+    stats: SchedulerStats
+    options: SchedulerOptions
+
+    @property
+    def found(self) -> bool:
+        return self.mapping is not None
+
+    @property
+    def edp(self) -> float:
+        if self.cost is None:
+            return float("inf")
+        return self.cost.edp
+
+    @property
+    def energy_pj(self) -> float:
+        if self.cost is None:
+            return float("inf")
+        return self.cost.energy_pj
+
+
+@dataclass(frozen=True)
+class _State:
+    """A partial schedule.
+
+    ``temporal[i]`` / ``spatial[i]`` hold decided factors per level (empty
+    dict when undecided); ``orders[i]`` the decided nest order of level
+    ``i``.  ``frontier`` tracks the per-dimension extents still to be
+    assigned at the undecided levels.
+    """
+
+    temporal: tuple[dict[str, int], ...]
+    spatial: tuple[dict[str, int], ...]
+    orders: tuple[tuple[str, ...] | None, ...]
+    frontier: dict[str, int]
+    # Level where residual (undecided) factors are parked when the partial
+    # schedule is completed for estimation: the outermost level for
+    # bottom-up sweeps, the highest still-undecided level for top-down.
+    sink_level: int = -1
+
+
+class SunstoneScheduler:
+    """Maps a tensor workload onto a spatial accelerator.
+
+    Example::
+
+        scheduler = SunstoneScheduler(conv2d(...), simba_like())
+        result = scheduler.schedule()
+        print(result.mapping, result.cost.summary())
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        arch: Architecture,
+        options: SchedulerOptions | None = None,
+    ) -> None:
+        self.workload = workload
+        self.arch = arch
+        self.options = options or SchedulerOptions()
+        # Frontier states frequently share (base, remaining) at a step, so
+        # candidate enumeration is memoised per scheduler instance.
+        self._tiling_cache: dict = {}
+        self._unroll_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def schedule(self) -> ScheduleResult:
+        """Run the search and return the best mapping found."""
+        start = time.perf_counter()
+        result = self._schedule_once()
+        if (self.options.auto_escalate
+                and self.options.beam_width is not None
+                and result.found
+                and result.cost.utilization < 1.0):
+            # The capped search left lanes idle; widen the caps once.
+            wide = replace(
+                self.options,
+                beam_width=max(128, self.options.beam_width * 2),
+                max_tilings_per_step=(
+                    None if self.options.max_tilings_per_step is None
+                    else max(20, self.options.max_tilings_per_step * 2)),
+                max_unrolls_per_step=(
+                    None if self.options.max_unrolls_per_step is None
+                    else max(24, self.options.max_unrolls_per_step * 2)),
+                auto_escalate=False,
+            )
+            retry = SunstoneScheduler(self.workload, self.arch, wide)
+            escalated = retry._schedule_once()
+            escalated.stats.evaluations += result.stats.evaluations
+            if escalated.found:
+                def value(r: ScheduleResult) -> float:
+                    return (r.edp if self.options.objective == "edp"
+                            else r.energy_pj)
+                if value(escalated) < value(result):
+                    result = escalated
+                else:
+                    result.stats.evaluations = escalated.stats.evaluations
+        result.stats.wall_time_s = time.perf_counter() - start
+        return result
+
+    def _schedule_once(self) -> ScheduleResult:
+        start = time.perf_counter()
+        stats = SchedulerStats()
+        orderings = enumerate_orderings(self.workload, stats=stats.trie)
+
+        if self.options.direction == "bottom-up":
+            best = self._sweep(orderings, stats, bottom_up=True)
+        else:
+            best = self._sweep(orderings, stats, bottom_up=False)
+
+        if best is not None and self.options.polish:
+            best = self._polish(best[0], best[1], stats)
+
+        stats.wall_time_s = time.perf_counter() - start
+        if best is None:
+            return ScheduleResult(None, None, stats, self.options)
+        mapping, cost = best
+        return ScheduleResult(mapping, cost, stats, self.options)
+
+    # ------------------------------------------------------------------
+    # greedy polish
+    # ------------------------------------------------------------------
+    def _polish(
+        self,
+        mapping: Mapping,
+        cost: CostResult,
+        stats: SchedulerStats,
+        max_rounds: int = 24,
+    ) -> tuple[Mapping, CostResult]:
+        """Hill-climb around the sweep's winner.
+
+        The neighbourhood moves one prime factor of one dimension between
+        two *slots*, where a slot is a (kind, level) pair over temporal
+        loops and spatial unrollings.  When single moves converge, paired
+        exchange moves (evict one dimension's prime from a slot while
+        pulling another dimension's prime in) cross the capacity valleys
+        single moves cannot.  This recovers tile shapes and lane splits
+        that mix the growth dimensions of different orderings — a blind
+        spot of the pure per-ordering tiling tree.
+        """
+        from ..baselines.common import prime_factors
+
+        def value_of(result: CostResult) -> float:
+            return (result.edp if self.options.objective == "edp"
+                    else result.energy_pj)
+
+        num = self.arch.num_levels
+        best_mapping, best_cost = mapping, cost
+        best_value = value_of(cost)
+
+        def snapshot():
+            temporal = [dict(lvl.temporal_factors)
+                        for lvl in best_mapping.levels]
+            spatial = [dict(lvl.spatial_factors)
+                       for lvl in best_mapping.levels]
+            orders = [[d for d, _ in lvl.temporal]
+                      for lvl in best_mapping.levels]
+            return temporal, spatial, orders
+
+        def slots():
+            out = [("t", i) for i in range(num)]
+            out += [("s", i) for i in range(num)
+                    if self.arch.levels[i].fanout > 1]
+            return out
+
+        def get(state, kind, level, dim):
+            temporal, spatial = state
+            store = temporal if kind == "t" else spatial
+            return store[level].get(dim, 1)
+
+        def apply(state, changes):
+            """changes: list of (kind, level, dim, multiplier-or-divisor)"""
+            temporal = [dict(t) for t in state[0]]
+            spatial = [dict(s) for s in state[1]]
+            for kind, level, dim, p, direction in changes:
+                store = temporal if kind == "t" else spatial
+                current = store[level].get(dim, 1)
+                if direction == "mul":
+                    store[level][dim] = current * p
+                else:
+                    if current % p != 0:
+                        return None
+                    store[level][dim] = current // p
+            return temporal, spatial
+
+        def try_candidate(temporal, spatial, orders) -> bool:
+            nonlocal best_mapping, best_cost, best_value
+            try:
+                candidate = build_mapping(
+                    self.workload, self.arch,
+                    temporal=[dict(t) for t in temporal],
+                    spatial=[dict(s) for s in spatial],
+                    orders=orders,
+                )
+            except Exception:
+                return False
+            result = evaluate(candidate,
+                              partial_reuse=self.options.partial_reuse)
+            stats.evaluations += 1
+            if result.valid and value_of(result) < best_value:
+                best_mapping = candidate
+                best_cost = result
+                best_value = value_of(result)
+                return True
+            return False
+
+        all_slots = slots()
+
+        def single_moves(state):
+            out = []
+            for dim in self.workload.dim_names:
+                for src in all_slots:
+                    factor = get(state, src[0], src[1], dim)
+                    if factor <= 1:
+                        continue
+                    for p in set(prime_factors(factor)):
+                        for dst in all_slots:
+                            if dst == src:
+                                continue
+                            trial = apply(state, [
+                                (src[0], src[1], dim, p, "div"),
+                                (dst[0], dst[1], dim, p, "mul"),
+                            ])
+                            if trial is not None:
+                                out.append(trial)
+            return out
+
+        def exchange_moves(state):
+            out = []
+            dims = self.workload.dim_names
+            for slot in all_slots:
+                for d1 in dims:
+                    f1 = get(state, slot[0], slot[1], d1)
+                    if f1 <= 1:
+                        continue
+                    for p1 in set(prime_factors(f1)):
+                        for d2 in dims:
+                            if d2 == d1:
+                                continue
+                            for src in all_slots:
+                                if src == slot:
+                                    continue
+                                f2 = get(state, src[0], src[1], d2)
+                                if f2 <= 1:
+                                    continue
+                                for p2 in set(prime_factors(f2)):
+                                    trial = apply(state, [
+                                        (slot[0], slot[1], d1, p1, "div"),
+                                        (src[0], src[1], d1, p1, "mul"),
+                                        (src[0], src[1], d2, p2, "div"),
+                                        (slot[0], slot[1], d2, p2, "mul"),
+                                    ])
+                                    if trial is not None:
+                                        out.append(trial)
+            return out
+
+        for _ in range(max_rounds):
+            temporal, spatial, orders = snapshot()
+            state = (temporal, spatial)
+            improved = False
+            for trial in single_moves(state):
+                if try_candidate(trial[0], trial[1], orders):
+                    improved = True
+            if not improved:
+                for trial in exchange_moves(state):
+                    if try_candidate(trial[0], trial[1], orders):
+                        improved = True
+                        break
+            if not improved:
+                break
+        return best_mapping, best_cost
+
+    # ------------------------------------------------------------------
+    # search core
+    # ------------------------------------------------------------------
+    def _sweep(
+        self,
+        orderings: Sequence[OrderingCandidate],
+        stats: SchedulerStats,
+        bottom_up: bool,
+    ) -> tuple[Mapping, CostResult] | None:
+        num = self.arch.num_levels
+        initial = _State(
+            temporal=tuple({} for _ in range(num)),
+            spatial=tuple({} for _ in range(num)),
+            orders=tuple(None for _ in range(num)),
+            frontier=dict(self.workload.dims),
+            sink_level=num - 1 if bottom_up else num - 1,
+        )
+        frontier: list[tuple[float, _State]] = [(float("inf"), initial)]
+        steps = range(num - 1) if bottom_up else range(num - 2, -1, -1)
+
+        # Every estimated partial is a complete (if possibly suboptimal)
+        # mapping, so the best valid one seen anywhere is the answer.
+        best: tuple[float, Mapping, CostResult] | None = None
+        for level in steps:
+            scored: list[tuple[float, _State]] = []
+            for _, state in frontier:
+                for child in self._children(state, level, orderings, stats,
+                                            bottom_up):
+                    value, mapping, cost = self._estimate(child, stats)
+                    if not cost.valid:
+                        if bottom_up:
+                            # Occupancy only grows as more levels are
+                            # decided bottom-up, so an invalid completion
+                            # can never become valid.
+                            continue
+                        # Top-down estimates park residual factors at a
+                        # lower level and may be (transiently) invalid;
+                        # keep searching through them.
+                        scored.append((value, child))
+                        continue
+                    scored.append((value, child))
+                    if best is None or value < best[0]:
+                        best = (value, mapping, cost)
+            if not scored:
+                break
+            remaining_steps = (num - 1 - level) if bottom_up else (level + 1)
+            frontier = self._prune(scored, stats, remaining_steps)
+
+        if best is not None:
+            return best[1], best[2]
+        return None
+
+    def _prune(
+        self,
+        scored: list[tuple[float, _State]],
+        stats: SchedulerStats,
+        remaining_steps: int = 1,
+    ) -> list[tuple[float, _State]]:
+        scored.sort(key=lambda item: item[0])
+        # Deduplicate states that encode identical decisions.
+        unique: list[tuple[float, _State]] = []
+        seen: set = set()
+        for value, state in scored:
+            key = (
+                tuple(tuple(sorted(t.items())) for t in state.temporal),
+                tuple(tuple(sorted(s.items())) for s in state.spatial),
+                state.orders,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append((value, state))
+        scored = unique
+        kept = scored
+        if self.options.alpha_beta and scored:
+            alpha = scored[0][0]
+            # Early estimates (many undecided levels) correlate weakly with
+            # the final cost; widen the cutoff accordingly, and never cut
+            # below the beam width — alpha-beta trims the long tail, the
+            # beam keeps the head diverse.
+            cutoff = alpha * (self.options.alpha_slack
+                              ** max(1, remaining_steps))
+            floor = self.options.beam_width or 0
+            kept = [item for i, item in enumerate(scored)
+                    if i < floor or item[0] <= cutoff]
+            stats.pruned_alpha_beta += len(scored) - len(kept)
+        if self.options.beam_width is not None:
+            if len(kept) > self.options.beam_width:
+                stats.pruned_beam += len(kept) - self.options.beam_width
+                kept = self._diverse_head(kept, self.options.beam_width)
+        return kept
+
+    @staticmethod
+    def _diverse_head(
+        scored: list[tuple[float, _State]],
+        width: int,
+    ) -> list[tuple[float, _State]]:
+        """Take the ``width`` best states while preserving decision
+        diversity: the single best state of every distinct
+        (orders, spatial-unrolling) group is admitted before the remainder
+        fills up by score.  Early estimates correlate weakly with final
+        cost, so a purely greedy beam tends to flood with near-identical
+        siblings and starve the eventually-best unrolling choice."""
+        groups: dict = {}
+        for item in scored:  # already sorted by score
+            _, state = item
+            key = (
+                state.orders,
+                tuple(tuple(sorted(s.items())) for s in state.spatial),
+            )
+            groups.setdefault(key, item)
+        head = sorted(groups.values(), key=lambda item: item[0])[:width]
+        chosen = {id(state) for _, state in head}
+        for item in scored:
+            if len(head) >= width:
+                break
+            if id(item[1]) not in chosen:
+                head.append(item)
+                chosen.add(id(item[1]))
+        head.sort(key=lambda item: item[0])
+        return head
+
+    # ------------------------------------------------------------------
+    # per-level candidate generation
+    # ------------------------------------------------------------------
+    def _children(
+        self,
+        state: _State,
+        level: int,
+        orderings: Sequence[OrderingCandidate],
+        stats: SchedulerStats,
+        bottom_up: bool,
+    ) -> Iterator[_State]:
+        if bottom_up:
+            yield from self._children_bottom_up(state, level, orderings, stats)
+        else:
+            yield from self._children_top_down(state, level, orderings, stats)
+
+    def _stored_reused(self, order: OrderingCandidate, level: int
+                       ) -> frozenset[str]:
+        """Reused tensors that the child level actually buffers."""
+        stored = frozenset(
+            t.name for t in self.workload.tensors
+            if self.arch.levels[level].stores(t.role)
+        )
+        return order.reused_tensors & stored
+
+    def _growth_dims(self, order: OrderingCandidate, level: int
+                     ) -> tuple[str, ...]:
+        reused = self._stored_reused(order, level)
+        if not reused:
+            reused = order.partially_reused_tensors & frozenset(
+                t.name for t in self.workload.tensors
+                if self.arch.levels[level].stores(t.role)
+            )
+        if reused:
+            dims: set[str] = set()
+            for name in reused:
+                dims |= set(self.workload.tensor(name).indexing_dims)
+            return tuple(d for d in self.workload.dim_names if d in dims)
+        return self.workload.dim_names
+
+    def _allowed_unroll(self, order: OrderingCandidate, level: int
+                        ) -> tuple[str, ...]:
+        reused = self._stored_reused(order, level)
+        if not reused:
+            return self.workload.dim_names
+        return allowed_unroll_dims(self.workload, reused)
+
+    def _unroll_candidates(
+        self,
+        order: OrderingCandidate,
+        level: int,
+        fanout: int,
+        remaining: dict[str, int],
+        stats: SchedulerStats,
+    ) -> list[dict[str, int]]:
+        """Unrollings per the Spatial Unrolling Principle, with a
+        full-utilisation fallback: when the principled dimension set cannot
+        fill the fanout, the remaining dimensions are admitted rather than
+        leaving lanes idle (throughput dominates EDP)."""
+        allowed = self._allowed_unroll(order, level)
+        cache_key = (level, fanout, tuple(sorted(remaining.items())), allowed)
+        cached = self._unroll_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        unrolls = enumerate_unrollings(
+            self.workload, fanout, remaining, allowed,
+            stats=stats.unrolling,
+            utilization_threshold=self.options.utilization_threshold,
+            max_unrolled_dims=self.options.max_unrolled_dims,
+        )
+        best = max(
+            (math.prod(u.values()) if u else 1 for u in unrolls), default=1,
+        )
+        if fanout > 1 and best < fanout and len(allowed) < len(
+                self.workload.dim_names):
+            fallback = enumerate_unrollings(
+                self.workload, fanout, remaining, self.workload.dim_names,
+                stats=stats.unrolling,
+                utilization_threshold=self.options.utilization_threshold,
+                max_unrolled_dims=self.options.max_unrolled_dims,
+            )
+            seen = {tuple(sorted(u.items())) for u in unrolls}
+            unrolls += [u for u in fallback
+                        if tuple(sorted(u.items())) not in seen]
+        cap = self.options.max_unrolls_per_step
+        if cap is not None and len(unrolls) > cap:
+            unrolls.sort(
+                key=lambda u: math.prod(u.values()) if u else 1, reverse=True,
+            )
+            unrolls = unrolls[:cap]
+        self._unroll_cache[cache_key] = unrolls
+        return unrolls
+
+    def _tiling_candidates(
+        self,
+        level: int,
+        base: dict[str, int],
+        remaining: dict[str, int],
+        growth: Sequence[str],
+        stats: SchedulerStats,
+    ) -> list[dict[str, int]]:
+        """Maximal tiles per the Tiling Principle, capped to the largest
+        footprints (the most temporal reuse) when the frontier is wide."""
+        cache_key = (
+            level,
+            tuple(sorted(base.items())),
+            tuple(sorted(remaining.items())),
+            tuple(growth),
+        )
+        cached = self._tiling_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        tilings = enumerate_tilings(
+            self.workload, self.arch, level, base, remaining, growth,
+            stats=stats.tiling,
+        )
+        cap = self.options.max_tilings_per_step
+        if cap is not None and len(tilings) > cap:
+            def footprint(tiling: dict[str, int]) -> int:
+                sizes = {
+                    d: base.get(d, 1) * tiling.get(d, 1)
+                    for d in self.workload.dims
+                }
+                return sum(t.footprint(sizes) for t in self.workload.tensors)
+
+            # The maximal frontier is an antichain; keep its *corners* (the
+            # tile maximising each growth dimension — e.g. the P-heavy tile
+            # that best exploits sliding-window overlap) and fill the rest
+            # of the budget with the largest footprints.
+            chosen: list[dict[str, int]] = []
+            chosen_keys: set = set()
+
+            def admit(tiling: dict[str, int]) -> None:
+                key = tuple(sorted(tiling.items()))
+                if key not in chosen_keys:
+                    chosen_keys.add(key)
+                    chosen.append(tiling)
+
+            for dim in growth:
+                # Two corners per dimension: the fattest max-d tile (most
+                # co-located reuse) and the leanest (leaves the other
+                # dimensions free for the spatial-unrolling stage).
+                admit(max(tilings,
+                          key=lambda t: (t.get(dim, 1), footprint(t))))
+                admit(max(tilings,
+                          key=lambda t: (t.get(dim, 1), -footprint(t))))
+            for tiling in sorted(tilings, key=footprint, reverse=True):
+                if len(chosen) >= cap:
+                    break
+                admit(tiling)
+            tilings = chosen
+        self._tiling_cache[cache_key] = tilings
+        return tilings
+
+    def _base_sizes(self, state: _State, level: int) -> dict[str, int]:
+        """Cumulative tile span fixed by decided levels below ``level``."""
+        sizes = {d: 1 for d in self.workload.dims}
+        for i in range(level):
+            for d in sizes:
+                sizes[d] *= state.temporal[i].get(d, 1)
+                sizes[d] *= state.spatial[i].get(d, 1)
+        return sizes
+
+    def _extend_bottom_up(
+        self,
+        state: _State,
+        level: int,
+        order_nest: tuple[str, ...],
+        tiling: dict[str, int],
+        unroll: dict[str, int],
+    ) -> _State | None:
+        """Attach one (tiling, unrolling, parent order) decision to a
+        bottom-up partial schedule; None when the placement is infeasible."""
+        base = self._base_sizes(state, level)
+        # Bypassed tensors must still fit their upstream homes once the
+        # boundary's spatial factors replicate/partition the tile.
+        sizes = {
+            d: base.get(d, 1) * tiling.get(d, 1) for d in self.workload.dims
+        }
+        if not placement_fits(self.workload, self.arch, level, sizes, unroll):
+            return None
+        new_frontier = dict(state.frontier)
+        for d, f in tiling.items():
+            new_frontier[d] //= f
+        for d, f in unroll.items():
+            new_frontier[d] //= f
+        temporal = list(state.temporal)
+        spatial = list(state.spatial)
+        orders = list(state.orders)
+        temporal[level] = dict(tiling)
+        spatial[level] = dict(unroll)
+        orders[level + 1] = order_nest
+        if orders[level] is None:
+            # The innermost nest order is irrelevant to upper levels; use
+            # the same ordering canonically.
+            orders[level] = order_nest
+        return _State(
+            temporal=tuple(temporal),
+            spatial=tuple(spatial),
+            orders=tuple(orders),
+            frontier=new_frontier,
+            sink_level=self.arch.num_levels - 1,
+        )
+
+    def _children_bottom_up(
+        self,
+        state: _State,
+        level: int,
+        orderings: Sequence[OrderingCandidate],
+        stats: SchedulerStats,
+    ) -> Iterator[_State]:
+        base = self._base_sizes(state, level)
+        remaining = dict(state.frontier)
+        fanout = self.arch.levels[level].fanout
+        mode = self.options.intra_level_order
+
+        def extend(order: OrderingCandidate, tiling: dict[str, int],
+                   unroll: dict[str, int]) -> _State | None:
+            return self._extend_bottom_up(state, level, order.order, tiling,
+                                          unroll)
+
+        union_growth_all = tuple(dict.fromkeys(
+            d for order in orderings for d in self._growth_dims(order, level)
+        ))
+        if mode == "ordering-tiling-unrolling":
+            for order in orderings:
+                growth = self._growth_dims(order, level)
+                tilings = self._tiling_candidates(level, base, remaining,
+                                                  growth, stats)
+                if set(union_growth_all) - set(growth):
+                    # Mixed-growth tiles (union of all orderings' growth
+                    # dimensions) cover solution basins the per-ordering
+                    # tree cannot reach; include them as extra candidates.
+                    extra = self._tiling_candidates(
+                        level, base, remaining, union_growth_all, stats)
+                    seen = {tuple(sorted(t.items())) for t in tilings}
+                    tilings = tilings + [
+                        t for t in extra
+                        if tuple(sorted(t.items())) not in seen
+                    ]
+                for tiling in tilings:
+                    rem_after = {
+                        d: remaining[d] // tiling.get(d, 1) for d in remaining
+                    }
+                    unrolls = self._unroll_candidates(
+                        order, level, fanout, rem_after, stats)
+                    for unroll in unrolls:
+                        child = extend(order, tiling, unroll)
+                        if child is not None:
+                            yield child
+            return
+
+        union_growth = tuple(dict.fromkeys(
+            d for order in orderings for d in self._growth_dims(order, level)
+        ))
+        union_allowed = tuple(dict.fromkeys(
+            d for order in orderings for d in self._allowed_unroll(order, level)
+        ))
+        if mode == "tiling-unrolling-ordering":
+            tilings = self._tiling_candidates(level, base, remaining,
+                                              union_growth, stats)
+            for tiling in tilings:
+                rem_after = {
+                    d: remaining[d] // tiling.get(d, 1) for d in remaining
+                }
+                unrolls = enumerate_unrollings(
+                    self.workload, fanout, rem_after, union_allowed,
+                    stats=stats.unrolling,
+                    utilization_threshold=self.options.utilization_threshold,
+                    max_unrolled_dims=self.options.max_unrolled_dims,
+                )
+                for unroll in unrolls:
+                    for order in orderings:
+                        child = extend(order, tiling, unroll)
+                        if child is not None:
+                            yield child
+            return
+
+        # unrolling-tiling-ordering
+        unrolls = enumerate_unrollings(
+            self.workload, fanout, remaining, union_allowed,
+            stats=stats.unrolling,
+            utilization_threshold=self.options.utilization_threshold,
+            max_unrolled_dims=self.options.max_unrolled_dims,
+        )
+        for unroll in unrolls:
+            rem_after = {
+                d: remaining[d] // unroll.get(d, 1) for d in remaining
+            }
+            tilings = self._tiling_candidates(level, base, rem_after,
+                                              union_growth, stats)
+            for tiling in tilings:
+                for order in orderings:
+                    child = extend(order, tiling, unroll)
+                    if child is not None:
+                        yield child
+
+    def _children_top_down(
+        self,
+        state: _State,
+        level: int,
+        orderings: Sequence[OrderingCandidate],
+        stats: SchedulerStats,
+    ) -> Iterator[_State]:
+        """Top-down step: split the frontier between the levels above
+        ``level`` (parent temporal + boundary spatial) and the tile kept at
+        ``level`` and below."""
+        remaining = dict(state.frontier)
+        base = {d: 1 for d in self.workload.dims}
+        fanout = self.arch.levels[level].fanout
+        arch_level = self.arch.levels[level]
+
+        for order in orderings:
+            growth = self._growth_dims(order, level)
+            # Maximality pruning is unsound going down: the lower levels
+            # are undecided, and a smaller tile here can enable a better
+            # lower-level structure.  Enumerate every fitting tiling —
+            # this is why the top-down space is an order of magnitude
+            # larger (Table VI).
+            tilings = enumerate_all_tilings(
+                self.workload, self.arch, level, base, remaining,
+                stats=stats.tiling, dims=growth,
+            )
+            for tiling in tilings:
+                quotient = {
+                    d: remaining[d] // tiling.get(d, 1) for d in remaining
+                }
+                unrolls = self._unroll_candidates(
+                    order, level, fanout, quotient, stats)
+                for unroll in unrolls:
+                    parent_temporal = {
+                        d: quotient[d] // unroll.get(d, 1)
+                        for d in quotient
+                        if quotient[d] // unroll.get(d, 1) > 1
+                    }
+                    temporal = list(state.temporal)
+                    spatial = list(state.spatial)
+                    orders = list(state.orders)
+                    temporal[level + 1] = {
+                        **state.temporal[level + 1], **parent_temporal,
+                    }
+                    spatial[level] = dict(unroll)
+                    orders[level + 1] = order.order
+                    new_frontier = {
+                        d: tiling.get(d, 1) for d in remaining
+                    }
+                    yield _State(
+                        temporal=tuple(temporal),
+                        spatial=tuple(spatial),
+                        orders=tuple(orders),
+                        frontier=new_frontier,
+                        sink_level=(
+                            0 if self.options.topdown_estimate == "innermost"
+                            else level
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # estimation / materialisation
+    # ------------------------------------------------------------------
+    def _materialize(self, state: _State) -> Mapping:
+        """Complete a partial schedule: residual factors at the fallback
+        level (outermost for bottom-up partials, innermost for top-down)."""
+        temporal = [dict(t) for t in state.temporal]
+        sink = state.sink_level
+        for d, extent in state.frontier.items():
+            if extent > 1:
+                temporal[sink][d] = temporal[sink].get(d, 1) * extent
+        orders = []
+        for i in range(self.arch.num_levels):
+            if state.orders[i] is not None:
+                orders.append(list(state.orders[i]))
+            else:
+                orders.append(list(self.workload.dim_names))
+        return build_mapping(
+            self.workload,
+            self.arch,
+            temporal=temporal,
+            spatial=[dict(s) for s in state.spatial],
+            orders=orders,
+        )
+
+    def _estimate(self, state: _State, stats: SchedulerStats
+                  ) -> tuple[float, Mapping, CostResult]:
+        mapping = self._materialize(state)
+        cost = evaluate(mapping, partial_reuse=self.options.partial_reuse)
+        stats.evaluations += 1
+        value = cost.edp if self.options.objective == "edp" else cost.energy_pj
+        return value, mapping, cost
+
+
+def schedule(
+    workload: Workload,
+    arch: Architecture,
+    options: SchedulerOptions | None = None,
+) -> ScheduleResult:
+    """Convenience wrapper: ``SunstoneScheduler(workload, arch).schedule()``."""
+    return SunstoneScheduler(workload, arch, options).schedule()

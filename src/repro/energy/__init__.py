@@ -1,0 +1,31 @@
+"""Accelergy/Cacti-style energy modelling for accelerator components."""
+
+from .area import AreaBreakdown, estimate_area, mac_area
+from .cacti import SramEstimate, regfile_energy, sram_estimate
+from .noc import NocModel
+from .table import (
+    DRAM_ENERGY_PER_WORD_16B,
+    INSTRUCTION_DECODE_ENERGY,
+    MAC_ENERGY_8B,
+    MAC_ENERGY_16B,
+    EnergyTable,
+    dram_energy,
+    mac_energy,
+)
+
+__all__ = [
+    "SramEstimate",
+    "sram_estimate",
+    "regfile_energy",
+    "NocModel",
+    "EnergyTable",
+    "dram_energy",
+    "mac_energy",
+    "DRAM_ENERGY_PER_WORD_16B",
+    "MAC_ENERGY_16B",
+    "MAC_ENERGY_8B",
+    "INSTRUCTION_DECODE_ENERGY",
+    "AreaBreakdown",
+    "estimate_area",
+    "mac_area",
+]

@@ -1,0 +1,87 @@
+"""Area model for accelerator configurations (Accelergy-style accounting).
+
+Design-space sweeps trade energy and latency against silicon area; this
+module estimates, per architecture, the area of its SRAM arrays, register
+files, MAC datapath and interconnect at 45 nm, using the same published
+anchor points as the energy models.  Used by the architecture-sweep example
+and available for area-constrained exploration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..arch.spec import Architecture
+from .cacti import sram_estimate
+from .noc import PE_PITCH_MM
+
+# 45 nm datapath anchors (mm^2).
+MAC_AREA_16B = 0.0018  # 16-bit multiplier + 32-bit adder
+MAC_AREA_8B = 0.0006
+REGFILE_AREA_PER_BIT = 5.2e-7
+WIRE_AREA_PER_MM = 0.00035  # repeated global wire, per mm per bit-lane
+
+
+def mac_area(word_bits: int = 16) -> float:
+    """Area of one multiply-accumulate unit."""
+    if word_bits <= 8:
+        return MAC_AREA_8B
+    return MAC_AREA_16B * (word_bits / 16.0)
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-component area (mm^2) of one architecture."""
+
+    memories: dict[str, float] = field(default_factory=dict)
+    compute: float = 0.0
+    interconnect: float = 0.0
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.memories.values()) + self.compute + self.interconnect
+
+    def summary(self) -> str:
+        lines = [f"total area: {self.total_mm2:.2f} mm^2"]
+        for name, area in sorted(self.memories.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<12} {area:8.3f} mm^2")
+        lines.append(f"  {'compute':<12} {self.compute:8.3f} mm^2")
+        lines.append(f"  {'interconnect':<12} {self.interconnect:8.3f} mm^2")
+        return "\n".join(lines)
+
+
+def estimate_area(arch: Architecture, word_bits: int = 16) -> AreaBreakdown:
+    """Estimate the on-chip area of ``arch`` (off-chip DRAM excluded).
+
+    Memory capacities are interpreted at ``word_bits`` per word unless the
+    level is clearly a register file (tiny capacity), which uses the
+    flip-flop density instead.
+    """
+    breakdown = AreaBreakdown()
+    for index, level in enumerate(arch.levels):
+        if level.capacity_words is None:
+            continue  # off-chip
+        instances = arch.instances_of(index)
+        words = sum(level.capacity_words.values())
+        bits = words * word_bits
+        if words <= 64:
+            per_instance = bits * REGFILE_AREA_PER_BIT
+        else:
+            per_instance = sram_estimate(bits // 8, word_bits).area_mm2
+        breakdown.memories[level.name] = per_instance * instances
+
+    lanes = arch.total_fanout * arch.mac_width
+    breakdown.compute = lanes * mac_area(word_bits)
+
+    # Interconnect: one word-wide bus spanning each fanout boundary's mesh.
+    wire = 0.0
+    for index, level in enumerate(arch.levels):
+        if level.fanout <= 1:
+            continue
+        shape = level.fanout_shape or (level.fanout, 1)
+        span_mm = (shape[0] + shape[0] * shape[1]) * PE_PITCH_MM
+        wire += span_mm * WIRE_AREA_PER_MM * word_bits \
+            * math.prod(l.fanout for l in arch.levels[index + 1:])
+    breakdown.interconnect = wire
+    return breakdown

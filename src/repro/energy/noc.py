@@ -1,0 +1,74 @@
+"""Eyeriss-style tagged-multicast network-on-chip energy model.
+
+The paper models the interconnect as in Eyeriss: every packet carries a
+destination tag with X/Y PE coordinates, and a tag-check unit at each PE
+accepts only designated packets.  Energy per delivered word is therefore the
+wire energy to traverse the mesh plus a tag comparison at every PE on the
+route.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .table import WIRE_ENERGY_PER_MM_PER_BIT
+
+TAG_CHECK_ENERGY = 0.011  # pJ per tag comparison (small comparator)
+PE_PITCH_MM = 0.25  # centre-to-centre PE spacing at 45 nm
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """Energy model for one spatial boundary (parent memory -> children).
+
+    ``fanout_shape`` is the (x, y) mesh of children; ``word_bits`` the data
+    width carried per flit.
+    """
+
+    fanout_shape: tuple[int, int]
+    word_bits: int = 16
+    pe_pitch_mm: float = PE_PITCH_MM
+
+    @property
+    def fanout(self) -> int:
+        x, y = self.fanout_shape
+        return x * y
+
+    def unicast_energy(self) -> float:
+        """Average energy to deliver one word to one child.
+
+        A word travels on average half the mesh span in each direction and
+        is tag-checked by the PEs it passes.
+        """
+        x, y = self.fanout_shape
+        hops = (x + y) / 2.0
+        wire = hops * self.pe_pitch_mm * WIRE_ENERGY_PER_MM_PER_BIT * self.word_bits
+        tags = hops * TAG_CHECK_ENERGY
+        return wire + tags
+
+    def multicast_energy(self, destinations: int) -> float:
+        """Energy to deliver one word to ``destinations`` children.
+
+        An interleaved multicast drives the shared wire once across the mesh
+        span needed to reach all destinations, and every reachable PE
+        performs a tag check.
+        """
+        if destinations < 1:
+            raise ValueError("need at least one destination")
+        destinations = min(destinations, self.fanout)
+        x, y = self.fanout_shape
+        # Span grows with the square root of the destination count, capped
+        # at the full mesh.
+        span = min(math.sqrt(destinations) * max(x, y) / math.sqrt(self.fanout),
+                   float(max(x, y)))
+        wire = (span * self.pe_pitch_mm
+                * WIRE_ENERGY_PER_MM_PER_BIT * self.word_bits)
+        tags = destinations * TAG_CHECK_ENERGY
+        return wire + tags
+
+    def transfer_energy(self, words: int, destinations: int) -> float:
+        """Total energy for ``words`` each multicast to ``destinations``."""
+        if words < 0:
+            raise ValueError("negative word count")
+        return words * self.multicast_energy(max(destinations, 1))

@@ -1,0 +1,78 @@
+"""Accelergy-style component energy table for a 45 nm process.
+
+Accelergy composes per-component energy estimates (Cacti for SRAM, Aladdin
+for datapath components) into a per-action energy table that cost models
+multiply by action counts.  This module provides the same interface: a
+:class:`EnergyTable` mapping named actions to pJ costs, built from the
+analytical models in :mod:`repro.energy.cacti` plus published datapath
+numbers (Horowitz, ISSCC'14, scaled to 45 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cacti import regfile_energy, sram_estimate
+
+# Published 45 nm reference points (pJ).
+DRAM_ENERGY_PER_WORD_16B = 200.0  # off-chip DDR3 access, per 16-bit word
+MAC_ENERGY_16B = 2.2  # 16-bit multiply + 32-bit add
+MAC_ENERGY_8B = 0.56  # 8-bit multiply + 24-bit add
+INSTRUCTION_DECODE_ENERGY = 1.2  # decode + sequencing per instruction
+WIRE_ENERGY_PER_MM_PER_BIT = 0.064  # on-chip wire, pJ/bit/mm
+
+
+def dram_energy(word_bits: int = 16) -> float:
+    """DRAM access energy per word of the given width."""
+    return DRAM_ENERGY_PER_WORD_16B * word_bits / 16.0
+
+
+def mac_energy(word_bits: int = 16) -> float:
+    """Multiply-accumulate energy for the given operand width."""
+    if word_bits <= 8:
+        return MAC_ENERGY_8B
+    return MAC_ENERGY_16B * (word_bits / 16.0)
+
+
+@dataclass
+class EnergyTable:
+    """Named per-action energies (pJ), Accelergy's output artefact.
+
+    ``actions`` maps ``"<component>.<action>"`` (e.g. ``"L1.read"``) to a
+    per-event energy.  Unknown actions raise ``KeyError`` so silent zeros
+    cannot skew an evaluation.
+    """
+
+    actions: dict[str, float] = field(default_factory=dict)
+
+    def define(self, component: str, action: str, energy: float) -> None:
+        if energy < 0:
+            raise ValueError(f"negative energy for {component}.{action}")
+        self.actions[f"{component}.{action}"] = energy
+
+    def energy(self, component: str, action: str) -> float:
+        return self.actions[f"{component}.{action}"]
+
+    def cost(self, counts: dict[str, int]) -> float:
+        """Total energy (pJ) of a bag of action counts."""
+        return sum(self.actions[key] * count for key, count in counts.items())
+
+    def define_sram(self, component: str, capacity_bytes: int,
+                    word_bits: int = 16, banks: int = 1) -> None:
+        est = sram_estimate(capacity_bytes, word_bits, banks)
+        self.define(component, "read", est.read_energy)
+        self.define(component, "write", est.write_energy)
+
+    def define_regfile(self, component: str, entries: int,
+                       word_bits: int = 16) -> None:
+        read, write = regfile_energy(entries, word_bits)
+        self.define(component, "read", read)
+        self.define(component, "write", write)
+
+    def define_dram(self, component: str = "DRAM", word_bits: int = 16) -> None:
+        energy = dram_energy(word_bits)
+        self.define(component, "read", energy)
+        self.define(component, "write", energy)
+
+    def define_mac(self, component: str = "MAC", word_bits: int = 16) -> None:
+        self.define(component, "compute", mac_energy(word_bits))

@@ -1,0 +1,23 @@
+"""Mapping (dataflow) representation: tiling, loop order, spatial unrolling."""
+
+from .mapping import LevelMapping, Mapping, MappingError, build_mapping
+from .nest import mapping_signature, render_nest
+from .serialize import (
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+)
+
+__all__ = [
+    "LevelMapping",
+    "Mapping",
+    "MappingError",
+    "build_mapping",
+    "render_nest",
+    "mapping_signature",
+    "save_mapping",
+    "load_mapping",
+    "mapping_to_dict",
+    "mapping_from_dict",
+]

@@ -1,0 +1,57 @@
+"""Render a mapping as the tiled loop nest it encodes (paper Algorithms 2-5).
+
+Useful for debugging and for the examples: shows each memory level's
+temporal loops (outermost first), spatial (parallel-for) loops, and the tile
+boundaries, in the paper's notation.
+"""
+
+from __future__ import annotations
+
+from .mapping import Mapping
+
+
+def render_nest(mapping: Mapping, show_trivial: bool = False) -> str:
+    """Return the loop-nest pseudocode for ``mapping``.
+
+    Trivial (bound-1) loops are hidden unless ``show_trivial`` is set.
+    """
+    lines: list[str] = []
+    indent = 0
+
+    def emit(text: str) -> None:
+        lines.append("  " * indent + text)
+
+    for level_index in reversed(range(mapping.arch.num_levels)):
+        arch_level = mapping.arch.levels[level_index]
+        level = mapping.levels[level_index]
+        emit(f"# --- {arch_level.name} ---")
+        for dim, factor in level.temporal:
+            if factor == 1 and not show_trivial:
+                continue
+            emit(f"for {dim.lower()}_{level_index} in [0, {factor}):")
+            indent += 1
+        spatial = [(d, f) for d, f in level.spatial if f > 1 or show_trivial]
+        if spatial:
+            loops = ", ".join(f"{d.lower()}_s{level_index} in [0, {f})"
+                              for d, f in spatial)
+            emit(f"parallel-for {loops}:  # across {arch_level.name} "
+                 f"instances")
+            indent += 1
+    emit("compute(" + ", ".join(t.name for t in mapping.workload.tensors) + ")")
+    return "\n".join(lines)
+
+
+def mapping_signature(mapping: Mapping) -> tuple:
+    """A hashable signature identifying the mapping's decisions.
+
+    Two mappings with the same signature are behaviourally identical to the
+    cost model: same per-level non-trivial temporal nests and spatial
+    factors.
+    """
+    sig = []
+    for level in mapping.levels:
+        sig.append((
+            level.nontrivial_temporal(),
+            tuple(sorted((d, f) for d, f in level.spatial if f > 1)),
+        ))
+    return tuple(sig)

@@ -1,0 +1,162 @@
+"""JSON (de)serialisation for workloads, architectures and mappings.
+
+Lets users persist discovered mappings, ship them to a code generator, or
+diff them across scheduler versions.  The format is a plain nested-dict
+schema (stable keys, no pickling) so other tools can parse it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..arch.spec import Architecture, MemoryLevel
+from ..workloads.expression import IndexExpr, TensorRef, Workload
+from .mapping import LevelMapping, Mapping
+
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": workload.name,
+        "dims": dict(workload.dims),
+        "tensors": [
+            {
+                "name": t.name,
+                "role": t.role,
+                "is_output": t.is_output,
+                "indices": [
+                    {"dims": list(e.dims), "stride": e.stride}
+                    for e in t.indices
+                ],
+            }
+            for t in workload.tensors
+        ],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    tensors = []
+    for entry in data["tensors"]:
+        indices = tuple(
+            IndexExpr(tuple(e["dims"]), stride=e.get("stride", 1))
+            for e in entry["indices"]
+        )
+        tensors.append(TensorRef(
+            entry["name"], indices,
+            is_output=entry.get("is_output", False),
+            role=entry.get("role", ""),
+        ))
+    return Workload(data["name"], data["dims"], tensors)
+
+
+# ---------------------------------------------------------------------------
+# architectures
+# ---------------------------------------------------------------------------
+
+def architecture_to_dict(arch: Architecture) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": arch.name,
+        "mac_energy": arch.mac_energy,
+        "mac_width": arch.mac_width,
+        "levels": [
+            {
+                "name": lvl.name,
+                "capacity_words": (dict(lvl.capacity_words)
+                                   if lvl.capacity_words is not None
+                                   else None),
+                "fanout": lvl.fanout,
+                "fanout_shape": (list(lvl.fanout_shape)
+                                 if lvl.fanout_shape else None),
+                "read_energy": lvl.read_energy,
+                "write_energy": lvl.write_energy,
+                "network_energy": lvl.network_energy,
+                "read_bandwidth": _bw(lvl.read_bandwidth),
+                "write_bandwidth": _bw(lvl.write_bandwidth),
+            }
+            for lvl in arch.levels
+        ],
+    }
+
+
+def _bw(value: float) -> float | None:
+    return None if value == float("inf") else value
+
+
+def architecture_from_dict(data: dict[str, Any]) -> Architecture:
+    levels = []
+    for entry in data["levels"]:
+        levels.append(MemoryLevel(
+            name=entry["name"],
+            capacity_words=entry["capacity_words"],
+            fanout=entry.get("fanout", 1),
+            fanout_shape=(tuple(entry["fanout_shape"])
+                          if entry.get("fanout_shape") else None),
+            read_energy=entry.get("read_energy", 0.0),
+            write_energy=entry.get("write_energy", 0.0),
+            network_energy=entry.get("network_energy", 0.0),
+            read_bandwidth=(entry.get("read_bandwidth")
+                            if entry.get("read_bandwidth") is not None
+                            else float("inf")),
+            write_bandwidth=(entry.get("write_bandwidth")
+                             if entry.get("write_bandwidth") is not None
+                             else float("inf")),
+        ))
+    return Architecture(
+        data["name"], levels,
+        mac_energy=data.get("mac_energy", 1.0),
+        mac_width=data.get("mac_width", 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# mappings
+# ---------------------------------------------------------------------------
+
+def mapping_to_dict(mapping: Mapping) -> dict[str, Any]:
+    """Serialise a mapping together with its workload and architecture so a
+    single document fully reproduces an evaluation."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": workload_to_dict(mapping.workload),
+        "architecture": architecture_to_dict(mapping.arch),
+        "levels": [
+            {
+                "temporal": [[d, f] for d, f in lvl.temporal],
+                "spatial": [[d, f] for d, f in lvl.spatial],
+            }
+            for lvl in mapping.levels
+        ],
+    }
+
+
+def mapping_from_dict(data: dict[str, Any]) -> Mapping:
+    workload = workload_from_dict(data["workload"])
+    arch = architecture_from_dict(data["architecture"])
+    levels = [
+        LevelMapping(
+            temporal=tuple((d, f) for d, f in entry["temporal"]),
+            spatial=tuple((d, f) for d, f in entry["spatial"]),
+        )
+        for entry in data["levels"]
+    ]
+    return Mapping(workload, arch, levels)
+
+
+def save_mapping(mapping: Mapping, path: str) -> None:
+    """Write a mapping document to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(mapping_to_dict(mapping), handle, indent=2)
+
+
+def load_mapping(path: str) -> Mapping:
+    """Load a mapping document written by :func:`save_mapping`."""
+    with open(path, encoding="utf-8") as handle:
+        return mapping_from_dict(json.load(handle))

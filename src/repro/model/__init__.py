@@ -1,0 +1,22 @@
+"""Timeloop-style analytical cost model (accesses, energy, latency, EDP)."""
+
+from .accesses import AccessCounts, LevelAccesses, TensorTraffic, count_accesses
+from .cost import INVALID_COST, CostResult, edp, evaluate, prefix_energy
+from .reference import ReferenceCounts, simulate_fills
+from .timing import TimingResult, analyze_timing
+
+__all__ = [
+    "AccessCounts",
+    "LevelAccesses",
+    "TensorTraffic",
+    "count_accesses",
+    "CostResult",
+    "evaluate",
+    "edp",
+    "prefix_energy",
+    "INVALID_COST",
+    "ReferenceCounts",
+    "simulate_fills",
+    "TimingResult",
+    "analyze_timing",
+]

@@ -1,0 +1,298 @@
+"""Analytical per-level access counting (the Timeloop-style cost model core).
+
+Semantics
+---------
+The mapping encodes a single loop nest, outermost (DRAM) to innermost, with
+spatial (parallel) loops interleaved at the fanout boundaries.  For every
+tensor we derive, per pair of adjacent *storage* levels (bypassed levels are
+skipped), the data volume moved between them:
+
+* **Temporal fills.**  Per child instance, a tile is refetched once per
+  iteration of the flattened temporal loops above the child, except that a
+  trailing (innermost) run of loops over non-indexing dimensions reuses the
+  resident tile (Ordering Principles 1-3).  Formally the fill multiplier is
+  the product of the bounds of every temporal loop at or above the innermost
+  loop over a dimension that indexes the tensor.
+
+* **Sliding-window partial reuse.**  When the innermost *relevant* loop is
+  part of a window coordinate (e.g. ``P`` of ``p + r``), consecutive fetches
+  overlap; only the new slice is fetched after the first iteration of that
+  loop (paper §IV, Table III "partially reused by").
+
+* **Spatial multicast.**  At the fanout boundaries between child and parent
+  storage, factors over non-indexing dimensions broadcast the same words to
+  several children: the parent is read once, every child is written.
+
+* **Spatial reduction / accumulation (outputs).**  Non-indexing spatial
+  factors merge partial outputs on the way up (the parent is written once).
+  When reduction loops iterate *above* the child storage level, partial sums
+  are drained to the parent and read back — counted as extra parent reads
+  and child writes.
+
+The model is validated against a brute-force loop-nest interpreter in
+``repro.model.reference`` (exact match for non-windowed tensors).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..mapping.mapping import Mapping
+from ..workloads.expression import IndexExpr, TensorRef
+
+
+@dataclass
+class LevelAccesses:
+    """Access totals for one memory level (machine-wide, in words)."""
+
+    reads: float = 0.0
+    writes: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Reads plus writes."""
+        return self.reads + self.writes
+
+
+@dataclass
+class TransferVolume:
+    """Traffic of one storage pair (child level, parent level), in words."""
+
+    child_side: float = 0.0  # words entering/leaving every child instance
+    parent_side: float = 0.0  # words read from / written to the parent
+    readback_child: float = 0.0  # accumulation partials restored into child
+    readback_parent: float = 0.0  # accumulation partials re-read from parent
+
+
+@dataclass
+class TensorTraffic:
+    """Per-tensor traffic summary used by tests and the scheduler."""
+
+    tensor: str
+    # accesses[level_index] -> LevelAccesses attributable to this tensor
+    accesses: dict[int, LevelAccesses] = field(default_factory=dict)
+    # transfers[(child, parent)] -> per-pair volumes
+    transfers: dict[tuple[int, int], TransferVolume] = field(
+        default_factory=dict)
+
+    def at(self, level: int) -> LevelAccesses:
+        """This tensor's accesses at one level (created on first use)."""
+        return self.accesses.setdefault(level, LevelAccesses())
+
+    def pair(self, child: int, parent: int) -> TransferVolume:
+        """Traffic of one (child, parent) storage pair."""
+        return self.transfers.setdefault((child, parent), TransferVolume())
+
+
+@dataclass
+class AccessCounts:
+    """Full access-count result for a mapping."""
+
+    levels: list[LevelAccesses]
+    per_tensor: dict[str, TensorTraffic]
+    noc_words: dict[int, float]  # boundary level index -> words crossing
+    total_ops: int
+
+    def level_total(self, index: int) -> float:
+        """Total words moved through one level (reads + writes)."""
+        return self.levels[index].total
+
+
+def _flat_temporal_loops(mapping: Mapping, above_level: int
+                         ) -> list[tuple[str, int]]:
+    """Temporal loops above storage level ``above_level``.
+
+    Returned outermost-first: top level's nest first, each level's loops in
+    their stated order.  Bound-1 loops are dropped (they are no-ops and must
+    not break reuse chains).
+    """
+    loops: list[tuple[str, int]] = []
+    for i in reversed(range(above_level + 1, mapping.arch.num_levels)):
+        loops.extend(mapping.levels[i].nontrivial_temporal())
+    return loops
+
+
+def _fill_multiplier(loops: list[tuple[str, int]],
+                     indexing: frozenset[str]) -> tuple[float, float,
+                                                        str | None, int]:
+    """(fills, distinct_tiles, innermost_relevant_dim, its_bound).
+
+    ``fills``: product of bounds at or above the innermost relevant loop.
+    ``distinct_tiles``: product of bounds of relevant loops only.
+    """
+    fills = 1.0
+    distinct = 1.0
+    innermost_dim: str | None = None
+    innermost_bound = 1
+    # Scan from the innermost loop outwards; trailing non-indexing loops
+    # reuse the tile and contribute nothing.
+    relevant_seen = False
+    for dim, bound in reversed(loops):
+        if dim in indexing:
+            distinct *= bound
+            if not relevant_seen:
+                relevant_seen = True
+                innermost_dim = dim
+                innermost_bound = bound
+            fills *= bound
+        elif relevant_seen:
+            fills *= bound
+    return fills, distinct, innermost_dim, innermost_bound
+
+
+def _window_expr_for(tensor: TensorRef, dim: str) -> IndexExpr | None:
+    for expr in tensor.indices:
+        if expr.is_window and dim in expr.dims:
+            return expr
+    return None
+
+
+def _partial_reuse_words(
+    tensor: TensorRef,
+    child_sizes: dict[str, int],
+    fills: float,
+    innermost_dim: str,
+    innermost_bound: int,
+    footprint: int,
+) -> float:
+    """Word volume of temporal fills with sliding-window overlap removed.
+
+    Only the innermost relevant loop's overlap is exploited (consecutive
+    fetches); overlap across outer loop restarts is conservatively ignored.
+    """
+    expr = _window_expr_for(tensor, innermost_dim)
+    if expr is None or innermost_bound <= 1:
+        return fills * footprint
+    extent = expr.extent(child_sizes)
+    if innermost_dim == expr.dims[0]:
+        step = child_sizes.get(innermost_dim, 1) * expr.stride
+    else:
+        step = child_sizes.get(innermost_dim, 1)
+    step = min(step, extent)
+    other = footprint / extent
+    sweeps = fills / innermost_bound
+    words_per_sweep = other * (extent + (innermost_bound - 1) * step)
+    return sweeps * words_per_sweep
+
+
+def count_accesses(mapping: Mapping, partial_reuse: bool = True
+                   ) -> AccessCounts:
+    """Count machine-wide reads/writes per level for ``mapping``."""
+    arch = mapping.arch
+    workload = mapping.workload
+    num = arch.num_levels
+    levels = [LevelAccesses() for _ in range(num)]
+    per_tensor = {t.name: TensorTraffic(t.name) for t in workload.tensors}
+    noc_words: dict[int, float] = {
+        i: 0.0 for i in range(num) if arch.levels[i].fanout > 1
+    }
+
+    # Spatial products per boundary, overall and per indexing set.
+    sp_all = [mapping.levels[i].spatial_size for i in range(num)]
+
+    def sp_indexing(level: int, indexing: frozenset[str]) -> int:
+        return math.prod(
+            f for d, f in mapping.levels[level].spatial if d in indexing
+        ) or 1
+
+    def instances_above(level: int) -> int:
+        """Used instances of ``level`` across the machine."""
+        return math.prod(sp_all[j] for j in range(level, num)) or 1
+
+    total_ops = workload.total_operations
+
+    for tensor in workload.tensors:
+        traffic = per_tensor[tensor.name]
+        storage = arch.storage_levels(tensor.role)
+        if not storage:
+            raise ValueError(
+                f"tensor {tensor.name} (role {tensor.role}) is stored nowhere"
+            )
+        indexing = tensor.indexing_dims
+        innermost = storage[0]
+
+        # ---- compute-side accesses at the innermost storage level ----
+        # Lanes below the innermost storage share a read when they differ
+        # only in non-indexing dimensions (broadcast wire / adder tree).
+        share = math.prod(
+            sp_all[j] // sp_indexing(j, indexing) for j in range(innermost)
+        ) or 1
+        compute_accesses = total_ops / share
+        if tensor.is_output:
+            # Read-modify-write accumulation at the innermost buffer.
+            traffic.at(innermost).writes += compute_accesses
+            traffic.at(innermost).reads += compute_accesses
+            levels[innermost].writes += compute_accesses
+            levels[innermost].reads += compute_accesses
+        else:
+            traffic.at(innermost).reads += compute_accesses
+            levels[innermost].reads += compute_accesses
+
+        # ---- transfers between adjacent storage levels ----
+        for child, parent in zip(storage, storage[1:]):
+            child_sizes = mapping.cumulative_sizes(child)
+            footprint = tensor.footprint(child_sizes)
+            loops = _flat_temporal_loops(mapping, child)
+            fills, distinct, inner_dim, inner_bound = _fill_multiplier(
+                loops, indexing
+            )
+            if partial_reuse and not tensor.is_output and inner_dim:
+                fill_words = _partial_reuse_words(
+                    tensor, child_sizes, fills, inner_dim, inner_bound,
+                    footprint,
+                )
+            else:
+                fill_words = fills * footprint
+
+            between_idx = math.prod(
+                sp_indexing(j, indexing) for j in range(child, parent)
+            ) or 1
+            between_all = math.prod(
+                sp_all[j] for j in range(child, parent)
+            ) or 1
+            above = instances_above(parent)
+
+            child_side = fill_words * between_all * above
+            parent_side = fill_words * between_idx * above
+            volume = traffic.pair(child, parent)
+            volume.child_side += child_side
+            volume.parent_side += parent_side
+
+            if tensor.is_output:
+                # Drain partial/final results up; reduce non-indexing
+                # spatial copies on the way.
+                traffic.at(child).reads += child_side
+                traffic.at(parent).writes += parent_side
+                levels[child].reads += child_side
+                levels[parent].writes += parent_side
+                # Accumulation read-back: every non-first visit to a tile
+                # must restore partials from the parent.
+                revisit = fills - distinct
+                if revisit > 0:
+                    back_child = revisit * footprint * between_all * above
+                    back_parent = revisit * footprint * between_idx * above
+                    volume.readback_child += back_child
+                    volume.readback_parent += back_parent
+                    traffic.at(child).writes += back_child
+                    traffic.at(parent).reads += back_parent
+                    levels[child].writes += back_child
+                    levels[parent].reads += back_parent
+            else:
+                traffic.at(child).writes += child_side
+                traffic.at(parent).reads += parent_side
+                levels[child].writes += child_side
+                levels[parent].reads += parent_side
+
+            # NoC traffic: unique words crossing each fanout boundary
+            # between the two storage levels.
+            for j in range(child, parent):
+                if arch.levels[j].fanout > 1:
+                    noc_words[j] += parent_side
+
+    return AccessCounts(
+        levels=levels,
+        per_tensor=per_tensor,
+        noc_words=noc_words,
+        total_ops=total_ops,
+    )

@@ -1,0 +1,126 @@
+"""Energy / latency / EDP evaluation of mappings.
+
+Follows the paper's evaluation platform (§V-A): performance of a spatial
+accelerator is estimated as the sum of operation/access counts for each
+hardware component multiplied by its per-operation/access energy, with
+double buffering assumed to hide transfer latency (latency is the maximum of
+the compute-bound and per-level bandwidth-bound cycle counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import Mapping
+from .accesses import AccessCounts, count_accesses
+
+
+@dataclass
+class CostResult:
+    """Evaluation of one mapping."""
+
+    energy_pj: float
+    cycles: float
+    valid: bool
+    violations: list[str] = field(default_factory=list)
+    level_energy: dict[str, float] = field(default_factory=dict)
+    compute_energy: float = 0.0
+    noc_energy: float = 0.0
+    utilization: float = 0.0
+    accesses: AccessCounts | None = None
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (pJ x cycles)."""
+        return self.energy_pj * self.cycles
+
+    def summary(self) -> str:
+        status = "valid" if self.valid else "INVALID"
+        return (
+            f"energy {self.energy_pj:.3e} pJ, latency {self.cycles:.3e} cy, "
+            f"EDP {self.edp:.3e}, util {self.utilization:.1%} [{status}]"
+        )
+
+
+INVALID_COST = float("inf")
+
+
+def evaluate(mapping: Mapping, partial_reuse: bool = True,
+             keep_accesses: bool = False) -> CostResult:
+    """Evaluate energy, latency and EDP for ``mapping``.
+
+    Invalid mappings (capacity or fanout violations) still receive an
+    energy/latency estimate — the search algorithms need a number to rank
+    by — but are flagged ``valid=False`` and must never be returned as
+    solutions.
+    """
+    arch = mapping.arch
+    violations = mapping.validate()
+    counts = count_accesses(mapping, partial_reuse=partial_reuse)
+
+    level_energy: dict[str, float] = {}
+    total = 0.0
+    for i, arch_level in enumerate(arch.levels):
+        acc = counts.levels[i]
+        energy = (acc.reads * arch_level.read_energy
+                  + acc.writes * arch_level.write_energy)
+        level_energy[arch_level.name] = energy
+        total += energy
+
+    noc_energy = 0.0
+    for boundary, words in counts.noc_words.items():
+        noc_energy += words * arch.levels[boundary].network_energy
+    total += noc_energy
+
+    compute_energy = counts.total_ops * arch.mac_energy
+    total += compute_energy
+
+    # Latency: compute-bound vs per-level bandwidth-bound.
+    used_lanes = mapping.used_lanes() * arch.mac_width
+    compute_cycles = counts.total_ops / max(used_lanes, 1)
+    cycles = compute_cycles
+    for i, arch_level in enumerate(arch.levels):
+        instances = math.prod(
+            mapping.levels[j].spatial_size for j in range(i, arch.num_levels)
+        ) or 1
+        acc = counts.levels[i]
+        read_cycles = acc.reads / instances / arch_level.read_bandwidth
+        write_cycles = acc.writes / instances / arch_level.write_bandwidth
+        cycles = max(cycles, read_cycles, write_cycles)
+
+    return CostResult(
+        energy_pj=total,
+        cycles=cycles,
+        valid=not violations,
+        violations=violations,
+        level_energy=level_energy,
+        compute_energy=compute_energy,
+        noc_energy=noc_energy,
+        utilization=mapping.spatial_utilization(),
+        accesses=counts if keep_accesses else None,
+    )
+
+
+def edp(mapping: Mapping, partial_reuse: bool = True) -> float:
+    """EDP of a mapping; ``inf`` when invalid."""
+    result = evaluate(mapping, partial_reuse=partial_reuse)
+    if not result.valid:
+        return INVALID_COST
+    return result.edp
+
+
+def prefix_energy(result: CostResult, arch: Architecture,
+                  upto_level: int) -> float:
+    """Energy attributable to levels ``<= upto_level`` plus compute.
+
+    Used by the bottom-up scheduler's alpha-beta pruning: once the factors
+    at levels ``<= upto_level`` are fixed, this portion of the energy is a
+    lower bound on any completion of the partial schedule (upper levels can
+    only add energy).
+    """
+    total = result.compute_energy
+    for i in range(min(upto_level + 1, arch.num_levels)):
+        total += result.level_energy.get(arch.levels[i].name, 0.0)
+    return total

@@ -1,0 +1,90 @@
+"""Brute-force loop-nest interpreter used as ground truth in tests.
+
+Executes the flattened *temporal* loop nest of a mapping step by step,
+tracking which tile is resident at every storage level for every tensor and
+counting actual refill events.  This pins down the semantics of the
+analytical model in :mod:`repro.model.accesses`: for purely temporal
+mappings the analytical fill counts must match these exactly (with
+``partial_reuse=False``; the interpreter refetches whole tiles).
+
+Only practical for small problems — tests use single-digit loop bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..mapping.mapping import Mapping
+
+
+@dataclass
+class ReferenceCounts:
+    """Observed transfer volumes, mirroring the analytical model's output."""
+
+    # (tensor, child_level) -> words transferred into the child level
+    fill_words: dict[tuple[str, int], int]
+    # (tensor, child_level) -> number of distinct tile refills
+    fills: dict[tuple[str, int], int]
+
+
+def simulate_fills(mapping: Mapping) -> ReferenceCounts:
+    """Interpret the temporal nest and count tile refills per storage level.
+
+    Requires a mapping with no spatial unrolling (the interpreter models a
+    single instance of every level).
+    """
+    for level in mapping.levels:
+        if level.spatial_size != 1:
+            raise ValueError("reference interpreter handles temporal-only "
+                             "mappings; spatial factors present")
+
+    arch = mapping.arch
+    workload = mapping.workload
+
+    # Flatten temporal loops of levels above the innermost, outermost first.
+    flat: list[tuple[str, int, int]] = []  # (dim, bound, level_index)
+    for i in reversed(range(1, arch.num_levels)):
+        for dim, bound in mapping.levels[i].nontrivial_temporal():
+            flat.append((dim, bound, i))
+
+    # For each tensor and each storage pair, which flat-loop positions
+    # contribute to the child-tile identity: loops above the child level
+    # over dimensions indexing the tensor.
+    trackers: list[dict] = []
+    for tensor in workload.tensors:
+        storage = arch.storage_levels(tensor.role)
+        for child in storage[:-1]:
+            positions = [
+                pos for pos, (dim, _, lvl) in enumerate(flat)
+                if lvl > child and dim in tensor.indexing_dims
+            ]
+            footprint = tensor.footprint(mapping.cumulative_sizes(child))
+            trackers.append({
+                "key": (tensor.name, child),
+                "positions": positions,
+                "footprint": footprint,
+                "last": None,
+                "fills": 0,
+            })
+
+    total_steps = math.prod(bound for _, bound, _ in flat) if flat else 1
+    odometer = [0] * len(flat)
+    for _ in range(total_steps):
+        for tracker in trackers:
+            identity = tuple(odometer[p] for p in tracker["positions"])
+            if identity != tracker["last"]:
+                tracker["last"] = identity
+                tracker["fills"] += 1
+        # increment odometer (innermost position last in `flat`)
+        for pos in reversed(range(len(flat))):
+            odometer[pos] += 1
+            if odometer[pos] < flat[pos][1]:
+                break
+            odometer[pos] = 0
+
+    fill_words = {
+        t["key"]: t["fills"] * t["footprint"] for t in trackers
+    }
+    fills = {t["key"]: t["fills"] for t in trackers}
+    return ReferenceCounts(fill_words=fill_words, fills=fills)

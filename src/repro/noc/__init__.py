@@ -1,0 +1,17 @@
+"""Eyeriss-style tagged-multicast mesh NoC simulator."""
+
+from .mesh import (
+    BoundaryTraffic,
+    Delivery,
+    MeshNoc,
+    NocSimulation,
+    simulate_boundary,
+)
+
+__all__ = [
+    "MeshNoc",
+    "Delivery",
+    "BoundaryTraffic",
+    "NocSimulation",
+    "simulate_boundary",
+]

@@ -1,0 +1,218 @@
+"""Eyeriss-style tagged-multicast mesh NoC simulator (paper §V-A).
+
+The paper models the interconnect as in Eyeriss: every packet carries an
+(X, Y) destination tag, an X-bus spans the PE-array columns, one Y-bus runs
+down each column, and a tag-check comparator at each PE accepts only
+designated packets.  This module simulates that delivery mechanism at the
+granularity of individual multicast groups:
+
+* :class:`MeshNoc` computes, for one delivery to a set of PE coordinates,
+  the driven wire length, the number of tag checks, and the bus cycles;
+* :func:`simulate_boundary` derives the multicast groups of every tensor
+  from a mapping's spatial factors at a fanout boundary and aggregates the
+  traffic into energy and serialisation-cycle totals.
+
+It serves as ground truth for the closed-form NoC energy used by the cost
+model (:class:`repro.energy.noc.NocModel`): tests check the analytical
+per-word energies land within the simulator's envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..energy.noc import PE_PITCH_MM, TAG_CHECK_ENERGY
+from ..energy.table import WIRE_ENERGY_PER_MM_PER_BIT
+from ..mapping.mapping import Mapping
+from ..model.accesses import count_accesses
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Cost of delivering one word to a set of PEs."""
+
+    destinations: int
+    wire_mm: float
+    tag_checks: int
+    bus_cycles: int
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        return self.wire_mm * WIRE_ENERGY_PER_MM_PER_BIT
+
+    def energy_pj(self, word_bits: int) -> float:
+        return (self.energy_pj_per_bit * word_bits
+                + self.tag_checks * TAG_CHECK_ENERGY)
+
+
+class MeshNoc:
+    """An (x, y) mesh with an X-bus along row 0 and per-column Y-buses."""
+
+    def __init__(self, shape: tuple[int, int],
+                 word_bits: int = 16,
+                 pe_pitch_mm: float = PE_PITCH_MM) -> None:
+        x, y = shape
+        if x < 1 or y < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.shape = shape
+        self.word_bits = word_bits
+        self.pe_pitch_mm = pe_pitch_mm
+
+    def deliver(self, destinations: Iterable[tuple[int, int]]) -> Delivery:
+        """Deliver one word to ``destinations`` (grid coordinates).
+
+        X-Y routing: the X-bus is driven up to the farthest needed column;
+        each needed column's Y-bus is driven down to its farthest needed
+        row.  Every PE on a driven bus segment performs one tag check.
+        """
+        dests = list(set(destinations))
+        if not dests:
+            raise ValueError("need at least one destination")
+        max_x, max_y = self.shape
+        for (cx, cy) in dests:
+            if not (0 <= cx < max_x and 0 <= cy < max_y):
+                raise ValueError(f"destination {(cx, cy)} outside mesh "
+                                 f"{self.shape}")
+        farthest_col = max(cx for cx, _ in dests)
+        x_span = farthest_col + 1
+        wire = x_span * self.pe_pitch_mm
+        tag_checks = x_span  # column routers on the X-bus
+        needed_cols: dict[int, int] = {}
+        for cx, cy in dests:
+            needed_cols[cx] = max(needed_cols.get(cx, -1), cy)
+        for depth in needed_cols.values():
+            wire += (depth + 1) * self.pe_pitch_mm
+            tag_checks += depth + 1
+        # One bus transaction delivers the word to every tagged PE.
+        return Delivery(
+            destinations=len(dests),
+            wire_mm=wire,
+            tag_checks=tag_checks,
+            bus_cycles=1,
+        )
+
+    def unicast(self, destination: tuple[int, int]) -> Delivery:
+        return self.deliver([destination])
+
+    def broadcast(self) -> Delivery:
+        x, y = self.shape
+        return self.deliver([(cx, cy) for cx in range(x) for cy in range(y)])
+
+
+@dataclass
+class BoundaryTraffic:
+    """Aggregated NoC traffic of one tensor at one fanout boundary."""
+
+    tensor: str
+    groups: int  # distinct multicast groups per fill
+    group_size: int  # PEs per group
+    fills: float  # word-fill events (from the access model)
+    energy_pj: float = 0.0
+    bus_cycles: float = 0.0
+
+
+@dataclass
+class NocSimulation:
+    """Result of simulating one boundary of a mapping."""
+
+    boundary_level: int
+    per_tensor: list[BoundaryTraffic] = field(default_factory=list)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(t.energy_pj for t in self.per_tensor)
+
+    @property
+    def total_bus_cycles(self) -> float:
+        return sum(t.bus_cycles for t in self.per_tensor)
+
+
+def _axis_split(spatial: Sequence[tuple[str, int]],
+                shape: tuple[int, int]) -> dict[str, tuple[int, int]]:
+    """Place each unrolled dimension on a mesh axis (row-major packing).
+
+    Returns, per dimension, (stride, extent) over the linearised PE index;
+    groups of a tensor are then rectangles in that linearisation.
+    """
+    placement: dict[str, tuple[int, int]] = {}
+    stride = 1
+    for dim, factor in spatial:
+        if factor <= 1:
+            continue
+        placement[dim] = (stride, factor)
+        stride *= factor
+    return placement
+
+
+def simulate_boundary(mapping: Mapping, level: int,
+                      word_bits: int | None = None) -> NocSimulation:
+    """Simulate delivery traffic at the fanout boundary of ``level``.
+
+    For every tensor stored at or below the boundary, the spatial factors
+    over its indexing dimensions partition the PEs into distinct multicast
+    groups (each receiving different data); the remaining factors broadcast
+    within each group.  Every fill of a group delivers its words with one
+    multicast transaction per word.
+    """
+    arch = mapping.arch
+    arch_level = arch.levels[level]
+    if arch_level.fanout <= 1:
+        raise ValueError(f"level {arch_level.name} has no fanout boundary")
+    shape = arch_level.fanout_shape or (arch_level.fanout, 1)
+    noc = MeshNoc(shape, word_bits or 16)
+    spatial = [(d, f) for d, f in mapping.levels[level].spatial if f > 1]
+    placement = _axis_split(spatial, shape)
+    used = math.prod(f for _, f in spatial) or 1
+
+    counts = count_accesses(mapping)
+    result = NocSimulation(boundary_level=level)
+    for tensor in mapping.workload.tensors:
+        # Words crossing this boundary for this tensor: the parent-side
+        # volume of the storage pair spanning the boundary.
+        words = 0.0
+        for (child, parent), volume in \
+                counts.per_tensor[tensor.name].transfers.items():
+            if child <= level < parent:
+                words += volume.parent_side
+        if words == 0:
+            continue
+        group_size = 1
+        for dim, (_, extent) in placement.items():
+            if dim not in tensor.indexing_dims:
+                group_size *= extent
+        groups = used // group_size
+
+        # Representative group: the first `group_size` PEs in linearised
+        # order of the broadcast dims (rectangle through the mesh).
+        destinations = []
+        for index in range(group_size):
+            linear = _linear_index_of_group_member(placement, tensor, index)
+            destinations.append((linear % shape[0], linear // shape[0]))
+        delivery = noc.deliver(destinations)
+        energy = words * delivery.energy_pj(noc.word_bits)
+        cycles = words * delivery.bus_cycles
+        result.per_tensor.append(BoundaryTraffic(
+            tensor=tensor.name,
+            groups=groups,
+            group_size=group_size,
+            fills=words,
+            energy_pj=energy,
+            bus_cycles=cycles,
+        ))
+    return result
+
+
+def _linear_index_of_group_member(placement, tensor, index: int) -> int:
+    """Linear PE index of the ``index``-th member of a tensor's multicast
+    group anchored at PE 0 (broadcast dims enumerate members)."""
+    linear = 0
+    remaining = index
+    for dim, (stride, extent) in placement.items():
+        if dim in tensor.indexing_dims:
+            continue
+        coordinate = remaining % extent
+        remaining //= extent
+        linear += coordinate * stride
+    return linear

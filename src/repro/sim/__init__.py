@@ -1,0 +1,47 @@
+"""DianNao-like accelerator simulator + compiler (overhead study, §V-D)."""
+
+from .compiler import NFU_INPUTS, NFU_OUTPUTS, Program, compile_mapping, compile_naive
+from .isa import (
+    INSTRUCTION_BITS,
+    INSTRUCTION_BYTES,
+    BufferId,
+    Instruction,
+    Opcode,
+    compute,
+    load,
+    store,
+    stream,
+    unpack_compute_reads,
+)
+from .machine import (
+    BUFFER_CAPACITY_WORDS,
+    EventCounts,
+    SimulationError,
+    SimulationResult,
+    diannao_energy_table,
+    run_program,
+)
+
+__all__ = [
+    "Program",
+    "compile_mapping",
+    "compile_naive",
+    "NFU_INPUTS",
+    "NFU_OUTPUTS",
+    "Instruction",
+    "Opcode",
+    "BufferId",
+    "INSTRUCTION_BITS",
+    "INSTRUCTION_BYTES",
+    "load",
+    "store",
+    "compute",
+    "stream",
+    "unpack_compute_reads",
+    "EventCounts",
+    "SimulationResult",
+    "SimulationError",
+    "run_program",
+    "diannao_energy_table",
+    "BUFFER_CAPACITY_WORDS",
+]

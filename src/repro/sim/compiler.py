@@ -1,0 +1,237 @@
+"""Compiler from mappings to DianNao-style instruction streams (§V-D).
+
+Two code generators:
+
+* :func:`compile_mapping` — walks the off-chip (DRAM-level) loop nest of a
+  mapping for the DianNao-like architecture, tracking which tile of each
+  tensor is resident in NBin/NBout/SB, and emits LOAD/STORE instructions
+  only when a tile actually changes (reuse-aware, exactly like the access
+  model).  One COMPUTE instruction sequences each on-chip pass.
+
+* :func:`compile_naive` — the paper's baseline: data is streamed from DRAM
+  with no tiling or on-chip reuse; every pass loads its operands and drains
+  its outputs.
+
+Also computes the *data-reordering* volume: tiles of each operand must lie
+at consecutive DRAM addresses to be loaded in one burst instruction, which
+requires a one-time layout pass over each input tensor (one DRAM read +
+write per word) whenever the tile order differs from the original row-major
+layout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..mapping.mapping import Mapping
+from .isa import BufferId, Instruction, compute, load, store, stream
+
+_ROLE_TO_BUFFER = {
+    "ifmap": BufferId.NBIN,
+    "ofmap": BufferId.NBOUT,
+    "weight": BufferId.SB,
+}
+
+# DianNao NFU shape: Tn output neurons x Ti inputs per cycle.
+NFU_OUTPUTS = 16
+NFU_INPUTS = 16
+
+
+@dataclass
+class Program:
+    """A compiled instruction stream plus compile-time metadata."""
+
+    instructions: list[Instruction]
+    reorder_words: int  # words rewritten by the one-time layout pass
+    passes: int  # number of compute passes
+    total_macs: int
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+    def encode(self) -> bytes:
+        """The binary image of the program (256 bits per instruction)."""
+        return b"".join(instr.encode() for instr in self.instructions)
+
+
+def _buffer_for(role: str) -> BufferId:
+    try:
+        return _ROLE_TO_BUFFER[role]
+    except KeyError:
+        raise ValueError(
+            f"DianNao compilation needs ifmap/weight/ofmap roles, got {role!r}"
+        ) from None
+
+
+def compile_mapping(mapping: Mapping, reorder_inputs: bool = True) -> Program:
+    """Compile a (tiled, reuse-aware) mapping into a DianNao program.
+
+    The mapping must target a DianNao-like architecture: one on-chip buffer
+    level (index 1) beneath DRAM, with ifmap/weight/ofmap datatype roles.
+    """
+    arch = mapping.arch
+    workload = mapping.workload
+    if arch.num_levels != 3:
+        raise ValueError("expected a 3-level (lanes/buffers/DRAM) architecture")
+
+    buffer_level = 1
+    tile_sizes = mapping.cumulative_sizes(buffer_level)
+    footprints = {
+        t.name: t.footprint(tile_sizes) for t in workload.tensors
+    }
+    pass_macs = math.prod(tile_sizes.values())
+
+    # Flattened DRAM-level temporal loops (outermost first).
+    loops = [
+        (dim, bound)
+        for dim, bound in mapping.levels[2].nontrivial_temporal()
+    ]
+    total_passes = math.prod(b for _, b in loops) if loops else 1
+
+    # Positions contributing to each tensor's tile identity.
+    identity_positions = {
+        t.name: [i for i, (dim, _) in enumerate(loops)
+                 if dim in t.indexing_dims]
+        for t in workload.tensors
+    }
+
+    instructions: list[Instruction] = []
+    resident: dict[str, tuple[int, ...] | None] = {
+        t.name: None for t in workload.tensors
+    }
+    written: set[tuple[str, tuple[int, ...]]] = set()
+    next_addr = 0
+    tile_addr: dict[tuple[str, tuple[int, ...]], int] = {}
+
+    def addr_of(tensor: str, identity: tuple[int, ...]) -> int:
+        nonlocal next_addr
+        key = (tensor, identity)
+        if key not in tile_addr:
+            tile_addr[key] = next_addr
+            next_addr += footprints[tensor]
+        return tile_addr[key]
+
+    odometer = [0] * len(loops)
+    for _ in range(total_passes):
+        for tensor in workload.tensors:
+            identity = tuple(
+                odometer[p] for p in identity_positions[tensor.name]
+            )
+            if resident[tensor.name] == identity:
+                continue
+            buffer = _buffer_for(tensor.role)
+            words = footprints[tensor.name]
+            if tensor.is_output:
+                # Drain the previous output tile before switching.
+                if resident[tensor.name] is not None:
+                    prev = resident[tensor.name]
+                    instructions.append(
+                        store(buffer, addr_of(tensor.name, prev), words)
+                    )
+                    written.add((tensor.name, prev))
+                # Revisited tiles must restore their partial sums.
+                if (tensor.name, identity) in written:
+                    instructions.append(
+                        load(buffer, addr_of(tensor.name, identity), words)
+                    )
+            else:
+                instructions.append(
+                    load(buffer, addr_of(tensor.name, identity), words)
+                )
+            resident[tensor.name] = identity
+        # NFU datapath accesses per pass: every MAC consumes one weight
+        # word from SB; input words are broadcast to the Tn=16 output
+        # neurons; partial sums leave the Ti=16-deep adder tree once per
+        # tree pass.
+        instructions.append(compute(
+            macs=pass_macs,
+            nbin_reads=pass_macs // NFU_OUTPUTS,
+            sb_reads=pass_macs,
+            nbout_accesses=pass_macs // NFU_INPUTS,
+        ))
+        for pos in reversed(range(len(loops))):
+            odometer[pos] += 1
+            if odometer[pos] < loops[pos][1]:
+                break
+            odometer[pos] = 0
+
+    # Final output drain.
+    for tensor in workload.outputs:
+        if resident[tensor.name] is not None:
+            instructions.append(store(
+                _buffer_for(tensor.role),
+                addr_of(tensor.name, resident[tensor.name]),
+                footprints[tensor.name],
+            ))
+
+    # One-time layout pass so each tile occupies consecutive DRAM addresses
+    # and loads in a single burst instruction.  Static operands (weights)
+    # are reordered offline at zero runtime cost, and intermediate feature
+    # maps are written in the required order by the producing layer — only
+    # dynamically-arriving inputs (the network input, or any ifmap when the
+    # layer is compiled standalone) pay the pass.
+    reorder_words = 0
+    if reorder_inputs:
+        reorder_words = sum(
+            workload.tensor_size(t.name) for t in workload.inputs
+            if t.role == "ifmap"
+        )
+
+    return Program(
+        instructions=instructions,
+        reorder_words=reorder_words,
+        passes=total_passes,
+        total_macs=workload.total_operations,
+    )
+
+
+def compile_naive(workload, chunk: int = NFU_OUTPUTS) -> Program:
+    """Compile the paper's naive baseline: stream straight from DRAM.
+
+    No tiling and no on-chip buffering: the NFU processes ``chunk`` outputs
+    at a time and all data streams through.  Per output chunk, every input
+    word the chunk touches is fetched from DRAM (full tensors for operands
+    the chunk dimension does not index, a proportional share otherwise),
+    weights are consumed once per MAC row, and partial sums round-trip to
+    DRAM once per ``Ti``-deep adder-tree pass — there is no NBout to
+    accumulate in.  Only MACs and DRAM consume energy (§V-D).
+    """
+    output = workload.outputs[0]
+
+    def restreamed_volume(dim: str) -> int:
+        """Input words refetched when chunking over ``dim``."""
+        return sum(
+            workload.tensor_size(t.name) for t in workload.inputs
+            if dim not in t.indexing_dims
+        )
+
+    # Chunk over the output dimension whose non-indexed inputs are largest:
+    # that is the refetch the missing reuse turns into DRAM traffic.
+    chunk_dim = max(output.indexing_dims, key=restreamed_volume)
+    chunks = max(1, math.ceil(workload.dims[chunk_dim] / chunk))
+    macs_per_chunk = math.ceil(workload.total_operations / chunks)
+
+    instructions: list[Instruction] = []
+    for _ in range(chunks):
+        reads = 0
+        for tensor in workload.inputs:
+            size = workload.tensor_size(tensor.name)
+            if chunk_dim in tensor.indexing_dims:
+                size = math.ceil(size / chunks)
+            reads += size
+        # Partial sums spill to DRAM after every adder-tree pass.
+        psum_roundtrips = macs_per_chunk // NFU_INPUTS
+        reads += psum_roundtrips
+        writes = psum_roundtrips + math.ceil(
+            workload.tensor_size(output.name) / chunks
+        )
+        instructions.append(stream(reads, writes, macs_per_chunk))
+
+    return Program(
+        instructions=instructions,
+        reorder_words=0,  # streaming needs no layout pass
+        passes=chunks,
+        total_macs=workload.total_operations,
+    )

@@ -1,0 +1,123 @@
+"""DianNao-style instruction set (paper §V-D).
+
+DianNao drives its three on-chip buffers (NBin for inputs, NBout for
+outputs, SB for synapses/weights) and the NFU datapath with wide 256-bit
+control instructions.  Data transfers from/to off-chip memory each need an
+instruction; on-chip tile computation is sequenced by FSM controllers and
+needs only one compute instruction per pass.
+
+We model a compact version of that ISA: LOAD / STORE / COMPUTE / NOP, each
+encoded into a fixed 256-bit word so instruction-fetch traffic can be
+charged realistically (the paper assumes instructions are fetched from
+DRAM).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+INSTRUCTION_BITS = 256
+INSTRUCTION_BYTES = INSTRUCTION_BITS // 8
+
+
+class Opcode(IntEnum):
+    NOP = 0
+    LOAD = 1  # DRAM -> buffer
+    STORE = 2  # buffer -> DRAM
+    COMPUTE = 3  # run the NFU over the resident tiles
+    STREAM = 4  # feed the NFU straight from DRAM (no buffering)
+
+
+class BufferId(IntEnum):
+    NBIN = 0  # input feature maps
+    NBOUT = 1  # output feature maps / partial sums
+    SB = 2  # synapses (weights)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One 256-bit DianNao-style instruction.
+
+    ``operand0``/``operand1``/``operand2`` are opcode-specific:
+
+    * LOAD/STORE: (buffer id, dram address, word count)
+    * COMPUTE: (mac count, nbin reads, sb reads) with ``operand3`` carrying
+      the NBout accesses of the pass.
+    """
+
+    opcode: Opcode
+    operand0: int = 0
+    operand1: int = 0
+    operand2: int = 0
+    operand3: int = 0
+
+    _STRUCT = struct.Struct("<IQQQ4x")  # 4+8+8+8+4 = 32 bytes = 256 bits
+
+    def encode(self) -> bytes:
+        """Serialise to the fixed 256-bit instruction word."""
+        word = self._STRUCT.pack(
+            int(self.opcode) | (self.operand0 << 8),
+            self.operand1,
+            self.operand2,
+            self.operand3,
+        )
+        assert len(word) == INSTRUCTION_BYTES
+        return word
+
+    @classmethod
+    def decode(cls, word: bytes) -> "Instruction":
+        """Inverse of :meth:`encode`."""
+        if len(word) != INSTRUCTION_BYTES:
+            raise ValueError(f"instruction word must be {INSTRUCTION_BYTES} "
+                             f"bytes, got {len(word)}")
+        head, op1, op2, op3 = cls._STRUCT.unpack(word)
+        return cls(
+            opcode=Opcode(head & 0xFF),
+            operand0=head >> 8,
+            operand1=op1,
+            operand2=op2,
+            operand3=op3,
+        )
+
+
+def load(buffer: BufferId, dram_addr: int, words: int) -> Instruction:
+    """DMA ``words`` from ``dram_addr`` into ``buffer``."""
+    return Instruction(Opcode.LOAD, int(buffer), dram_addr, words)
+
+
+def store(buffer: BufferId, dram_addr: int, words: int) -> Instruction:
+    """DMA ``words`` from ``buffer`` back to ``dram_addr``."""
+    return Instruction(Opcode.STORE, int(buffer), dram_addr, words)
+
+
+_READS_MASK = (1 << 32) - 1
+
+
+def compute(macs: int, nbin_reads: int, sb_reads: int,
+            nbout_accesses: int) -> Instruction:
+    """Run one FSM-sequenced tile pass on the NFU.
+
+    The two input-buffer read counts are packed into one 64-bit operand
+    (32 bits each); per-pass counts comfortably fit.
+    """
+    if nbin_reads > _READS_MASK or sb_reads > _READS_MASK:
+        raise ValueError("per-pass read counts exceed the 32-bit ISA fields")
+    return Instruction(
+        Opcode.COMPUTE, 0, macs,
+        (sb_reads << 32) | nbin_reads,
+        nbout_accesses,
+    )
+
+
+def unpack_compute_reads(instruction: Instruction) -> tuple[int, int]:
+    """(nbin_reads, sb_reads) of a COMPUTE instruction."""
+    if instruction.opcode is not Opcode.COMPUTE:
+        raise ValueError("not a COMPUTE instruction")
+    return instruction.operand2 & _READS_MASK, instruction.operand2 >> 32
+
+
+def stream(dram_reads: int, dram_writes: int, macs: int) -> Instruction:
+    """Unbuffered pass: operands stream from DRAM, results stream back."""
+    return Instruction(Opcode.STREAM, 0, macs, dram_reads, dram_writes)

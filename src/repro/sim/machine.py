@@ -1,0 +1,165 @@
+"""Event-counting simulator for the DianNao-like accelerator (§V-D).
+
+Executes a compiled :class:`~repro.sim.compiler.Program`, checks buffer
+capacities, accumulates event counts (DRAM words, per-buffer accesses, MAC
+operations, instruction fetches), and converts them to an energy breakdown
+with the Accelergy-style energy table.  Instructions are fetched from DRAM
+(256 bits each), as the paper assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..energy.table import EnergyTable, dram_energy, mac_energy
+from ..energy.cacti import sram_estimate
+from .compiler import Program
+from .isa import BufferId, Instruction, Opcode, unpack_compute_reads
+
+WORD_BITS = 16
+INSTRUCTION_WORDS = 256 // WORD_BITS
+
+# DianNao buffer capacities (words of 16 bits).
+BUFFER_CAPACITY_WORDS = {
+    BufferId.NBIN: 2 * 1024 * 8 // WORD_BITS,
+    BufferId.NBOUT: 2 * 1024 * 8 // WORD_BITS,
+    BufferId.SB: 32 * 1024 * 8 // WORD_BITS,
+}
+
+_BUFFER_COMPONENT = {
+    BufferId.NBIN: "NBin",
+    BufferId.NBOUT: "NBout",
+    BufferId.SB: "SB",
+}
+
+
+class SimulationError(RuntimeError):
+    """Raised when a program violates machine constraints."""
+
+
+def diannao_energy_table() -> EnergyTable:
+    """Per-action energies for the DianNao-like machine components."""
+    table = EnergyTable()
+    table.define_dram("DRAM", WORD_BITS)
+    table.define_sram("NBin", 2 * 1024, WORD_BITS)
+    table.define_sram("NBout", 2 * 1024, WORD_BITS)
+    table.define_sram("SB", 32 * 1024, WORD_BITS)
+    table.define_mac("MAC", WORD_BITS)
+    # Instruction fetch: one 256-bit word from DRAM plus decode.
+    table.define("Instr", "fetch",
+                 dram_energy(WORD_BITS) * INSTRUCTION_WORDS + 1.2)
+    return table
+
+
+@dataclass
+class EventCounts:
+    """Raw event counts accumulated by one simulation."""
+
+    dram_reads: int = 0
+    dram_writes: int = 0
+    buffer_reads: dict[BufferId, int] = field(
+        default_factory=lambda: {b: 0 for b in BufferId})
+    buffer_writes: dict[BufferId, int] = field(
+        default_factory=lambda: {b: 0 for b in BufferId})
+    macs: int = 0
+    instructions: int = 0
+    reorder_words: int = 0
+
+    def merge(self, other: "EventCounts") -> None:
+        self.dram_reads += other.dram_reads
+        self.dram_writes += other.dram_writes
+        for b in BufferId:
+            self.buffer_reads[b] += other.buffer_reads[b]
+            self.buffer_writes[b] += other.buffer_writes[b]
+        self.macs += other.macs
+        self.instructions += other.instructions
+        self.reorder_words += other.reorder_words
+
+
+@dataclass
+class SimulationResult:
+    """Event counts plus the derived energy breakdown (pJ)."""
+
+    counts: EventCounts
+    energy_breakdown: dict[str, float]
+
+    @property
+    def total_energy(self) -> float:
+        return sum(self.energy_breakdown.values())
+
+    def normalized_breakdown(self) -> dict[str, float]:
+        total = self.total_energy
+        if total == 0:
+            return {k: 0.0 for k in self.energy_breakdown}
+        return {k: v / total for k, v in self.energy_breakdown.items()}
+
+
+def run_program(program: Program,
+                table: EnergyTable | None = None,
+                include_reorder: bool = True) -> SimulationResult:
+    """Execute a program and return event counts and energy breakdown."""
+    table = table or diannao_energy_table()
+    counts = EventCounts()
+    counts.instructions = program.num_instructions
+    counts.reorder_words = program.reorder_words if include_reorder else 0
+
+    for instruction in program.instructions:
+        _execute(instruction, counts)
+
+    breakdown = {
+        "DRAM": (counts.dram_reads + counts.dram_writes)
+        * table.energy("DRAM", "read"),
+        "NBin": counts.buffer_reads[BufferId.NBIN]
+        * table.energy("NBin", "read")
+        + counts.buffer_writes[BufferId.NBIN] * table.energy("NBin", "write"),
+        "NBout": counts.buffer_reads[BufferId.NBOUT]
+        * table.energy("NBout", "read")
+        + counts.buffer_writes[BufferId.NBOUT]
+        * table.energy("NBout", "write"),
+        "SB": counts.buffer_reads[BufferId.SB] * table.energy("SB", "read")
+        + counts.buffer_writes[BufferId.SB] * table.energy("SB", "write"),
+        "MAC": counts.macs * table.energy("MAC", "compute"),
+        "Instructions": counts.instructions * table.energy("Instr", "fetch"),
+        "Reordering": counts.reorder_words
+        * (table.energy("DRAM", "read") + table.energy("DRAM", "write")),
+    }
+    return SimulationResult(counts=counts, energy_breakdown=breakdown)
+
+
+def _execute(instruction: Instruction, counts: EventCounts) -> None:
+    opcode = instruction.opcode
+    if opcode is Opcode.NOP:
+        return
+    if opcode is Opcode.LOAD:
+        buffer = BufferId(instruction.operand0)
+        words = instruction.operand2
+        if words > BUFFER_CAPACITY_WORDS[buffer]:
+            raise SimulationError(
+                f"tile of {words} words exceeds {buffer.name} capacity "
+                f"{BUFFER_CAPACITY_WORDS[buffer]}"
+            )
+        counts.dram_reads += words
+        counts.buffer_writes[buffer] += words
+        return
+    if opcode is Opcode.STORE:
+        buffer = BufferId(instruction.operand0)
+        words = instruction.operand2
+        counts.buffer_reads[buffer] += words
+        counts.dram_writes += words
+        return
+    if opcode is Opcode.COMPUTE:
+        nbin_reads, sb_reads = unpack_compute_reads(instruction)
+        counts.macs += instruction.operand1
+        counts.buffer_reads[BufferId.NBIN] += nbin_reads
+        counts.buffer_reads[BufferId.SB] += sb_reads
+        # NBout: accumulate in place (read + write per accessed word).
+        counts.buffer_reads[BufferId.NBOUT] += instruction.operand3
+        counts.buffer_writes[BufferId.NBOUT] += instruction.operand3
+        return
+    if opcode is Opcode.STREAM:
+        counts.macs += instruction.operand1
+        counts.dram_reads += instruction.operand2
+        counts.dram_writes += instruction.operand3
+        return
+    raise SimulationError(f"unknown opcode {opcode}")

@@ -1,0 +1,163 @@
+"""Extended workload constructors beyond the paper's Table II.
+
+The workload IR is algebraic, so kernels the paper did not evaluate come
+for free; these constructors cover common modern layers and demonstrate the
+"versatility" claim on access patterns the original evaluation left out:
+
+* depthwise / grouped convolution (MobileNet-family),
+* transformer attention sub-kernels (QK^T, AV, projections),
+* batched matrix multiplication.
+
+Grouped convolution needs one care point: the group index ``G`` indexes
+*every* tensor, so it offers no reuse anywhere — the trie handles that
+correctly (it simply never appears in a reuse-carrying suffix).
+"""
+
+from __future__ import annotations
+
+from .expression import IndexExpr, TensorRef, Workload, make_workload
+
+
+def depthwise_conv2d(
+    N: int, C: int, P: int, Q: int, R: int, S: int,
+    stride: int = 1, name: str = "dwconv2d",
+) -> Workload:
+    """Depthwise convolution: one filter per channel, no channel reduction.
+
+    ``out[n, c, p, q] = sum_{r, s} in[n, c, p+r, q+s] * w[c, r, s]``
+    """
+    return Workload(
+        name=name,
+        dims={"N": N, "C": C, "P": P, "Q": Q, "R": R, "S": S},
+        tensors=(
+            TensorRef(
+                "ifmap",
+                (IndexExpr(("N",)), IndexExpr(("C",)),
+                 IndexExpr(("P", "R"), stride=stride),
+                 IndexExpr(("Q", "S"), stride=stride)),
+                role="ifmap",
+            ),
+            TensorRef(
+                "weight",
+                (IndexExpr(("C",)), IndexExpr(("R",)), IndexExpr(("S",))),
+                role="weight",
+            ),
+            TensorRef(
+                "ofmap",
+                (IndexExpr(("N",)), IndexExpr(("C",)), IndexExpr(("P",)),
+                 IndexExpr(("Q",))),
+                is_output=True,
+                role="ofmap",
+            ),
+        ),
+    )
+
+
+def grouped_conv2d(
+    N: int, G: int, K: int, C: int, P: int, Q: int, R: int, S: int,
+    stride: int = 1, name: str = "gconv2d",
+) -> Workload:
+    """Grouped convolution with ``G`` groups of ``K`` filters over ``C``
+    channels each.
+
+    ``out[n, g, k, p, q] =
+    sum_{c, r, s} in[n, g, c, p+r, q+s] * w[g, k, c, r, s]``
+    """
+    return Workload(
+        name=name,
+        dims={"N": N, "G": G, "K": K, "C": C, "P": P, "Q": Q,
+              "R": R, "S": S},
+        tensors=(
+            TensorRef(
+                "ifmap",
+                (IndexExpr(("N",)), IndexExpr(("G",)), IndexExpr(("C",)),
+                 IndexExpr(("P", "R"), stride=stride),
+                 IndexExpr(("Q", "S"), stride=stride)),
+                role="ifmap",
+            ),
+            TensorRef(
+                "weight",
+                (IndexExpr(("G",)), IndexExpr(("K",)), IndexExpr(("C",)),
+                 IndexExpr(("R",)), IndexExpr(("S",))),
+                role="weight",
+            ),
+            TensorRef(
+                "ofmap",
+                (IndexExpr(("N",)), IndexExpr(("G",)), IndexExpr(("K",)),
+                 IndexExpr(("P",)), IndexExpr(("Q",))),
+                is_output=True,
+                role="ofmap",
+            ),
+        ),
+    )
+
+
+def batched_matmul(B: int, M: int, N: int, K: int,
+                   name: str = "bmm") -> Workload:
+    """Batched matmul: ``out[b, m, n] = sum_k A[b, m, k] * W[b, k, n]``."""
+    return make_workload(
+        name,
+        dims={"B": B, "M": M, "N": N, "K": K},
+        tensor_spec={
+            "A": ["B", "M", "K"],
+            "W": ["B", "K", "N"],
+            "out": ["B", "M", "N"],
+        },
+        outputs=["out"],
+    )
+
+
+def attention_scores(B: int, H: int, L: int, D: int,
+                     name: str = "attn_qk") -> Workload:
+    """Attention score computation ``QK^T``:
+    ``s[b, h, i, j] = sum_d q[b, h, i, d] * k[b, h, j, d]``."""
+    return make_workload(
+        name,
+        dims={"B": B, "H": H, "I": L, "J": L, "D": D},
+        tensor_spec={
+            "q": ["B", "H", "I", "D"],
+            "k": ["B", "H", "J", "D"],
+            "scores": ["B", "H", "I", "J"],
+        },
+        outputs=["scores"],
+    )
+
+
+def attention_values(B: int, H: int, L: int, D: int,
+                     name: str = "attn_av") -> Workload:
+    """Attention value aggregation ``AV``:
+    ``o[b, h, i, d] = sum_j a[b, h, i, j] * v[b, h, j, d]``."""
+    return make_workload(
+        name,
+        dims={"B": B, "H": H, "I": L, "J": L, "D": D},
+        tensor_spec={
+            "a": ["B", "H", "I", "J"],
+            "v": ["B", "H", "J", "D"],
+            "out": ["B", "H", "I", "D"],
+        },
+        outputs=["out"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# MobileNet-v1 representative depthwise-separable blocks.
+# ---------------------------------------------------------------------------
+
+MOBILENET_V1_BLOCKS: tuple[tuple[str, dict], ...] = (
+    ("dw1", dict(C=32, P=112, Q=112, R=3, S=3)),
+    ("dw2", dict(C=64, P=56, Q=56, R=3, S=3, stride=2)),
+    ("dw4", dict(C=128, P=28, Q=28, R=3, S=3, stride=2)),
+    ("dw6", dict(C=256, P=14, Q=14, R=3, S=3, stride=2)),
+    ("dw12", dict(C=512, P=7, Q=7, R=3, S=3, stride=2)),
+)
+
+
+def mobilenet_depthwise(batch: int = 1) -> list[Workload]:
+    """The distinct depthwise layers of MobileNet-v1."""
+    layers = []
+    for name, params in MOBILENET_V1_BLOCKS:
+        params = dict(params)
+        stride = params.pop("stride", 1)
+        layers.append(depthwise_conv2d(N=batch, stride=stride,
+                                       name=f"mobilenet_{name}", **params))
+    return layers

@@ -1,0 +1,118 @@
+"""Import whole models from a simple JSON description.
+
+A model file is a list of layer records, each naming a layer type from the
+workload library plus its dimensions — the minimal interchange format a
+framework exporter would emit.  Example::
+
+    {
+      "name": "tiny-cnn",
+      "layers": [
+        {"type": "conv2d", "name": "stem",
+         "dims": {"N": 1, "K": 16, "C": 3, "P": 32, "Q": 32,
+                  "R": 3, "S": 3}, "stride": 2},
+        {"type": "conv2d", "name": "body",
+         "dims": {"N": 1, "K": 32, "C": 16, "P": 16, "Q": 16,
+                  "R": 3, "S": 3}},
+        {"type": "fc", "name": "head",
+         "dims": {"N": 1, "K": 10, "C": 8192}}
+      ]
+    }
+
+``repeat`` on a layer expands it in place (the network scheduler's shape
+deduplication makes repeats free to search).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from .expression import Workload
+from .extended import (
+    attention_scores,
+    attention_values,
+    batched_matmul,
+    depthwise_conv2d,
+    grouped_conv2d,
+)
+from .library import conv1d, conv2d, fully_connected, mmc, mttkrp, sddmm, tcl, ttmc
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model description is malformed."""
+
+
+_LAYER_TYPES = {
+    "conv1d": (conv1d, ("K", "C", "P", "R"), ("stride",)),
+    "conv2d": (conv2d, ("N", "K", "C", "P", "Q", "R", "S"), ("stride",)),
+    "dwconv2d": (depthwise_conv2d, ("N", "C", "P", "Q", "R", "S"),
+                 ("stride",)),
+    "gconv2d": (grouped_conv2d, ("N", "G", "K", "C", "P", "Q", "R", "S"),
+                ("stride",)),
+    "fc": (fully_connected, ("N", "K", "C"), ()),
+    "bmm": (batched_matmul, ("B", "M", "N", "K"), ()),
+    "attn_qk": (attention_scores, ("B", "H", "L", "D"), ()),
+    "attn_av": (attention_values, ("B", "H", "L", "D"), ()),
+    "mttkrp": (mttkrp, ("I", "K", "L", "J"), ()),
+    "sddmm": (sddmm, ("I", "J", "K"), ()),
+    "ttmc": (ttmc, ("I", "J", "K", "L", "M"), ()),
+    "mmc": (mmc, ("I", "J", "K", "L"), ()),
+    "tcl": (tcl, ("I", "J", "K", "L", "M", "N"), ()),
+}
+
+SUPPORTED_LAYER_TYPES = tuple(_LAYER_TYPES)
+
+
+def layer_from_record(record: dict[str, Any]) -> Workload:
+    """Build one workload from a layer record."""
+    if "type" not in record:
+        raise ModelFormatError(f"layer record missing 'type': {record}")
+    layer_type = record["type"]
+    if layer_type not in _LAYER_TYPES:
+        raise ModelFormatError(
+            f"unknown layer type {layer_type!r}; supported: "
+            f"{sorted(_LAYER_TYPES)}"
+        )
+    builder, required, optional = _LAYER_TYPES[layer_type]
+    dims = record.get("dims")
+    if not isinstance(dims, dict):
+        raise ModelFormatError(f"layer {record.get('name', '?')}: 'dims' "
+                               f"must be a mapping")
+    missing = [d for d in required if d not in dims]
+    if missing:
+        raise ModelFormatError(
+            f"layer {record.get('name', layer_type)}: missing dimensions "
+            f"{missing} (needs {list(required)})"
+        )
+    kwargs: dict[str, Any] = {d: int(dims[d]) for d in required}
+    for option in optional:
+        if option in record:
+            kwargs[option] = int(record[option])
+    if "name" in record:
+        kwargs["name"] = str(record["name"])
+    return builder(**kwargs)
+
+
+def model_from_dict(document: dict[str, Any]) -> list[Workload]:
+    """Expand a model document into its layer workloads."""
+    layers = document.get("layers")
+    if not isinstance(layers, list) or not layers:
+        raise ModelFormatError("model document needs a non-empty 'layers' "
+                               "list")
+    workloads: list[Workload] = []
+    for record in layers:
+        repeat = int(record.get("repeat", 1))
+        if repeat < 1:
+            raise ModelFormatError(
+                f"layer {record.get('name', '?')}: repeat must be >= 1"
+            )
+        workload = layer_from_record(record)
+        workloads.extend([workload] * repeat)
+    return workloads
+
+
+def load_model(path: str) -> list[Workload]:
+    """Load a model description file into its layer workloads."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    return model_from_dict(document)

@@ -1,0 +1,224 @@
+"""Constructors for the tensor-algebra workloads of the paper's Table II.
+
+Each constructor returns a :class:`~repro.workloads.expression.Workload`
+describing the dense iteration space of the kernel.  Dimension names follow
+the paper's conventions (K/C/P/Q/R/S/N for convolution, I/J/K/L/M for the
+tensor-decomposition kernels).
+"""
+
+from __future__ import annotations
+
+from .expression import IndexExpr, TensorRef, Workload, make_workload
+
+
+def conv1d(K: int, C: int, P: int, R: int, stride: int = 1) -> Workload:
+    """The paper's running example: 1D convolution with input channels.
+
+    ``ofmap[k, p] = sum_{c, r} ifmap[c, p*stride + r] * weight[k, c, r]``
+    """
+    return Workload(
+        name="conv1d",
+        dims={"K": K, "C": C, "P": P, "R": R},
+        tensors=(
+            TensorRef("ifmap", (IndexExpr(("C",)),
+                                IndexExpr(("P", "R"), stride=stride)),
+                      role="ifmap"),
+            TensorRef("weight", (IndexExpr(("K",)), IndexExpr(("C",)),
+                                 IndexExpr(("R",))), role="weight"),
+            TensorRef("ofmap", (IndexExpr(("K",)), IndexExpr(("P",))),
+                      is_output=True, role="ofmap"),
+        ),
+    )
+
+
+def conv2d(
+    N: int,
+    K: int,
+    C: int,
+    P: int,
+    Q: int,
+    R: int,
+    S: int,
+    stride: int = 1,
+    name: str = "conv2d",
+) -> Workload:
+    """2D convolution (Table II, row "Conv").
+
+    ``ofmap[p, q, k, n] = sum_{c, r, s}
+    ifmap[p*stride + r, q*stride + s, c, n] * w[r, s, c, k]``
+
+    ``P``/``Q`` are *output* spatial extents.
+    """
+    return Workload(
+        name=name,
+        dims={"N": N, "K": K, "C": C, "P": P, "Q": Q, "R": R, "S": S},
+        tensors=(
+            TensorRef(
+                "ifmap",
+                (IndexExpr(("N",)), IndexExpr(("C",)),
+                 IndexExpr(("P", "R"), stride=stride),
+                 IndexExpr(("Q", "S"), stride=stride)),
+                role="ifmap",
+            ),
+            TensorRef(
+                "weight",
+                (IndexExpr(("K",)), IndexExpr(("C",)), IndexExpr(("R",)),
+                 IndexExpr(("S",))),
+                role="weight",
+            ),
+            TensorRef(
+                "ofmap",
+                (IndexExpr(("N",)), IndexExpr(("K",)), IndexExpr(("P",)),
+                 IndexExpr(("Q",))),
+                is_output=True,
+                role="ofmap",
+            ),
+        ),
+    )
+
+
+def fully_connected(N: int, K: int, C: int, name: str = "fc") -> Workload:
+    """Fully-connected layer: ``out[n, k] = sum_c in[n, c] * w[k, c]``."""
+    return make_workload(
+        name,
+        dims={"N": N, "K": K, "C": C},
+        tensor_spec={
+            "ifmap": ["N", "C"],
+            "weight": ["K", "C"],
+            "ofmap": ["N", "K"],
+        },
+        outputs=["ofmap"],
+        roles={"ifmap": "ifmap", "weight": "weight", "ofmap": "ofmap"},
+    )
+
+
+def mttkrp(I: int, K: int, L: int, J: int, name: str = "mttkrp") -> Workload:
+    """Matricized tensor times Khatri-Rao product (CP decomposition kernel).
+
+    ``out[i, j] = sum_{k, l} A[i, k, l] * B[k, j] * C[l, j]``; ``J`` is the
+    decomposition rank.
+    """
+    return make_workload(
+        name,
+        dims={"I": I, "K": K, "L": L, "J": J},
+        tensor_spec={
+            "A": ["I", "K", "L"],
+            "B": ["K", "J"],
+            "C": ["L", "J"],
+            "out": ["I", "J"],
+        },
+        outputs=["out"],
+    )
+
+
+def sddmm(I: int, J: int, K: int, name: str = "sddmm") -> Workload:
+    """Sampled dense-dense matrix multiplication.
+
+    ``out[i, j] = A[i, j] * sum_k B[i, k] * C[k, j]``; the sampling matrix
+    ``A`` is read element-wise at the output granularity.
+    """
+    return make_workload(
+        name,
+        dims={"I": I, "J": J, "K": K},
+        tensor_spec={
+            "A": ["I", "J"],
+            "B": ["I", "K"],
+            "C": ["K", "J"],
+            "out": ["I", "J"],
+        },
+        outputs=["out"],
+    )
+
+
+def ttmc(I: int, J: int, K: int, L: int, M: int, name: str = "ttmc") -> Workload:
+    """Tensor-times-matrix chain (Tucker decomposition kernel).
+
+    ``out[i, l, m] = sum_{j, k} A[i, j, k] * B[j, l] * C[k, m]``
+    """
+    return make_workload(
+        name,
+        dims={"I": I, "J": J, "K": K, "L": L, "M": M},
+        tensor_spec={
+            "A": ["I", "J", "K"],
+            "B": ["J", "L"],
+            "C": ["K", "M"],
+            "out": ["I", "L", "M"],
+        },
+        outputs=["out"],
+    )
+
+
+def mmc(I: int, J: int, K: int, L: int, name: str = "mmc") -> Workload:
+    """Matrix-multiply chain (attention-style): ``out[i, l] = sum_{j, k}
+    A[i, j] * B[j, k] * C[k, l]``."""
+    return make_workload(
+        name,
+        dims={"I": I, "J": J, "K": K, "L": L},
+        tensor_spec={
+            "A": ["I", "J"],
+            "B": ["J", "K"],
+            "C": ["K", "L"],
+            "out": ["I", "L"],
+        },
+        outputs=["out"],
+    )
+
+
+def tcl(
+    I: int, J: int, K: int, L: int, M: int, N: int, name: str = "tcl"
+) -> Workload:
+    """Tensor contraction layer: ``out[l, m, n] = sum_{i, j, k}
+    A[i, j, k] * B[i, l] * C[j, m] * D[k, n]``."""
+    return make_workload(
+        name,
+        dims={"I": I, "J": J, "K": K, "L": L, "M": M, "N": N},
+        tensor_spec={
+            "A": ["I", "J", "K"],
+            "B": ["I", "L"],
+            "C": ["J", "M"],
+            "D": ["K", "N"],
+            "out": ["L", "M", "N"],
+        },
+        outputs=["out"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sparse-tensor shapes from FROSTT / SuiteSparse used in the paper's Fig. 6.
+#
+# Sunstone (like Timeloop) schedules the *dense* iteration space, so only the
+# mode sizes matter.  Shapes below are the published mode sizes, scaled to
+# the per-pass tile granularity a dense mapper would be handed (the full
+# nell-2 iteration space is ~10^13 MACs; schedulers operate on the loop-nest
+# bounds regardless of magnitude).
+# ---------------------------------------------------------------------------
+
+FROSTT_SHAPES: dict[str, tuple[int, int, int]] = {
+    # tensor: (mode-1, mode-2, mode-3)
+    "nell2": (12092, 9184, 28818),
+    "netflix": (480189, 17770, 2182),
+    "poisson1": (1024, 1024, 1024),
+}
+
+SUITESPARSE_SHAPES: dict[str, tuple[int, int]] = {
+    "bcsstk17": (10974, 10974),
+    "cant": (62451, 62451),
+}
+
+
+def mttkrp_from_frostt(tensor: str, rank: int = 32) -> Workload:
+    """MTTKRP over a FROSTT tensor's mode sizes (paper Fig. 6, rank 32)."""
+    i, k, l = FROSTT_SHAPES[tensor]
+    return mttkrp(I=i, K=k, L=l, J=rank, name=f"mttkrp_{tensor}")
+
+
+def ttmc_from_frostt(tensor: str, rank: int = 8) -> Workload:
+    """TTMc over a FROSTT tensor's mode sizes (paper Fig. 6, rank 8)."""
+    i, j, k = FROSTT_SHAPES[tensor]
+    return ttmc(I=i, J=j, K=k, L=rank, M=rank, name=f"ttmc_{tensor}")
+
+
+def sddmm_from_suitesparse(matrix: str, rank: int = 512) -> Workload:
+    """SDDMM over a SuiteSparse matrix's shape (paper Fig. 6, rank 512)."""
+    i, j = SUITESPARSE_SHAPES[matrix]
+    return sddmm(I=i, J=j, K=rank, name=f"sddmm_{matrix}")

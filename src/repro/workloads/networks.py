@@ -1,0 +1,128 @@
+"""Layer suites used in the paper's evaluation.
+
+* ResNet-18 convolution layers (Fig. 8, Table VI, Fig. 9) — inference.
+* Inception-v3 convolution layers (Table I, Fig. 7) — the Fig. 7 experiment
+  schedules the *weight-update* (gradient) computation at batch 16.
+
+Layer shapes follow the published architectures; ``P``/``Q`` are output
+spatial sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expression import IndexExpr, TensorRef, Workload
+from .library import conv2d
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Shape of one convolution layer."""
+
+    name: str
+    K: int
+    C: int
+    P: int
+    Q: int
+    R: int
+    S: int
+    stride: int = 1
+
+    def inference(self, batch: int = 1) -> Workload:
+        """Forward-pass convolution workload."""
+        return conv2d(
+            N=batch, K=self.K, C=self.C, P=self.P, Q=self.Q, R=self.R,
+            S=self.S, stride=self.stride, name=self.name,
+        )
+
+    def weight_update(self, batch: int = 16) -> Workload:
+        """Weight-gradient computation for this layer.
+
+        ``dw[r, s, c, k] = sum_{n, p, q}
+        ifmap[n, c, p + r, q + s] * dofmap[n, k, p, q]``
+
+        The output is the *weight* tensor; batch and both spatial output
+        dimensions become reduction dimensions — a very different reuse
+        pattern from inference, which is why the paper uses it to stress
+        versatility.
+        """
+        return Workload(
+            name=f"{self.name}_wu",
+            dims={"N": batch, "K": self.K, "C": self.C, "P": self.P,
+                  "Q": self.Q, "R": self.R, "S": self.S},
+            tensors=(
+                TensorRef(
+                    "ifmap",
+                    (IndexExpr(("N",)), IndexExpr(("C",)),
+                     IndexExpr(("P", "R"), stride=self.stride),
+                     IndexExpr(("Q", "S"), stride=self.stride)),
+                    role="ifmap",
+                ),
+                TensorRef(
+                    "dofmap",
+                    (IndexExpr(("N",)), IndexExpr(("K",)), IndexExpr(("P",)),
+                     IndexExpr(("Q",))),
+                    role="ofmap",
+                ),
+                TensorRef(
+                    "dweight",
+                    (IndexExpr(("K",)), IndexExpr(("C",)), IndexExpr(("R",)),
+                     IndexExpr(("S",))),
+                    is_output=True,
+                    role="weight",
+                ),
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# ResNet-18 (ImageNet): the distinct convolution shapes.
+# ---------------------------------------------------------------------------
+
+RESNET18_LAYERS: tuple[ConvShape, ...] = (
+    ConvShape("conv1", K=64, C=3, P=112, Q=112, R=7, S=7, stride=2),
+    ConvShape("conv2_x", K=64, C=64, P=56, Q=56, R=3, S=3),
+    ConvShape("conv3_1", K=128, C=64, P=28, Q=28, R=3, S=3, stride=2),
+    ConvShape("conv3_x", K=128, C=128, P=28, Q=28, R=3, S=3),
+    ConvShape("conv3_ds", K=128, C=64, P=28, Q=28, R=1, S=1, stride=2),
+    ConvShape("conv4_1", K=256, C=128, P=14, Q=14, R=3, S=3, stride=2),
+    ConvShape("conv4_x", K=256, C=256, P=14, Q=14, R=3, S=3),
+    ConvShape("conv4_ds", K=256, C=128, P=14, Q=14, R=1, S=1, stride=2),
+    ConvShape("conv5_1", K=512, C=256, P=7, Q=7, R=3, S=3, stride=2),
+    ConvShape("conv5_x", K=512, C=512, P=7, Q=7, R=3, S=3),
+    ConvShape("conv5_ds", K=512, C=256, P=7, Q=7, R=1, S=1, stride=2),
+)
+
+
+# ---------------------------------------------------------------------------
+# Inception-v3: representative convolution shapes, including the asymmetric
+# 1x7 / 3x1 layers the paper singles out (dMazeRunner cannot schedule them).
+# ---------------------------------------------------------------------------
+
+INCEPTION_V3_LAYERS: tuple[ConvShape, ...] = (
+    ConvShape("conv1_3x3", K=32, C=3, P=149, Q=149, R=3, S=3, stride=2),
+    ConvShape("conv2_3x3", K=32, C=32, P=147, Q=147, R=3, S=3),
+    ConvShape("conv4_1x1", K=80, C=64, P=73, Q=73, R=1, S=1),
+    ConvShape("conv5_3x3", K=192, C=80, P=71, Q=71, R=3, S=3),
+    ConvShape("mixed_5x5", K=64, C=48, P=35, Q=35, R=5, S=5),
+    ConvShape("mixed_3x3", K=96, C=64, P=35, Q=35, R=3, S=3),
+    ConvShape("1x7", K=128, C=128, P=17, Q=17, R=1, S=7),
+    ConvShape("7x1", K=128, C=128, P=17, Q=17, R=7, S=1),
+    ConvShape("1x7_deep", K=192, C=192, P=17, Q=17, R=1, S=7),
+    ConvShape("3x1_deep", K=448, C=384, P=8, Q=8, R=3, S=1),
+    ConvShape("mixed_1x1_deep", K=320, C=1280, P=8, Q=8, R=1, S=1),
+)
+
+# The "example layer" the paper uses when quoting Table I space sizes.
+INCEPTION_EXAMPLE_LAYER = INCEPTION_V3_LAYERS[4]  # mixed_5x5
+
+
+def resnet18(batch: int = 1) -> list[Workload]:
+    """ResNet-18 inference convolution workloads at the given batch."""
+    return [layer.inference(batch) for layer in RESNET18_LAYERS]
+
+
+def inception_v3_weight_update(batch: int = 16) -> list[Workload]:
+    """Inception-v3 weight-update workloads (the paper's Fig. 7 suite)."""
+    return [layer.weight_update(batch) for layer in INCEPTION_V3_LAYERS]

@@ -1,0 +1,250 @@
+"""Tests for the analytical access-counting model.
+
+The key fixture reproduces the paper's §III-A example (Algorithm 4): a
+2-level tiled 1D convolution with L2 order P2 K2 C2 and L1 tile
+P=7, K=2, C=2, R=3, for which Equations 1-3 give closed-form L2 access
+counts.  The model must match them exactly.
+"""
+
+import pytest
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel, simba_like, tiny
+from repro.mapping import build_mapping
+from repro.model import count_accesses
+from repro.workloads import conv1d, conv2d, mttkrp
+
+
+@pytest.fixture
+def paper_example():
+    """Algorithm 4: K=4, C=4, P=14, R=3; P_L2=2, K_L2=2, C_L2=2."""
+    wl = conv1d(K=4, C=4, P=14, R=3)
+    arch = tiny(l1_words=64, l2_words=2048, pes=4)
+    mapping = build_mapping(
+        wl, arch,
+        temporal=[{"P": 7, "K": 2, "C": 2, "R": 3}, {"P": 2, "K": 2, "C": 2}, {}],
+        orders=[["P", "K", "C", "R"], ["P", "K", "C"], []],
+    )
+    return wl, arch, mapping
+
+
+class TestPaperEquations:
+    def test_equation_3_ofmap(self, paper_example):
+        _, _, mapping = paper_example
+        counts = count_accesses(mapping)
+        # ofmap reused across C (innermost L2 loop): accesses = P x K = 56.
+        ofmap = counts.per_tensor["ofmap"]
+        assert ofmap.at(1).writes == 56  # drains into L2
+
+    def test_equation_1_ifmap(self, paper_example):
+        _, _, mapping = paper_example
+        counts = count_accesses(mapping)
+        # K_L2 x C x P_L2 x (P_L1 + R - 1) = 2*4*2*9 = 144.
+        assert counts.per_tensor["ifmap"].at(1).reads == 144
+
+    def test_equation_2_weight(self, paper_example):
+        _, _, mapping = paper_example
+        counts = count_accesses(mapping)
+        # C x K x R x P_L2 = 4*4*3*2 = 96.
+        assert counts.per_tensor["weight"].at(1).reads == 96
+
+    def test_dram_reads_are_cold_footprints(self, paper_example):
+        wl, _, mapping = paper_example
+        counts = count_accesses(mapping)
+        # Nothing iterates above L2, so each input is read once from DRAM.
+        assert counts.per_tensor["ifmap"].at(2).reads == wl.tensor_size("ifmap")
+        assert counts.per_tensor["weight"].at(2).reads == wl.tensor_size("weight")
+        assert counts.per_tensor["ofmap"].at(2).writes == wl.tensor_size("ofmap")
+
+    def test_compute_reads_equal_macs(self, paper_example):
+        wl, _, mapping = paper_example
+        counts = count_accesses(mapping)
+        assert counts.per_tensor["ifmap"].at(0).reads == wl.total_operations
+        assert counts.per_tensor["weight"].at(0).reads == wl.total_operations
+
+
+class TestLoopOrderEffects:
+    def _mapping(self, order):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        arch = tiny(l1_words=64, l2_words=2048, pes=4)
+        return wl, build_mapping(
+            wl, arch,
+            temporal=[{"P": 7, "K": 2, "C": 2, "R": 3},
+                      {"P": 2, "K": 2, "C": 2}, {}],
+            orders=[["P", "K", "C", "R"], order, []],
+        )
+
+    def test_c_innermost_reuses_ofmap(self):
+        wl, m = self._mapping(["P", "K", "C"])
+        counts = count_accesses(m)
+        assert counts.per_tensor["ofmap"].at(1).writes == 56
+
+    def test_k_innermost_reuses_ifmap(self):
+        wl, m = self._mapping(["P", "C", "K"])
+        counts = count_accesses(m)
+        # ifmap reused across K: fills drop from 8 to 4 L1-tile loads.
+        assert counts.per_tensor["ifmap"].at(1).reads == 4 * 9 * 2
+        # but ofmap now drains on every pass: fills = 8 (plus read-backs).
+        assert counts.per_tensor["ofmap"].at(1).writes == 8 * 14
+
+    def test_ordering_principle_2(self):
+        # K non-indexing for ifmap but an ifmap-indexing loop (C) inside K
+        # destroys the reuse: order K outer, C inner.
+        wl, inner_c = self._mapping(["P", "K", "C"])
+        wl, inner_k = self._mapping(["P", "C", "K"])
+        ifmap_inner_c = count_accesses(inner_c).per_tensor["ifmap"].at(1).reads
+        ifmap_inner_k = count_accesses(inner_k).per_tensor["ifmap"].at(1).reads
+        assert ifmap_inner_k < ifmap_inner_c
+
+
+class TestAccumulationReadback:
+    def test_reduction_above_storage_causes_readback(self):
+        wl = conv1d(K=2, C=4, P=4, R=1)
+        arch = tiny(l1_words=64, l2_words=2048, pes=4)
+        # C (reduction) iterates at L2 ABOVE a K-indexed loop: every ofmap
+        # tile is revisited C_L2 times.
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"P": 4, "R": 1}, {"C": 4, "K": 2}, {}],
+            orders=[["P", "R"], ["C", "K"], []],
+        )
+        counts = count_accesses(m)
+        ofmap = counts.per_tensor["ofmap"]
+        # fills = C*K = 8; distinct tiles = K = 2; read-backs = 6 tiles of 4
+        # words; plus the single 8-word drain from L2 up to DRAM.
+        assert ofmap.at(1).writes == 8 * 4
+        assert ofmap.at(1).reads == 6 * 4 + 8
+
+    def test_no_readback_when_reduction_innermost(self):
+        wl = conv1d(K=2, C=4, P=4, R=1)
+        arch = tiny(l1_words=64, l2_words=2048, pes=4)
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"P": 4, "R": 1}, {"K": 2, "C": 4}, {}],
+            orders=[["P", "R"], ["K", "C"], []],
+        )
+        ofmap = count_accesses(m).per_tensor["ofmap"]
+        # No accumulation read-backs: the only L2 reads are the one 8-word
+        # drain to DRAM.
+        assert ofmap.at(1).reads == 8
+        assert ofmap.at(1).writes == 8  # P x K
+
+
+class TestSpatial:
+    def _arch(self, pes=4):
+        return tiny(l1_words=64, l2_words=2048, pes=pes)
+
+    def test_broadcast_collapses_parent_reads(self):
+        wl = conv1d(K=4, C=2, P=4, R=1)
+        arch = self._arch()
+        # Unroll K across 4 PEs: ifmap (K non-indexing) is broadcast.
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"P": 4, "C": 2, "R": 1}, {}, {}],
+            spatial=[{"K": 4}, {}, {}],
+        )
+        counts = count_accesses(m)
+        ifmap = counts.per_tensor["ifmap"]
+        # One fill serves all 4 PEs: L2 reads = footprint once...
+        assert ifmap.at(1).reads == wl.tensor_size("ifmap")
+        # ...but each PE writes its own copy.
+        assert ifmap.at(0).writes == 4 * wl.tensor_size("ifmap")
+
+    def test_unicast_scales_parent_reads(self):
+        wl = conv1d(K=4, C=2, P=4, R=1)
+        arch = self._arch()
+        # Unroll P across 4 PEs: weight broadcast, ifmap/ofmap partitioned.
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"K": 4, "C": 2, "R": 1}, {}, {}],
+            spatial=[{"P": 4}, {}, {}],
+        )
+        counts = count_accesses(m)
+        assert counts.per_tensor["weight"].at(1).reads == \
+            wl.tensor_size("weight")
+        # ofmap partitioned: each PE drains its own slice exactly once.
+        assert counts.per_tensor["ofmap"].at(1).writes == \
+            wl.tensor_size("ofmap")
+
+    def test_spatial_reduction_merges_writes(self):
+        wl = conv1d(K=2, C=4, P=4, R=1)
+        arch = self._arch()
+        # Unroll the reduction dim C: partial outputs merge on the way up.
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"K": 2, "P": 4, "R": 1}, {}, {}],
+            spatial=[{"C": 4}, {}, {}],
+        )
+        counts = count_accesses(m)
+        ofmap = counts.per_tensor["ofmap"]
+        # Parent (L2) receives the reduced result once.
+        assert ofmap.at(1).writes == wl.tensor_size("ofmap")
+        # Each PE drains its partials.
+        assert ofmap.at(0).reads >= 4 * wl.tensor_size("ofmap")
+
+    def test_noc_words_recorded(self):
+        wl = conv1d(K=4, C=2, P=4, R=1)
+        m = build_mapping(
+            wl, self._arch(),
+            temporal=[{"P": 4, "C": 2, "R": 1}, {}, {}],
+            spatial=[{"K": 4}, {}, {}],
+        )
+        counts = count_accesses(m)
+        assert 0 in counts.noc_words
+        assert counts.noc_words[0] > 0
+
+
+class TestBypass:
+    def test_weights_skip_global_buffer(self):
+        arch = simba_like()
+        wl = conv2d(N=1, K=8, C=8, P=4, Q=4, R=3, S=3)
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"K": 8}, {"C": 8, "R": 3, "S": 3}, {"P": 4, "Q": 4}, {}],
+        )
+        counts = count_accesses(m)
+        weight = counts.per_tensor["weight"]
+        glb = arch.level_index("GlobalBuf")
+        # The global buffer never sees weight traffic.
+        assert weight.at(glb).reads == 0
+        assert weight.at(glb).writes == 0
+        # DRAM feeds the PE buffers directly.
+        assert weight.at(arch.level_index("DRAM")).reads > 0
+
+
+class TestPartialReuse:
+    def test_partial_reuse_reduces_ifmap_traffic(self):
+        wl = conv1d(K=1, C=1, P=16, R=5)
+        arch = tiny(l1_words=64, l2_words=4096, pes=4)
+        # P iterates at L2 over L1 tiles of P=4: windows overlap by R-1.
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"P": 4, "R": 5}, {"P": 4}, {}],
+            orders=[["P", "R"], ["P"], []],
+        )
+        naive = count_accesses(m, partial_reuse=False)
+        partial = count_accesses(m, partial_reuse=True)
+        assert partial.per_tensor["ifmap"].at(1).reads < \
+            naive.per_tensor["ifmap"].at(1).reads
+        # Exact: first tile 8 words, then 3 tiles of 4 new words each.
+        assert partial.per_tensor["ifmap"].at(1).reads == 8 + 3 * 4
+
+    def test_partial_reuse_never_increases_traffic(self):
+        wl = conv2d(N=1, K=2, C=2, P=8, Q=8, R=3, S=3)
+        arch = tiny(l1_words=256, l2_words=65536, pes=4)
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"P": 4, "Q": 4, "R": 3, "S": 3}, {"P": 2, "Q": 2, "C": 2, "K": 2}, {}],
+        )
+        naive = count_accesses(m, partial_reuse=False)
+        partial = count_accesses(m, partial_reuse=True)
+        for i in range(3):
+            assert partial.levels[i].total <= naive.levels[i].total
+
+    def test_outputs_unaffected_by_partial_reuse(self):
+        wl = conv1d(K=2, C=2, P=8, R=3)
+        arch = tiny(l1_words=64, l2_words=4096, pes=4)
+        m = build_mapping(wl, arch, temporal=[{"P": 4, "R": 3}, {"P": 2}, {}])
+        naive = count_accesses(m, partial_reuse=False)
+        partial = count_accesses(m, partial_reuse=True)
+        assert (partial.per_tensor["ofmap"].at(1).writes
+                == naive.per_tensor["ofmap"].at(1).writes)

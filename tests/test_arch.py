@@ -1,0 +1,150 @@
+"""Tests for architecture descriptions and presets."""
+
+import math
+
+import pytest
+
+from repro.arch import (
+    UNIFIED,
+    Architecture,
+    ArchitectureError,
+    MemoryLevel,
+    conventional,
+    diannao_like,
+    simba_like,
+    tiny,
+    words,
+)
+
+
+def _dram(**kwargs):
+    return MemoryLevel(name="DRAM", capacity_words=None, **kwargs)
+
+
+class TestMemoryLevel:
+    def test_unified_detection(self):
+        lvl = MemoryLevel("L1", {UNIFIED: 64})
+        assert lvl.is_unified
+        assert lvl.stores("anything")
+        assert lvl.capacity_for("anything") == 64
+
+    def test_per_role_storage_and_bypass(self):
+        lvl = MemoryLevel("L1", {"weight": 64})
+        assert lvl.stores("weight")
+        assert not lvl.stores("ifmap")
+        assert lvl.capacity_for("ifmap") == 0
+
+    def test_unbounded(self):
+        lvl = _dram()
+        assert lvl.is_unbounded
+        assert lvl.stores("weight")
+        assert lvl.capacity_for("weight") is None
+
+    def test_fanout_shape_must_match(self):
+        with pytest.raises(ArchitectureError):
+            MemoryLevel("L1", {UNIFIED: 4}, fanout=8, fanout_shape=(2, 2))
+
+    def test_bad_fanout(self):
+        with pytest.raises(ArchitectureError):
+            MemoryLevel("L1", {UNIFIED: 4}, fanout=0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ArchitectureError):
+            MemoryLevel("L1", {UNIFIED: 0})
+
+
+class TestArchitecture:
+    def test_outermost_must_be_unbounded(self):
+        with pytest.raises(ArchitectureError, match="unbounded"):
+            Architecture("a", [MemoryLevel("L1", {UNIFIED: 8})])
+
+    def test_only_outermost_unbounded(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("a", [_dram(), _dram()])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            Architecture("a", [
+                MemoryLevel("X", {UNIFIED: 8}),
+                MemoryLevel("X", {UNIFIED: 8}),
+                _dram(),
+            ])
+
+    def test_outermost_fanout_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("a", [MemoryLevel("D", None, fanout=4)])
+
+    def test_storage_levels_with_bypass(self):
+        arch = simba_like()
+        weight_levels = arch.storage_levels("weight")
+        # Weights: registers, PE buffer, DRAM — but NOT the global buffer.
+        assert weight_levels == (0, 1, 3)
+        assert arch.storage_levels("ifmap") == (1, 2, 3)
+
+    def test_parent_storage(self):
+        arch = simba_like()
+        assert arch.parent_storage(1, "weight") == 3  # skips GlobalBuf
+        assert arch.parent_storage(1, "ifmap") == 2
+        assert arch.parent_storage(3, "ifmap") is None
+
+    def test_instances_of(self):
+        arch = conventional()
+        assert arch.instances_of(0) == 1024  # one L1 per PE
+        assert arch.instances_of(1) == 1  # a single shared L2
+        simba = simba_like()
+        assert simba.instances_of(0) == 64 * 16  # regs per lane
+        assert simba.instances_of(1) == 16  # PE buffers
+
+    def test_total_fanout(self):
+        assert conventional().total_fanout == 1024
+        assert simba_like().total_fanout == 64 * 16
+
+    def test_with_level(self):
+        arch = tiny()
+        bigger = arch.with_level("L1", capacity_words={UNIFIED: 128})
+        assert bigger.levels[0].capacity_for(UNIFIED) == 128
+        assert arch.levels[0].capacity_for(UNIFIED) == 8
+
+    def test_level_index(self):
+        arch = tiny()
+        assert arch.level_index("L2") == 1
+        with pytest.raises(KeyError):
+            arch.level_index("nope")
+
+    def test_describe_mentions_all_levels(self):
+        text = simba_like().describe()
+        for name in ("Regs", "PEBuf", "GlobalBuf", "DRAM"):
+            assert name in text
+
+
+class TestPresets:
+    def test_conventional_matches_table4(self):
+        arch = conventional()
+        l1 = arch.levels[0]
+        assert l1.fanout == 1024  # 32x32 PEs
+        assert l1.capacity_for(UNIFIED) == 256  # 512 B at 16-bit words
+        l2 = arch.levels[1]
+        assert l2.capacity_for(UNIFIED) == words(3.1 * 1024, 16)
+
+    def test_simba_matches_table4(self):
+        arch = simba_like()
+        pebuf = arch.levels[1]
+        assert pebuf.capacity_for("weight") == words(32, 8)
+        assert pebuf.capacity_for("ifmap") == words(8, 8)
+        assert pebuf.capacity_for("ofmap") == words(3, 24)
+        assert arch.levels[2].stores("ifmap")
+        assert not arch.levels[2].stores("weight")
+
+    def test_diannao_lane_level(self):
+        arch = diannao_like()
+        assert arch.levels[0].fanout == 256  # 16x16 multipliers
+
+    def test_energy_hierarchy_is_monotone(self):
+        # DRAM must dominate on-chip SRAM, which dominates registers.
+        arch = simba_like()
+        energies = [lvl.read_energy for lvl in arch.levels]
+        assert energies[0] < energies[1] < energies[2] < energies[3]
+
+    def test_words_helper(self):
+        assert words(1, 16) == 512
+        assert words(32, 8) == 32768

@@ -1,0 +1,51 @@
+"""Tests for the area model."""
+
+import pytest
+
+from repro.arch import conventional, diannao_like, simba_like, tiny
+from repro.energy.area import AreaBreakdown, estimate_area, mac_area
+
+
+class TestMacArea:
+    def test_precision_scaling(self):
+        assert mac_area(8) < mac_area(16) < mac_area(32)
+
+
+class TestEstimateArea:
+    def test_components_present(self):
+        area = estimate_area(conventional())
+        assert set(area.memories) == {"L1", "L2"}  # DRAM excluded
+        assert area.compute > 0
+        assert area.interconnect > 0
+        assert area.total_mm2 == pytest.approx(
+            sum(area.memories.values()) + area.compute + area.interconnect)
+
+    def test_instances_multiply(self):
+        # 1024 PEs: per-PE L1 area scales with the instance count.
+        conv = estimate_area(conventional())
+        per_pe = conv.memories["L1"] / 1024
+        assert per_pe > 0
+        assert conv.memories["L1"] > conv.memories["L2"] / 100
+
+    def test_plausible_chip_sizes(self):
+        # Eyeriss-class chips are a few to a few tens of mm^2 at 65-45 nm.
+        for factory in (conventional, simba_like, diannao_like):
+            total = estimate_area(factory()).total_mm2
+            assert 0.5 < total < 200, factory.__name__
+
+    def test_register_files_use_ff_density(self):
+        simba = estimate_area(simba_like(), word_bits=8)
+        # 8-entry weight regs per lane: tiny area despite 1024 instances.
+        assert simba.memories["Regs"] < simba.memories["PEBuf"]
+
+    def test_summary_renders(self):
+        text = estimate_area(tiny()).summary()
+        assert "total area" in text
+        assert "compute" in text
+
+
+class TestScalingTrends:
+    def test_bigger_grid_bigger_area(self):
+        small = estimate_area(tiny(pes=4)).total_mm2
+        big = estimate_area(tiny(pes=64)).total_mm2
+        assert big > small

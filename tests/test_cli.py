@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_architecture, build_workload, main
+
+
+class TestBuilders:
+    def test_build_workload(self):
+        wl = build_workload("conv1d", ["K=4", "C=4", "P=14", "R=3"])
+        assert wl.dims == {"K": 4, "C": 4, "P": 14, "R": 3}
+
+    def test_build_workload_lowercase_dims(self):
+        wl = build_workload("mttkrp", ["i=8", "k=8", "l=8", "j=4"])
+        assert wl.dims["I"] == 8
+
+    def test_missing_dims_rejected(self):
+        with pytest.raises(SystemExit, match="missing"):
+            build_workload("conv1d", ["K=4"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            build_workload("fft", [])
+
+    def test_bad_dim_syntax_rejected(self):
+        with pytest.raises(SystemExit, match="DIM=SIZE"):
+            build_workload("conv1d", ["K4"])
+
+    def test_build_architecture(self):
+        assert build_architecture("simba").name == "simba-like"
+        with pytest.raises(SystemExit, match="unknown architecture"):
+            build_architecture("tpu")
+
+    def test_build_architecture_from_config_file(self):
+        arch = build_architecture("configs/simba.json")
+        assert arch.name == "simba-like"
+        assert arch.num_levels == 4
+
+    def test_missing_config_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            build_architecture("no/such/file.json")
+
+
+class TestCommands:
+    def test_schedule_command(self, capsys, tmp_path):
+        out = str(tmp_path / "m.json")
+        code = main([
+            "schedule", "--workload", "conv1d", "--arch", "tiny",
+            "--output", out, "K=4", "C=4", "P=14", "R=3",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "EDP" in captured
+        assert "candidates evaluated" in captured
+        with open(out) as handle:
+            doc = json.load(handle)
+        assert doc["workload"]["name"] == "conv1d"
+
+    def test_evaluate_command(self, capsys, tmp_path):
+        out = str(tmp_path / "m.json")
+        main(["schedule", "--workload", "conv1d", "--arch", "tiny",
+              "--output", out, "K=4", "C=4", "P=14", "R=3"])
+        capsys.readouterr()
+        code = main(["evaluate", out, "--json"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert '"valid": true' in captured
+
+    def test_describe_arch(self, capsys):
+        assert main(["describe", "--arch", "simba"]) == 0
+        assert "GlobalBuf" in capsys.readouterr().out
+
+    def test_describe_workload(self, capsys):
+        code = main(["describe", "--workload", "conv1d",
+                     "K=4", "C=4", "P=14", "R=3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reused by" in out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--workload", "conv1d", "--arch", "tiny",
+            "--mappers=cosa", "K=4", "C=4", "P=14", "R=3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sunstone" in out
+        assert "cosa-like" in out

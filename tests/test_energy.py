@@ -1,0 +1,122 @@
+"""Tests for the Accelergy/Cacti-style energy models."""
+
+import pytest
+
+from repro.energy import (
+    EnergyTable,
+    NocModel,
+    dram_energy,
+    mac_energy,
+    regfile_energy,
+    sram_estimate,
+)
+
+
+class TestCacti:
+    def test_energy_grows_with_capacity(self):
+        small = sram_estimate(512, 16)
+        big = sram_estimate(512 * 1024, 16)
+        assert small.read_energy < big.read_energy
+
+    def test_energy_grows_with_width(self):
+        narrow = sram_estimate(32 * 1024, 8)
+        wide = sram_estimate(32 * 1024, 32)
+        assert narrow.read_energy < wide.read_energy
+
+    def test_writes_cost_more_than_reads(self):
+        est = sram_estimate(32 * 1024, 16)
+        assert est.write_energy > est.read_energy
+
+    def test_banking_reduces_energy(self):
+        flat = sram_estimate(1024 * 1024, 16, banks=1)
+        banked = sram_estimate(1024 * 1024, 16, banks=16)
+        assert banked.read_energy < flat.read_energy
+
+    def test_published_anchor_points(self):
+        # Roughly the Eyeriss-era hierarchy: spad ~0.5 pJ, GB ~10-20 pJ.
+        spad = sram_estimate(512, 16).read_energy
+        glb = sram_estimate(3 * 1024 * 1024, 16).read_energy
+        assert 0.2 < spad < 1.5
+        assert 5.0 < glb < 40.0
+        assert dram_energy(16) / glb > 5  # DRAM dominates on-chip by far
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sram_estimate(0, 16)
+        with pytest.raises(ValueError):
+            sram_estimate(64, 0)
+        with pytest.raises(ValueError):
+            sram_estimate(64, 16, banks=0)
+        with pytest.raises(ValueError):
+            regfile_energy(0)
+
+    def test_regfile_cheaper_than_sram(self):
+        reg_read, _ = regfile_energy(8, word_bits=8)
+        assert reg_read < sram_estimate(1024, 8).read_energy
+
+
+class TestMacAndDram:
+    def test_mac_precision_scaling(self):
+        assert mac_energy(8) < mac_energy(16) < mac_energy(32)
+
+    def test_dram_width_scaling(self):
+        assert dram_energy(8) == pytest.approx(dram_energy(16) / 2)
+
+
+class TestEnergyTable:
+    def test_define_and_lookup(self):
+        table = EnergyTable()
+        table.define("L1", "read", 1.5)
+        assert table.energy("L1", "read") == 1.5
+
+    def test_unknown_action_raises(self):
+        table = EnergyTable()
+        with pytest.raises(KeyError):
+            table.energy("L1", "read")
+
+    def test_negative_energy_rejected(self):
+        table = EnergyTable()
+        with pytest.raises(ValueError):
+            table.define("L1", "read", -1.0)
+
+    def test_cost_of_counts(self):
+        table = EnergyTable()
+        table.define("L1", "read", 2.0)
+        table.define("L1", "write", 3.0)
+        assert table.cost({"L1.read": 10, "L1.write": 1}) == 23.0
+
+    def test_component_helpers(self):
+        table = EnergyTable()
+        table.define_sram("L2", 64 * 1024, 16)
+        table.define_regfile("RF", 8, 8)
+        table.define_dram()
+        table.define_mac()
+        assert table.energy("L2", "read") > table.energy("RF", "read")
+        assert table.energy("DRAM", "read") > table.energy("L2", "read")
+        assert table.energy("MAC", "compute") > 0
+
+
+class TestNoc:
+    def test_multicast_cheaper_than_repeated_unicast(self):
+        noc = NocModel((8, 8), word_bits=16)
+        assert noc.multicast_energy(16) < 16 * noc.unicast_energy()
+
+    def test_multicast_monotone_in_destinations(self):
+        noc = NocModel((8, 8))
+        assert noc.multicast_energy(2) <= noc.multicast_energy(32)
+
+    def test_destinations_capped_at_fanout(self):
+        noc = NocModel((4, 4))
+        assert noc.multicast_energy(16) == noc.multicast_energy(1000)
+
+    def test_transfer_energy(self):
+        noc = NocModel((4, 4))
+        assert noc.transfer_energy(10, 4) == pytest.approx(
+            10 * noc.multicast_energy(4))
+
+    def test_invalid_inputs(self):
+        noc = NocModel((4, 4))
+        with pytest.raises(ValueError):
+            noc.multicast_energy(0)
+        with pytest.raises(ValueError):
+            noc.transfer_energy(-1, 2)

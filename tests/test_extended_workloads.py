@@ -1,0 +1,93 @@
+"""Tests for the extended workload constructors."""
+
+import pytest
+
+from repro.arch import conventional, tiny
+from repro.core import enumerate_orderings, schedule
+from repro.workloads import (
+    attention_scores,
+    attention_values,
+    batched_matmul,
+    depthwise_conv2d,
+    grouped_conv2d,
+    mobilenet_depthwise,
+)
+
+
+class TestDepthwiseConv:
+    def test_no_channel_reduction(self):
+        wl = depthwise_conv2d(N=1, C=8, P=6, Q=6, R=3, S=3)
+        # C indexes every tensor: it can never be a reuse dimension.
+        for tensor in wl.tensors:
+            assert "C" in tensor.indexing_dims
+
+    def test_ops_count(self):
+        wl = depthwise_conv2d(N=2, C=8, P=6, Q=6, R=3, S=3)
+        assert wl.total_operations == 2 * 8 * 6 * 6 * 3 * 3
+
+    def test_schedulable(self):
+        wl = depthwise_conv2d(N=1, C=32, P=28, Q=28, R=3, S=3)
+        result = schedule(wl, conventional())
+        assert result.found and result.cost.valid
+
+    def test_weight_reused_across_spatial(self):
+        wl = depthwise_conv2d(N=1, C=8, P=6, Q=6, R=3, S=3)
+        info = wl.reuse_info("weight")
+        assert {"N", "P", "Q"} <= info.reused_by
+
+
+class TestGroupedConv:
+    def test_group_dim_indexes_everything(self):
+        wl = grouped_conv2d(N=1, G=4, K=4, C=4, P=6, Q=6, R=3, S=3)
+        for tensor in wl.tensors:
+            assert "G" in tensor.indexing_dims
+
+    def test_trie_never_reuses_across_groups(self):
+        wl = grouped_conv2d(N=1, G=4, K=4, C=4, P=6, Q=6, R=3, S=3)
+        for cand in enumerate_orderings(wl):
+            for _, dims in cand.outcome.full:
+                assert "G" not in dims
+
+    def test_schedulable(self):
+        wl = grouped_conv2d(N=1, G=2, K=8, C=8, P=14, Q=14, R=3, S=3)
+        result = schedule(wl, conventional())
+        assert result.found and result.cost.valid
+
+
+class TestAttention:
+    def test_scores_shape(self):
+        wl = attention_scores(B=2, H=4, L=64, D=32)
+        assert wl.total_operations == 2 * 4 * 64 * 64 * 32
+        assert wl.tensor("scores").is_output
+
+    def test_values_shape(self):
+        wl = attention_values(B=2, H=4, L=64, D=32)
+        assert wl.reuse_info("out").reused_by == {"J"}
+
+    def test_bmm(self):
+        wl = batched_matmul(B=4, M=16, N=16, K=16)
+        # Batch indexes all tensors: no cross-batch reuse.
+        for tensor in wl.tensors:
+            assert "B" in tensor.indexing_dims
+
+    def test_attention_schedulable(self):
+        wl = attention_scores(B=1, H=8, L=128, D=64)
+        result = schedule(wl, conventional())
+        assert result.found and result.cost.valid
+        assert result.cost.utilization >= 0.5
+
+
+class TestMobilenetSuite:
+    def test_layer_count_and_batch(self):
+        layers = mobilenet_depthwise(batch=2)
+        assert len(layers) == 5
+        assert all(wl.dims["N"] == 2 for wl in layers)
+
+    def test_strided_blocks_present(self):
+        layers = mobilenet_depthwise()
+        strides = set()
+        for wl in layers:
+            for expr in wl.tensor("ifmap").indices:
+                if expr.is_window:
+                    strides.add(expr.stride)
+        assert strides == {1, 2}

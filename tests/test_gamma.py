@@ -1,0 +1,66 @@
+"""Tests for the GAMMA-like genetic-algorithm baseline."""
+
+import pytest
+
+from repro.arch import conventional, tiny
+from repro.baselines.gamma import GammaConfig, gamma_search
+from repro.core import schedule
+from repro.workloads import conv1d, conv2d
+
+
+@pytest.fixture
+def small_conv():
+    return conv1d(K=4, C=4, P=14, R=3)
+
+
+@pytest.fixture
+def small_arch():
+    return tiny(l1_words=64, l2_words=512, pes=4)
+
+
+class TestGamma:
+    def test_finds_valid_mapping(self, small_conv, small_arch):
+        result = gamma_search(small_conv, small_arch,
+                              GammaConfig(population=30, generations=10))
+        assert result.found
+        assert result.valid
+
+    def test_deterministic_with_seed(self, small_conv, small_arch):
+        config = GammaConfig(population=20, generations=6, seed=11)
+        a = gamma_search(small_conv, small_arch, config)
+        b = gamma_search(small_conv, small_arch, config)
+        assert a.edp == b.edp
+
+    def test_evaluation_budget(self, small_conv, small_arch):
+        config = GammaConfig(population=20, generations=5)
+        result = gamma_search(small_conv, small_arch, config)
+        assert result.evaluations == 20 * 5
+
+    def test_more_generations_never_hurt(self, small_conv, small_arch):
+        short = gamma_search(small_conv, small_arch,
+                             GammaConfig(population=20, generations=2,
+                                         seed=3))
+        long = gamma_search(small_conv, small_arch,
+                            GammaConfig(population=20, generations=20,
+                                        seed=3))
+        if short.found and long.found:
+            assert long.edp <= short.edp * 1.2
+
+    def test_factor_products_hold(self, small_conv, small_arch):
+        result = gamma_search(small_conv, small_arch,
+                              GammaConfig(population=20, generations=5))
+        assert result.found
+        for dim, size in small_conv.dims.items():
+            product = 1
+            for lvl in result.mapping.levels:
+                product *= lvl.temporal_factor(dim) * lvl.spatial_factor(dim)
+            assert product == size
+
+    def test_sunstone_matches_or_beats_gamma(self, small_conv, small_arch):
+        """The black-box GA needs far more evaluations for comparable
+        quality (the paper's §VI argument)."""
+        sunstone = schedule(small_conv, small_arch)
+        gamma = gamma_search(small_conv, small_arch,
+                             GammaConfig(population=40, generations=15))
+        if gamma.found:
+            assert sunstone.edp <= gamma.edp * 1.05

@@ -1,0 +1,108 @@
+"""Tests for the JSON model importer."""
+
+import json
+
+import pytest
+
+from repro.arch import conventional
+from repro.core import schedule_network
+from repro.workloads.importer import (
+    SUPPORTED_LAYER_TYPES,
+    ModelFormatError,
+    layer_from_record,
+    load_model,
+    model_from_dict,
+)
+
+
+class TestLayerFromRecord:
+    def test_conv2d(self):
+        wl = layer_from_record({
+            "type": "conv2d", "name": "x",
+            "dims": {"N": 1, "K": 8, "C": 4, "P": 6, "Q": 6, "R": 3, "S": 3},
+            "stride": 2,
+        })
+        assert wl.name == "x"
+        assert wl.dims["K"] == 8
+        # Stride applied: ifmap extent is (6-1)*2 + 3 = 13 per axis.
+        assert wl.tensor_size("ifmap") == 4 * 13 * 13
+
+    def test_fc(self):
+        wl = layer_from_record({"type": "fc",
+                                "dims": {"N": 2, "K": 10, "C": 64}})
+        assert wl.total_operations == 2 * 10 * 64
+
+    def test_unknown_type(self):
+        with pytest.raises(ModelFormatError, match="unknown layer type"):
+            layer_from_record({"type": "fft", "dims": {}})
+
+    def test_missing_dims(self):
+        with pytest.raises(ModelFormatError, match="missing dimensions"):
+            layer_from_record({"type": "fc", "dims": {"N": 1}})
+
+    def test_missing_type(self):
+        with pytest.raises(ModelFormatError, match="missing 'type'"):
+            layer_from_record({"dims": {}})
+
+    def test_all_types_constructible(self):
+        samples = {
+            "conv1d": {"K": 2, "C": 2, "P": 4, "R": 2},
+            "conv2d": {"N": 1, "K": 2, "C": 2, "P": 4, "Q": 4, "R": 2,
+                       "S": 2},
+            "dwconv2d": {"N": 1, "C": 2, "P": 4, "Q": 4, "R": 2, "S": 2},
+            "gconv2d": {"N": 1, "G": 2, "K": 2, "C": 2, "P": 4, "Q": 4,
+                        "R": 2, "S": 2},
+            "fc": {"N": 1, "K": 2, "C": 2},
+            "bmm": {"B": 2, "M": 2, "N": 2, "K": 2},
+            "attn_qk": {"B": 1, "H": 2, "L": 4, "D": 2},
+            "attn_av": {"B": 1, "H": 2, "L": 4, "D": 2},
+            "mttkrp": {"I": 2, "K": 2, "L": 2, "J": 2},
+            "sddmm": {"I": 2, "J": 2, "K": 2},
+            "ttmc": {"I": 2, "J": 2, "K": 2, "L": 2, "M": 2},
+            "mmc": {"I": 2, "J": 2, "K": 2, "L": 2},
+            "tcl": {"I": 2, "J": 2, "K": 2, "L": 2, "M": 2, "N": 2},
+        }
+        assert set(samples) == set(SUPPORTED_LAYER_TYPES)
+        for layer_type, dims in samples.items():
+            wl = layer_from_record({"type": layer_type, "dims": dims})
+            assert wl.total_operations > 0
+
+
+class TestModelDocuments:
+    def test_repeat_expansion(self):
+        model = model_from_dict({"layers": [
+            {"type": "fc", "dims": {"N": 1, "K": 4, "C": 4}, "repeat": 3},
+        ]})
+        assert len(model) == 3
+        assert model[0] is model[1]  # same workload object: dedupe-friendly
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelFormatError, match="non-empty"):
+            model_from_dict({"layers": []})
+
+    def test_bad_repeat(self):
+        with pytest.raises(ModelFormatError, match="repeat"):
+            model_from_dict({"layers": [
+                {"type": "fc", "dims": {"N": 1, "K": 4, "C": 4},
+                 "repeat": 0},
+            ]})
+
+    def test_load_sample_resnet_config(self):
+        model = load_model("configs/resnet18.json")
+        # 1 + 4 + 1 + 3 + 1 + 3 + 1 + 3 + 1 = 18 layers.
+        assert len(model) == 18
+        assert model[0].name == "conv1"
+        assert model[-1].name == "fc1000"
+
+    def test_imported_model_schedules_with_dedup(self, tmp_path):
+        doc = {"layers": [
+            {"type": "fc", "name": "a", "dims": {"N": 1, "K": 8, "C": 16},
+             "repeat": 2},
+            {"type": "fc", "name": "b", "dims": {"N": 1, "K": 16, "C": 8}},
+        ]}
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(doc))
+        model = load_model(str(path))
+        net = schedule_network(model, conventional())
+        assert net.all_found
+        assert net.unique_searches == 2

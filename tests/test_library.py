@@ -1,0 +1,131 @@
+"""Tests for the workload library (Table II kernels and layer suites)."""
+
+import pytest
+
+from repro.workloads import (
+    FROSTT_SHAPES,
+    INCEPTION_V3_LAYERS,
+    RESNET18_LAYERS,
+    conv2d,
+    fully_connected,
+    inception_v3_weight_update,
+    mmc,
+    mttkrp,
+    mttkrp_from_frostt,
+    resnet18,
+    sddmm,
+    sddmm_from_suitesparse,
+    tcl,
+    ttmc,
+    ttmc_from_frostt,
+)
+
+
+class TestConv2d:
+    def test_dims_and_ops(self):
+        wl = conv2d(N=2, K=8, C=4, P=6, Q=6, R=3, S=3)
+        assert wl.total_operations == 2 * 8 * 4 * 6 * 6 * 3 * 3
+
+    def test_ifmap_halo(self):
+        wl = conv2d(N=1, K=1, C=1, P=6, Q=6, R=3, S=3)
+        # full ifmap is (P+R-1) x (Q+S-1)
+        assert wl.tensor_size("ifmap") == 8 * 8
+
+    def test_strided_ifmap(self):
+        wl = conv2d(N=1, K=1, C=1, P=6, Q=6, R=3, S=3, stride=2)
+        assert wl.tensor_size("ifmap") == 13 * 13
+
+    def test_roles(self):
+        wl = conv2d(N=1, K=2, C=2, P=2, Q=2, R=1, S=1)
+        assert wl.tensor("ifmap").role == "ifmap"
+        assert wl.tensor("weight").role == "weight"
+        assert wl.tensor("ofmap").role == "ofmap"
+
+
+class TestTensorKernels:
+    def test_mttkrp_reuse(self):
+        wl = mttkrp(I=8, K=8, L=8, J=4)
+        # out[i,j]: reduction dims K and L reuse the output.
+        info = wl.reuse_info("out")
+        assert info.reused_by == {"K", "L"}
+        assert wl.total_operations == 8 * 8 * 8 * 4
+
+    def test_sddmm_shape(self):
+        wl = sddmm(I=4, J=4, K=8)
+        assert {t.name for t in wl.tensors} == {"A", "B", "C", "out"}
+        assert wl.reuse_info("A").reused_by == {"K"}
+
+    def test_ttmc_five_dims(self):
+        wl = ttmc(I=4, J=4, K=4, L=2, M=2)
+        assert len(wl.dim_names) == 5
+        assert wl.reuse_info("out").reused_by == {"J", "K"}
+
+    def test_mmc(self):
+        wl = mmc(I=4, J=4, K=4, L=4)
+        assert wl.reuse_info("out").reused_by == {"J", "K"}
+
+    def test_tcl(self):
+        wl = tcl(I=2, J=2, K=2, L=2, M=2, N=2)
+        assert wl.reuse_info("A").reused_by == {"L", "M", "N"}
+
+    def test_fully_connected(self):
+        wl = fully_connected(N=4, K=8, C=16)
+        assert wl.total_operations == 4 * 8 * 16
+
+
+class TestFrosttShapes:
+    def test_mttkrp_from_frostt(self):
+        wl = mttkrp_from_frostt("nell2", rank=32)
+        i, k, l = FROSTT_SHAPES["nell2"]
+        assert wl.dims == {"I": i, "K": k, "L": l, "J": 32}
+
+    def test_ttmc_from_frostt(self):
+        wl = ttmc_from_frostt("poisson1", rank=8)
+        assert wl.dims["L"] == 8
+        assert wl.dims["M"] == 8
+
+    def test_sddmm_from_suitesparse(self):
+        wl = sddmm_from_suitesparse("bcsstk17", rank=512)
+        assert wl.dims["K"] == 512
+
+    def test_unknown_tensor_raises(self):
+        with pytest.raises(KeyError):
+            mttkrp_from_frostt("not-a-tensor")
+
+
+class TestNetworkSuites:
+    def test_resnet18_layer_count(self):
+        layers = resnet18(batch=1)
+        assert len(layers) == len(RESNET18_LAYERS)
+        assert all(wl.dims["N"] == 1 for wl in layers)
+
+    def test_resnet18_batch(self):
+        layers = resnet18(batch=16)
+        assert all(wl.dims["N"] == 16 for wl in layers)
+
+    def test_inception_has_asymmetric_layers(self):
+        names = {layer.name for layer in INCEPTION_V3_LAYERS}
+        assert "1x7_deep" in names
+        assert "3x1_deep" in names
+        shapes = {layer.name: layer for layer in INCEPTION_V3_LAYERS}
+        assert shapes["1x7_deep"].R != shapes["1x7_deep"].S
+
+    def test_weight_update_output_is_weight(self):
+        wu = RESNET18_LAYERS[1].weight_update(batch=16)
+        outputs = [t for t in wu.tensors if t.is_output]
+        assert len(outputs) == 1
+        assert outputs[0].role == "weight"
+        # In weight update, the batch and output spatial dims are reduction
+        # dims that reuse the output.
+        info = wu.reuse_info(outputs[0].name)
+        assert {"N", "P", "Q"} <= info.reused_by
+
+    def test_weight_update_suite(self):
+        suite = inception_v3_weight_update(batch=16)
+        assert len(suite) == len(INCEPTION_V3_LAYERS)
+        assert all(wl.dims["N"] == 16 for wl in suite)
+
+    def test_weight_update_op_count_matches_inference(self):
+        layer = RESNET18_LAYERS[1]
+        assert (layer.weight_update(batch=4).total_operations
+                == layer.inference(batch=4).total_operations)

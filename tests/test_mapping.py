@@ -1,0 +1,157 @@
+"""Tests for the mapping representation."""
+
+import pytest
+
+from repro.arch import UNIFIED, tiny
+from repro.mapping import (
+    LevelMapping,
+    Mapping,
+    MappingError,
+    build_mapping,
+    mapping_signature,
+    render_nest,
+)
+from repro.workloads import conv1d
+
+
+@pytest.fixture
+def workload():
+    return conv1d(K=4, C=4, P=14, R=3)
+
+
+@pytest.fixture
+def arch():
+    return tiny(l1_words=64, l2_words=512, pes=4)
+
+
+class TestLevelMapping:
+    def test_factor_dicts(self):
+        lvl = LevelMapping(temporal=(("K", 2), ("P", 7)), spatial=(("C", 2),))
+        assert lvl.temporal_factors == {"K": 2, "P": 7}
+        assert lvl.spatial_factors == {"C": 2}
+        assert lvl.spatial_size == 2
+
+    def test_defaults(self):
+        lvl = LevelMapping()
+        assert lvl.spatial_size == 1
+        assert lvl.temporal_factor("K") == 1
+
+    def test_nontrivial_temporal_preserves_order(self):
+        lvl = LevelMapping(temporal=(("K", 2), ("C", 1), ("P", 7)))
+        assert lvl.nontrivial_temporal() == (("K", 2), ("P", 7))
+
+    def test_duplicate_dim_rejected(self):
+        with pytest.raises(MappingError):
+            LevelMapping(temporal=(("K", 2), ("K", 2)))
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(MappingError):
+            LevelMapping(temporal=(("K", 0),))
+
+
+class TestMapping:
+    def test_factor_products_enforced(self, workload, arch):
+        with pytest.raises(MappingError, match="multiply to"):
+            Mapping(workload, arch, [
+                LevelMapping(temporal=(("K", 2),)),
+                LevelMapping(),
+                LevelMapping(),
+            ])
+
+    def test_level_count_enforced(self, workload, arch):
+        with pytest.raises(MappingError, match="levels"):
+            Mapping(workload, arch, [LevelMapping()])
+
+    def test_cumulative_sizes(self, workload, arch):
+        m = build_mapping(
+            workload, arch,
+            temporal=[{"P": 7, "R": 3}, {"K": 2}, {}],
+            spatial=[{"C": 2}, {}, {}],
+        )
+        assert m.cumulative_sizes(0) == {"K": 1, "C": 1, "P": 7, "R": 3}
+        # Level 1 tile includes the level-0 spatial split.
+        assert m.cumulative_sizes(1) == {"K": 2, "C": 2, "P": 7, "R": 3}
+
+    def test_footprint_includes_halo(self, workload, arch):
+        m = build_mapping(workload, arch, temporal=[{"P": 7, "R": 3}, {}, {}])
+        # ifmap tile: C=1 x (7+3-1)
+        assert m.footprint(0, "ifmap") == 9
+
+    def test_occupancy_unified(self, workload, arch):
+        m = build_mapping(workload, arch, temporal=[{"P": 7, "R": 3}, {}, {}])
+        occ = m.occupancy(0)
+        # All roles share the unified buffer: ofmap 7 + ifmap 9 + weight 3.
+        assert sum(occ.values()) == 7 + 9 + 3
+
+    def test_validate_capacity(self, workload, arch):
+        ok = build_mapping(workload, arch, temporal=[{"P": 7, "R": 3}, {}, {}])
+        assert ok.is_valid
+        too_big = build_mapping(
+            workload, arch, temporal=[{"P": 14, "K": 4, "C": 4, "R": 3}, {}, {}],
+        )
+        assert not too_big.is_valid
+        assert any("capacity" in v for v in too_big.validate())
+
+    def test_validate_fanout(self, workload, arch):
+        bad = build_mapping(
+            workload, arch, temporal=[{}, {}, {}],
+            spatial=[{"K": 4, "C": 2}, {}, {}],  # 8 > 4 PEs
+        )
+        assert any("fanout" in v for v in bad.validate())
+
+    def test_used_lanes_and_utilization(self, workload, arch):
+        m = build_mapping(workload, arch, temporal=[{}, {}, {}],
+                          spatial=[{"K": 4}, {}, {}])
+        assert m.used_lanes() == 4
+        assert m.spatial_utilization() == 1.0
+
+
+class TestBuildMapping:
+    def test_residual_pushed_to_top(self, workload, arch):
+        m = build_mapping(workload, arch, temporal=[{"P": 7}, {}, {}])
+        top = m.levels[2].temporal_factors
+        assert top == {"K": 4, "C": 4, "P": 2, "R": 3}
+
+    def test_orders_respected(self, workload, arch):
+        m = build_mapping(
+            workload, arch,
+            temporal=[{}, {"K": 2, "C": 2}, {}],
+            orders=[[], ["C", "K"], []],
+        )
+        nest = [d for d, _ in m.levels[1].temporal]
+        assert nest[:2] == ["C", "K"]
+
+    def test_nondivisible_factors_rejected(self, workload, arch):
+        with pytest.raises(MappingError, match="divide"):
+            build_mapping(workload, arch, temporal=[{"P": 5}, {}, {}])
+
+    def test_accepts_pair_lists(self, workload, arch):
+        m = build_mapping(workload, arch,
+                          temporal=[[("P", 7), ("R", 3)], {}, {}])
+        assert m.levels[0].temporal_factor("P") == 7
+
+
+class TestRendering:
+    def test_render_nest_mentions_loops(self, workload, arch):
+        m = build_mapping(workload, arch, temporal=[{"P": 7, "R": 3}, {}, {}],
+                          spatial=[{"C": 2}, {}, {}])
+        text = render_nest(m)
+        assert "parallel-for" in text
+        assert "compute(" in text
+        assert "p_0 in [0, 7)" in text
+
+    def test_signature_ignores_trivial_loops(self, workload, arch):
+        a = build_mapping(workload, arch, temporal=[{"P": 7, "K": 1}, {}, {}])
+        b = build_mapping(workload, arch, temporal=[{"P": 7}, {}, {}])
+        assert mapping_signature(a) == mapping_signature(b)
+
+    def test_signature_distinguishes_orders(self, workload, arch):
+        a = build_mapping(workload, arch, temporal=[{}, {"K": 2, "C": 2}, {}],
+                          orders=[[], ["K", "C"], []])
+        b = build_mapping(workload, arch, temporal=[{}, {"K": 2, "C": 2}, {}],
+                          orders=[[], ["C", "K"], []])
+        assert mapping_signature(a) != mapping_signature(b)
+
+    def test_repr(self, workload, arch):
+        m = build_mapping(workload, arch, temporal=[{"P": 7}, {}, {}])
+        assert "conv1d" in repr(m)

@@ -1,0 +1,69 @@
+"""Metamorphic properties of the cost model and scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel, tiny
+from repro.core import SchedulerOptions, schedule
+from repro.mapping import build_mapping
+from repro.model import evaluate
+from repro.workloads import conv1d
+
+_SIZES = st.sampled_from([2, 3, 4, 6])
+
+
+class TestCostMetamorphic:
+    @given(K=_SIZES, C=_SIZES, P=_SIZES,
+           R=st.sampled_from([1, 2, 3]), scale=st.sampled_from([2, 3]))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_a_dim_scales_compute(self, K, C, P, R, scale):
+        arch = tiny(l1_words=10**9, l2_words=10**9, pes=4)
+        small = conv1d(K=K, C=C, P=P, R=R)
+        big = conv1d(K=K * scale, C=C, P=P, R=R)
+        m_small = build_mapping(small, arch, temporal=[dict(small.dims), {}, {}])
+        m_big = build_mapping(big, arch, temporal=[dict(big.dims), {}, {}])
+        r_small, r_big = evaluate(m_small), evaluate(m_big)
+        assert r_big.compute_energy == pytest.approx(
+            r_small.compute_energy * scale)
+        assert r_big.energy_pj > r_small.energy_pj
+
+    @given(K=_SIZES, C=_SIZES, P=_SIZES)
+    @settings(max_examples=20, deadline=None)
+    def test_cheaper_memory_never_raises_energy(self, K, C, P):
+        wl = conv1d(K=K, C=C, P=P, R=2)
+        expensive = tiny(l1_words=64, l2_words=4096, pes=4)
+        cheap = expensive.with_level("DRAM", read_energy=1.0,
+                                     write_energy=1.0)
+        m1 = build_mapping(wl, expensive, temporal=[{"P": 1}, {}, {}])
+        m2 = build_mapping(wl, cheap, temporal=[{"P": 1}, {}, {}])
+        assert evaluate(m2).energy_pj <= evaluate(m1).energy_pj
+
+
+class TestSchedulerMetamorphic:
+    def test_more_capacity_never_hurts(self):
+        wl = conv1d(K=8, C=8, P=16, R=3)
+        small = tiny(l1_words=32, l2_words=1024, pes=4)
+        big = tiny(l1_words=256, l2_words=8192, pes=4)
+        opts = SchedulerOptions(polish=False)
+        edp_small = schedule(wl, small, opts).edp
+        edp_big = schedule(wl, big, opts).edp
+        assert edp_big <= edp_small * 1.0001
+
+    def test_more_parallelism_never_hurts_edp(self):
+        wl = conv1d(K=16, C=16, P=16, R=3)
+        few = tiny(l1_words=128, l2_words=8192, pes=4)
+        many = tiny(l1_words=128, l2_words=8192, pes=16)
+        edp_few = schedule(wl, few).edp
+        edp_many = schedule(wl, many).edp
+        assert edp_many <= edp_few * 1.0001
+
+    def test_batch_scales_monotonically(self):
+        from repro.workloads import conv2d
+        from repro.arch import conventional
+        arch = conventional()
+        small = schedule(conv2d(N=1, K=32, C=32, P=14, Q=14, R=3, S=3),
+                         arch)
+        big = schedule(conv2d(N=4, K=32, C=32, P=14, Q=14, R=3, S=3), arch)
+        assert big.cost.energy_pj > small.cost.energy_pj
+        assert big.cost.cycles >= small.cost.cycles

@@ -1,0 +1,48 @@
+"""Additional tests for loop-nest rendering."""
+
+import pytest
+
+from repro.arch import tiny
+from repro.mapping import build_mapping, render_nest
+from repro.workloads import conv1d
+
+
+@pytest.fixture
+def mapping():
+    wl = conv1d(K=4, C=4, P=14, R=3)
+    arch = tiny(l1_words=64, l2_words=512, pes=4)
+    return build_mapping(
+        wl, arch,
+        temporal=[{"P": 7, "R": 3, "K": 1}, {"K": 2}, {}],
+        spatial=[{"C": 2}, {}, {}],
+        orders=[["K", "P", "R"], ["K"], []],
+    )
+
+
+class TestRenderNest:
+    def test_trivial_loops_hidden_by_default(self, mapping):
+        text = render_nest(mapping)
+        assert "k_0" not in text  # bound-1 loop hidden
+
+    def test_show_trivial(self, mapping):
+        text = render_nest(mapping, show_trivial=True)
+        assert "k_0 in [0, 1)" in text
+
+    def test_levels_appear_outermost_first(self, mapping):
+        text = render_nest(mapping)
+        assert text.index("DRAM") < text.index("L2") < text.index("L1")
+
+    def test_indentation_nests(self, mapping):
+        lines = render_nest(mapping).splitlines()
+        compute = next(l for l in lines if "compute(" in l)
+        deepest_for = max(
+            (l for l in lines if "for " in l),
+            key=lambda l: len(l) - len(l.lstrip()),
+        )
+        assert (len(compute) - len(compute.lstrip())
+                > len(deepest_for) - len(deepest_for.lstrip()))
+
+    def test_spatial_loop_annotated(self, mapping):
+        text = render_nest(mapping)
+        assert "parallel-for c_s0" in text
+        assert "across L1 instances" in text

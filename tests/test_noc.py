@@ -1,0 +1,127 @@
+"""Tests for the mesh NoC simulator and its agreement with the analytical
+NoC energy model."""
+
+import pytest
+
+from repro.arch import conventional, tiny
+from repro.energy import NocModel
+from repro.mapping import build_mapping
+from repro.noc import MeshNoc, simulate_boundary
+from repro.workloads import conv1d, conv2d
+
+
+class TestMeshDelivery:
+    def test_unicast_origin(self):
+        noc = MeshNoc((4, 4))
+        d = noc.unicast((0, 0))
+        assert d.destinations == 1
+        # X-bus reaches column 0 (1 hop) + Y-bus depth 1.
+        assert d.tag_checks == 2
+
+    def test_unicast_far_corner_costs_more(self):
+        noc = MeshNoc((4, 4))
+        near = noc.unicast((0, 0))
+        far = noc.unicast((3, 3))
+        assert far.wire_mm > near.wire_mm
+        assert far.tag_checks > near.tag_checks
+
+    def test_broadcast_cheaper_than_unicasts(self):
+        noc = MeshNoc((4, 4))
+        broadcast = noc.broadcast()
+        total_unicast_wire = sum(
+            noc.unicast((x, y)).wire_mm for x in range(4) for y in range(4)
+        )
+        assert broadcast.wire_mm < total_unicast_wire
+        assert broadcast.destinations == 16
+        assert broadcast.bus_cycles == 1
+
+    def test_column_multicast(self):
+        noc = MeshNoc((4, 4))
+        column = noc.deliver([(1, y) for y in range(4)])
+        # X-bus to column 1 (2 hops) + full Y-bus (4).
+        assert column.tag_checks == 6
+
+    def test_rejects_empty_and_out_of_range(self):
+        noc = MeshNoc((4, 4))
+        with pytest.raises(ValueError):
+            noc.deliver([])
+        with pytest.raises(ValueError):
+            noc.deliver([(4, 0)])
+
+    def test_energy_includes_tags(self):
+        noc = MeshNoc((8, 8), word_bits=16)
+        d = noc.broadcast()
+        assert d.energy_pj(16) > d.energy_pj_per_bit * 16
+
+
+class TestAgainstAnalyticalModel:
+    def test_unicast_energy_same_scale(self):
+        """The closed-form NoC energy lands within the simulator's range."""
+        for shape in ((4, 4), (8, 8), (32, 32)):
+            sim = MeshNoc(shape, word_bits=16)
+            analytical = NocModel(shape, word_bits=16).unicast_energy()
+            cheapest = sim.unicast((0, 0)).energy_pj(16)
+            costliest = sim.unicast((shape[0] - 1,
+                                     shape[1] - 1)).energy_pj(16)
+            assert cheapest * 0.5 <= analytical <= costliest * 1.5
+
+    def test_multicast_scaling_direction_agrees(self):
+        shape = (8, 8)
+        sim = MeshNoc(shape)
+        model = NocModel(shape)
+        sim_ratio = (sim.broadcast().energy_pj(16)
+                     / sim.unicast((7, 7)).energy_pj(16))
+        model_ratio = (model.multicast_energy(64)
+                       / model.multicast_energy(1))
+        assert sim_ratio > 1.0 and model_ratio > 1.0
+
+
+class TestSimulateBoundary:
+    def _mapping(self, spatial):
+        wl = conv1d(K=4, C=4, P=8, R=1)
+        arch = tiny(l1_words=64, l2_words=2048, pes=4)
+        return build_mapping(
+            wl, arch,
+            temporal=[{"P": 8, "R": 1}, {}, {}],
+            spatial=[spatial, {}, {}],
+        )
+
+    def test_broadcast_tensor_single_group(self):
+        m = self._mapping({"K": 4})
+        sim = simulate_boundary(m, 0)
+        by_name = {t.tensor: t for t in sim.per_tensor}
+        # ifmap is broadcast to all 4 PEs: one group of size 4.
+        assert by_name["ifmap"].group_size == 4
+        assert by_name["ifmap"].groups == 1
+        # weight is partitioned: 4 groups of size 1.
+        assert by_name["weight"].group_size == 1
+        assert by_name["weight"].groups == 4
+
+    def test_energy_positive_and_ordered(self):
+        broadcast_heavy = simulate_boundary(self._mapping({"K": 4}), 0)
+        assert broadcast_heavy.total_energy_pj > 0
+        assert broadcast_heavy.total_bus_cycles > 0
+
+    def test_requires_fanout(self):
+        wl = conv1d(K=2, C=2, P=4, R=1)
+        arch = tiny(l1_words=64, l2_words=2048, pes=4)
+        m = build_mapping(wl, arch, temporal=[{}, {}, {}])
+        with pytest.raises(ValueError, match="fanout"):
+            simulate_boundary(m, 1)
+
+    def test_conv2d_on_conventional_grid(self):
+        wl = conv2d(N=1, K=32, C=32, P=14, Q=14, R=3, S=3)
+        arch = conventional()
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"R": 3, "S": 3}, {"P": 14, "Q": 14}, {}],
+            spatial=[{"K": 32, "C": 32}, {}, {}],
+        )
+        sim = simulate_boundary(m, 0)
+        names = {t.tensor for t in sim.per_tensor}
+        assert {"ifmap", "weight", "ofmap"} <= names
+        by_name = {t.tensor: t for t in sim.per_tensor}
+        # ifmap: K non-indexing -> broadcast across the K axis (32 PEs).
+        assert by_name["ifmap"].group_size == 32
+        # weight: both unrolled dims index it -> unicast groups.
+        assert by_name["weight"].group_size == 1

@@ -1,0 +1,62 @@
+"""Property-based tests for the mesh NoC delivery model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import MeshNoc
+
+_SHAPES = st.sampled_from([(2, 2), (4, 4), (8, 8), (16, 4), (32, 32)])
+
+
+@st.composite
+def _mesh_and_destinations(draw):
+    shape = draw(_SHAPES)
+    x, y = shape
+    count = draw(st.integers(min_value=1, max_value=min(x * y, 24)))
+    destinations = draw(st.lists(
+        st.tuples(st.integers(0, x - 1), st.integers(0, y - 1)),
+        min_size=count, max_size=count, unique=True,
+    ))
+    return MeshNoc(shape), destinations
+
+
+@given(_mesh_and_destinations())
+@settings(max_examples=80, deadline=None)
+def test_delivery_invariants(case):
+    noc, destinations = case
+    delivery = noc.deliver(destinations)
+    assert delivery.destinations == len(set(destinations))
+    assert delivery.bus_cycles == 1
+    # Every destination must be tag-checked at least once, and no more
+    # checks than PEs exist.
+    assert delivery.tag_checks >= len(set(destinations))
+    assert delivery.tag_checks <= noc.shape[0] * (1 + noc.shape[1])
+    assert delivery.wire_mm > 0
+    assert delivery.energy_pj(16) > delivery.energy_pj_per_bit * 16 - 1e-12
+
+
+@given(_mesh_and_destinations())
+@settings(max_examples=60, deadline=None)
+def test_multicast_subadditive(case):
+    """Delivering to a group never costs more wire than unicasting to each
+    member separately (the whole point of tagged multicast)."""
+    noc, destinations = case
+    group = noc.deliver(destinations)
+    separate = sum(noc.unicast(d).wire_mm for d in set(destinations))
+    assert group.wire_mm <= separate + 1e-9
+
+
+@given(_mesh_and_destinations())
+@settings(max_examples=60, deadline=None)
+def test_monotone_in_destinations(case):
+    """Adding a destination never reduces the delivery cost."""
+    noc, destinations = case
+    base = noc.deliver(destinations)
+    x, y = noc.shape
+    extra = [(cx, cy) for cx in range(x) for cy in range(y)
+             if (cx, cy) not in destinations]
+    if not extra:
+        return
+    bigger = noc.deliver(list(destinations) + [extra[0]])
+    assert bigger.wire_mm >= base.wire_mm - 1e-9
+    assert bigger.tag_checks >= base.tag_checks

@@ -1,0 +1,158 @@
+"""Tests for the loop-ordering trie (§IV-A, Fig. 4)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core import TrieStats, enumerate_orderings
+from repro.core.order_trie import ReuseOutcome, _new_reuse
+from repro.workloads import conv1d, conv2d, make_workload, mttkrp, ttmc
+
+
+@pytest.fixture
+def conv():
+    return conv1d(K=4, C=4, P=7, R=3)
+
+
+class TestNewReuse:
+    def test_innermost_c_reuses_ofmap(self, conv):
+        full, partial = _new_reuse(conv, "C", [])
+        assert full == {"ofmap"}
+
+    def test_innermost_r_reuses_ofmap_and_partial_ifmap(self, conv):
+        full, partial = _new_reuse(conv, "R", [])
+        assert full == {"ofmap"}
+        assert partial == {"ifmap"}
+
+    def test_ordering_principle_2(self, conv):
+        # K is non-indexing for ifmap, but C inside destroys the reuse
+        # (the paper's xxCK example, Fig. 4 node 4).
+        full, partial = _new_reuse(conv, "C", ["K"])
+        assert full == set()
+
+    def test_chain_of_nonindexing_preserves(self, conv):
+        # C above R: both non-indexing for ofmap -> reuse preserved.
+        full, _ = _new_reuse(conv, "C", ["R"])
+        assert "ofmap" in full
+
+    def test_window_partner_preserves_partial(self, conv):
+        # P above R: R is a window partner of P for ifmap.
+        _, partial = _new_reuse(conv, "P", ["R"])
+        assert "ifmap" in partial
+
+
+class TestEnumerateOrderings:
+    def test_conv1d_candidate_count_is_small(self, conv):
+        candidates = enumerate_orderings(conv)
+        assert 1 < len(candidates) <= 8  # vs 4! = 24 unpruned
+
+    def test_each_candidate_is_a_permutation(self, conv):
+        for cand in enumerate_orderings(conv):
+            assert sorted(cand.order) == sorted(conv.dim_names)
+
+    def test_xxcr_outcome_present(self, conv):
+        # The paper's Fig. 4 keeps a node reusing ofmap via both C and R.
+        candidates = enumerate_orderings(conv)
+        outcomes = [c.outcome.full_dict() for c in candidates]
+        assert any(o.get("ofmap") == frozenset({"C", "R"}) for o in outcomes)
+
+    def test_xxxc_dominated(self, conv):
+        # A suffix reusing ofmap via C alone is dominated by {C, R}.
+        candidates = enumerate_orderings(conv)
+        for cand in candidates:
+            assert cand.outcome.full_dict().get("ofmap") != frozenset({"C"})
+
+    def test_every_tensor_coverable(self, conv):
+        # Some candidate must reuse each tensor that has reuse potential.
+        reused = set()
+        for cand in enumerate_orderings(conv):
+            reused |= cand.reused_tensors
+        assert reused == {"ifmap", "weight", "ofmap"}
+
+    def test_stats_populated(self, conv):
+        stats = TrieStats()
+        enumerate_orderings(conv, stats=stats)
+        assert stats.nodes_visited > 0
+        assert stats.candidates > 0
+        assert stats.candidates <= stats.candidates_before_dominance
+
+    def test_dims_subset(self, conv):
+        candidates = enumerate_orderings(conv, dims=("K", "C"))
+        for cand in candidates:
+            assert sorted(cand.order) == ["C", "K"]
+
+    def test_conv2d_scales(self):
+        wl = conv2d(N=4, K=8, C=8, P=8, Q=8, R=3, S=3)
+        candidates = enumerate_orderings(wl)
+        # 7 dims: 5040 permutations; the trie keeps a few dozen at most.
+        assert len(candidates) < 64
+
+    def test_mttkrp_covers_all_operands(self):
+        wl = mttkrp(I=8, K=8, L=8, J=4)
+        reused = set()
+        for cand in enumerate_orderings(wl):
+            reused |= cand.reused_tensors
+        assert {"A", "B", "C", "out"} <= reused
+
+    def test_no_reuse_workload_falls_back(self):
+        # Elementwise: every dim indexes every tensor -> no reuse anywhere.
+        wl = make_workload(
+            "ew", {"I": 4, "J": 4},
+            {"A": ["I", "J"], "out": ["I", "J"]},
+            outputs=["out"],
+        )
+        candidates = enumerate_orderings(wl)
+        assert len(candidates) == 1
+        assert candidates[0].reused_tensors == frozenset()
+
+
+class TestDominance:
+    def test_dominates_reflexive(self):
+        outcome = ReuseOutcome.from_dicts({"a": {"X"}}, {})
+        assert outcome.dominates(outcome)
+
+    def test_superset_dominates(self):
+        small = ReuseOutcome.from_dicts({"a": {"X"}}, {})
+        big = ReuseOutcome.from_dicts({"a": {"X", "Y"}}, {})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_partial_covered_by_full(self):
+        partial = ReuseOutcome.from_dicts({}, {"a": {"X"}})
+        full = ReuseOutcome.from_dicts({"a": {"X"}}, {})
+        assert full.dominates(partial)
+
+    def test_incomparable(self):
+        left = ReuseOutcome.from_dicts({"a": {"X"}}, {})
+        right = ReuseOutcome.from_dicts({"b": {"Y"}}, {})
+        assert not left.dominates(right)
+        assert not right.dominates(left)
+
+
+class TestOrderingQuality:
+    def test_candidates_contain_an_access_optimal_order(self):
+        """Brute-force check: for a tiny 2-level tiling, some pruned-trie
+        candidate achieves the minimum total L2 access count over ALL
+        permutations used as the L2 nest order."""
+        from repro.arch import tiny
+        from repro.mapping import build_mapping
+        from repro.model import count_accesses
+
+        wl = conv1d(K=4, C=4, P=7, R=3)
+        arch = tiny(l1_words=10**9, l2_words=10**9, pes=1)
+        tiling = [{"P": 7, "K": 2, "C": 2, "R": 3}, {"P": 1, "K": 2, "C": 2}, {}]
+
+        def l2_accesses(order):
+            m = build_mapping(wl, arch, temporal=[dict(t) for t in tiling],
+                              orders=[list(wl.dim_names), list(order), []])
+            counts = count_accesses(m, partial_reuse=False)
+            return counts.level_total(1)
+
+        best_overall = min(
+            l2_accesses(p) for p in itertools.permutations(wl.dim_names)
+        )
+        best_candidate = min(
+            l2_accesses(c.order) for c in enumerate_orderings(wl)
+        )
+        assert best_candidate == best_overall

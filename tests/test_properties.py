@@ -1,0 +1,157 @@
+"""Property-based tests on the core invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel
+from repro.core import (
+    SchedulerOptions,
+    divisors,
+    enumerate_orderings,
+    enumerate_tilings,
+    enumerate_unrollings,
+    schedule,
+)
+from repro.mapping import build_mapping
+from repro.model import count_accesses, evaluate
+from repro.workloads import conv1d, make_workload
+
+_SIZES = st.sampled_from([1, 2, 3, 4, 6, 8])
+
+
+@st.composite
+def _workloads(draw):
+    kind = draw(st.sampled_from(["conv", "matmul", "threeop"]))
+    if kind == "conv":
+        return conv1d(K=draw(_SIZES), C=draw(_SIZES), P=draw(_SIZES),
+                      R=draw(st.sampled_from([1, 2, 3])))
+    if kind == "matmul":
+        return make_workload(
+            "mm", {"I": draw(_SIZES), "J": draw(_SIZES), "K": draw(_SIZES)},
+            {"A": ["I", "K"], "B": ["K", "J"], "out": ["I", "J"]},
+            outputs=["out"],
+        )
+    return make_workload(
+        "three",
+        {"I": draw(_SIZES), "J": draw(_SIZES), "K": draw(_SIZES),
+         "L": draw(_SIZES)},
+        {"A": ["I", "J"], "B": ["J", "K"], "C": ["K", "L"],
+         "out": ["I", "L"]},
+        outputs=["out"],
+    )
+
+
+def _small_arch(l1=32, l2=4096, pes=4):
+    return Architecture("prop", [
+        MemoryLevel("L1", {UNIFIED: l1}, fanout=pes, read_energy=1.0,
+                    write_energy=1.1, network_energy=0.1),
+        MemoryLevel("L2", {UNIFIED: l2}, read_energy=8.0, write_energy=8.8),
+        MemoryLevel("DRAM", None, read_energy=100.0, write_energy=100.0),
+    ], mac_energy=0.5)
+
+
+@given(_workloads())
+@settings(max_examples=40, deadline=None)
+def test_scheduler_always_returns_valid_or_nothing(wl):
+    """Whatever Sunstone returns satisfies every hardware constraint."""
+    result = schedule(wl, _small_arch(),
+                      SchedulerOptions(beam_width=16, polish=False))
+    if result.found:
+        assert result.mapping.is_valid
+        assert result.cost.valid
+        for dim, size in wl.dims.items():
+            product = 1
+            for lvl in result.mapping.levels:
+                product *= lvl.temporal_factor(dim) * lvl.spatial_factor(dim)
+            assert product == size
+
+
+@given(_workloads())
+@settings(max_examples=25, deadline=None)
+def test_ordering_trie_is_sound_and_small(wl):
+    candidates = enumerate_orderings(wl)
+    assert candidates
+    n = len(wl.dim_names)
+    assert len(candidates) <= math.factorial(n)
+    for cand in candidates:
+        assert sorted(cand.order) == sorted(wl.dim_names)
+        # Every fully-reused tensor must be reusable across the claimed dims.
+        for tensor, dims in cand.outcome.full:
+            indexing = wl.tensor(tensor).indexing_dims
+            assert not (dims & indexing)
+
+
+@given(_workloads(), st.integers(min_value=4, max_value=64))
+@settings(max_examples=25, deadline=None)
+def test_tiling_candidates_fit_and_divide(wl, l1_words):
+    arch = _small_arch(l1=l1_words)
+    tilings = enumerate_tilings(
+        wl, arch, 0, {d: 1 for d in wl.dims}, dict(wl.dims), wl.dim_names,
+    )
+    for tiling in tilings:
+        for dim, factor in tiling.items():
+            assert wl.dims[dim] % factor == 0
+        sizes = {d: tiling.get(d, 1) for d in wl.dims}
+        occupancy = sum(t.footprint(sizes) for t in wl.tensors)
+        assert occupancy <= l1_words
+
+
+@given(_workloads(), st.sampled_from([2, 4, 8, 16]))
+@settings(max_examples=25, deadline=None)
+def test_unrollings_respect_fanout(wl, fanout):
+    for unroll in enumerate_unrollings(wl, fanout, dict(wl.dims)):
+        assert math.prod(unroll.values() or [1]) <= fanout
+
+
+@given(_workloads())
+@settings(max_examples=25, deadline=None)
+def test_tiling_principle_monotonicity(wl):
+    """Enlarging an indexing dimension of the operand reused across tiles
+    never increases that operand's upper-level access count (the Tiling
+    Principle's premise, checked against the cost model)."""
+    arch = _small_arch(l1=10**9, l2=10**9)
+    orderings = enumerate_orderings(wl)
+    for cand in orderings[:3]:
+        for op_name in list(cand.reused_tensors)[:1]:
+            op = wl.tensor(op_name)
+            grow = [d for d in op.indexing_dims if wl.dims[d] > 1]
+            if not grow:
+                continue
+            dim = grow[0]
+            small = build_mapping(
+                wl, arch, temporal=[{dim: 1}, {}, {}],
+                orders=[list(cand.order), list(cand.order),
+                        list(cand.order)],
+            )
+            grown = build_mapping(
+                wl, arch, temporal=[{dim: wl.dims[dim]}, {}, {}],
+                orders=[list(cand.order), list(cand.order),
+                        list(cand.order)],
+            )
+            small_accesses = count_accesses(small, partial_reuse=False)
+            grown_accesses = count_accesses(grown, partial_reuse=False)
+            assert (grown_accesses.per_tensor[op_name].at(1).total
+                    <= small_accesses.per_tensor[op_name].at(1).total + 1e-9)
+
+
+@given(_workloads())
+@settings(max_examples=20, deadline=None)
+def test_energy_is_positive_and_finite(wl):
+    arch = _small_arch(l1=10**9, l2=10**9)
+    m = build_mapping(wl, arch, temporal=[dict(wl.dims), {}, {}])
+    res = evaluate(m)
+    assert res.energy_pj > 0
+    assert math.isfinite(res.energy_pj)
+    assert res.cycles >= 1 or wl.total_operations == 1
+
+
+@given(st.integers(min_value=1, max_value=500))
+@settings(max_examples=50, deadline=None)
+def test_divisors_properties(n):
+    divs = divisors(n)
+    assert divs[0] == 1 and divs[-1] == n
+    assert list(divs) == sorted(set(divs))
+    for d in divs:
+        assert n % d == 0

@@ -1,0 +1,169 @@
+"""Ground-truth validation: analytical model vs loop-nest interpreter.
+
+For temporal-only mappings the analytical fill counts (partial_reuse=False)
+must equal exactly what a brute-force interpretation of the nest observes.
+Hypothesis drives random small workloads, tilings and orders.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel
+from repro.mapping import build_mapping
+from repro.model import count_accesses, simulate_fills
+from repro.workloads import conv1d, make_workload, mttkrp
+
+
+def _unbounded_arch(levels: int = 3) -> Architecture:
+    """All-unbounded-capacity-ish arch so any tiling is valid in tests."""
+    mems = [
+        MemoryLevel(f"M{i}", {UNIFIED: 10**9}, read_energy=1.0,
+                    write_energy=1.0)
+        for i in range(levels - 1)
+    ]
+    mems.append(MemoryLevel("DRAM", None, read_energy=10.0, write_energy=10.0))
+    return Architecture("test", mems)
+
+
+def _check_against_reference(workload, mapping):
+    """The interpreter counts tile-change events per (tensor, child level).
+
+    For inputs that equals the words written into the child (fills); for
+    outputs it equals the words drained up into the parent (the child-side
+    read count additionally contains compute-side RMW traffic).
+    """
+    reference = simulate_fills(mapping)
+    counts = count_accesses(mapping, partial_reuse=False)
+    arch = mapping.arch
+    for (tensor_name, child), ref_words in reference.fill_words.items():
+        tensor = workload.tensor(tensor_name)
+        parent = arch.parent_storage(child, tensor.role)
+        volume = counts.per_tensor[tensor_name].pair(child, parent)
+        # The interpreter counts tile changes: drains for outputs, fills
+        # for inputs (it does not model accumulation read-backs).
+        model_words = volume.parent_side if tensor.is_output \
+            else volume.child_side
+        assert model_words == ref_words, (tensor_name, child)
+
+
+class TestReferenceHandChecked:
+    def test_paper_example(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        arch = _unbounded_arch()
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"P": 7, "K": 2, "C": 2, "R": 3},
+                      {"P": 2, "K": 2, "C": 2}, {}],
+            orders=[["P", "K", "C", "R"], ["P", "K", "C"], []],
+        )
+        _check_against_reference(wl, m)
+
+    def test_mttkrp(self):
+        wl = mttkrp(I=4, K=4, L=4, J=2)
+        arch = _unbounded_arch()
+        m = build_mapping(
+            wl, arch,
+            temporal=[{"I": 2, "J": 2}, {"K": 2, "L": 4}, {}],
+            orders=[["I", "J"], ["L", "K"], []],
+        )
+        _check_against_reference(wl, m)
+
+    def test_reference_rejects_spatial(self):
+        wl = conv1d(K=2, C=2, P=4, R=1)
+        arch = Architecture("s", [
+            MemoryLevel("L1", {UNIFIED: 10**9}, fanout=2),
+            MemoryLevel("DRAM", None),
+        ])
+        m = build_mapping(wl, arch, temporal=[{}, {}], spatial=[{"K": 2}, {}])
+        with pytest.raises(ValueError, match="spatial"):
+            simulate_fills(m)
+
+
+# ---------------------------------------------------------------------------
+# Property-based equivalence
+# ---------------------------------------------------------------------------
+
+_DIM_SIZES = st.sampled_from([1, 2, 3, 4, 6])
+
+
+@st.composite
+def _small_problem(draw):
+    """A random small matmul-like or conv-like workload plus a 3-level
+    temporal mapping."""
+    kind = draw(st.sampled_from(["matmul", "conv", "mttkrp"]))
+    if kind == "matmul":
+        dims = {"I": draw(_DIM_SIZES), "J": draw(_DIM_SIZES),
+                "K": draw(_DIM_SIZES)}
+        wl = make_workload(
+            "mm", dims,
+            {"A": ["I", "K"], "B": ["K", "J"], "out": ["I", "J"]},
+            outputs=["out"],
+        )
+    elif kind == "conv":
+        dims = {"K": draw(_DIM_SIZES), "C": draw(_DIM_SIZES),
+                "P": draw(_DIM_SIZES), "R": draw(st.sampled_from([1, 2, 3]))}
+        wl = conv1d(**dims)
+    else:
+        wl = mttkrp(I=draw(_DIM_SIZES), K=draw(_DIM_SIZES),
+                    L=draw(_DIM_SIZES), J=draw(_DIM_SIZES))
+
+    # Random 2-way split of every dim between L0 and L1 (residual to DRAM).
+    temporal = [{}, {}, {}]
+    for dim, size in wl.dims.items():
+        divs = [d for d in range(1, size + 1) if size % d == 0]
+        lo = draw(st.sampled_from(divs))
+        temporal[0][dim] = lo
+        rem = size // lo
+        divs2 = [d for d in range(1, rem + 1) if rem % d == 0]
+        temporal[1][dim] = draw(st.sampled_from(divs2))
+
+    orders = []
+    for _ in range(3):
+        order = list(wl.dim_names)
+        order = draw(st.permutations(order))
+        orders.append(list(order))
+    return wl, temporal, orders
+
+
+@given(_small_problem())
+@settings(max_examples=60, deadline=None)
+def test_model_matches_interpreter(problem):
+    wl, temporal, orders = problem
+    arch = _unbounded_arch()
+    mapping = build_mapping(wl, arch, temporal=temporal, orders=orders)
+    _check_against_reference(wl, mapping)
+
+
+@given(_small_problem())
+@settings(max_examples=30, deadline=None)
+def test_partial_reuse_is_a_refinement(problem):
+    """Partial (window) reuse can only reduce traffic, never add it."""
+    wl, temporal, orders = problem
+    arch = _unbounded_arch()
+    mapping = build_mapping(wl, arch, temporal=temporal, orders=orders)
+    naive = count_accesses(mapping, partial_reuse=False)
+    partial = count_accesses(mapping, partial_reuse=True)
+    for i in range(arch.num_levels):
+        assert partial.levels[i].total <= naive.levels[i].total + 1e-9
+
+
+@given(_small_problem())
+@settings(max_examples=30, deadline=None)
+def test_fills_bounded_by_distinct_tiles_and_total(problem):
+    """Sanity bounds: every tensor is read at least its size and at most
+    once per operation from the innermost level."""
+    wl, temporal, orders = problem
+    arch = _unbounded_arch()
+    mapping = build_mapping(wl, arch, temporal=temporal, orders=orders)
+    counts = count_accesses(mapping, partial_reuse=False)
+    for tensor in wl.tensors:
+        inner = counts.per_tensor[tensor.name].at(0)
+        assert inner.reads >= 0
+        top = counts.per_tensor[tensor.name].at(2)
+        if tensor.is_output:
+            assert top.writes >= wl.tensor_size(tensor.name)
+        else:
+            assert top.reads >= wl.tensor_size(tensor.name)

@@ -1,0 +1,60 @@
+"""Tests for the experiment-report module."""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, geometric_mean
+
+
+class TestExperimentReport:
+    def _sample(self) -> ExperimentReport:
+        report = ExperimentReport("Sample")
+        report.add("fig6a", "mttkrp_nell2", "sunstone", edp=1.5e15, time=0.8)
+        report.add("fig6a", "mttkrp_nell2", "timeloop", edp=2.1e15, time=40.0)
+        report.add("fig6b", "mttkrp_nell2", "sunstone", speedup=50.0)
+        return report
+
+    def test_experiments_listed_in_order(self):
+        report = self._sample()
+        assert report.experiments() == ["fig6a", "fig6b"]
+
+    def test_markdown_contains_tables(self):
+        text = self._sample().to_markdown()
+        assert "## fig6a" in text
+        assert "| subject | tool | edp | time |" in text
+        assert "sunstone" in text and "timeloop" in text
+
+    def test_csv_flat_format(self):
+        csv_text = self._sample().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "experiment,subject,tool,metric,value"
+        assert len(lines) == 1 + 2 + 2 + 1  # header + 2 + 2 + 1 metrics
+
+    def test_save_markdown_and_csv(self, tmp_path):
+        report = self._sample()
+        md = tmp_path / "out.md"
+        csv_file = tmp_path / "out.csv"
+        report.save(str(md))
+        report.save(str(csv_file))
+        assert md.read_text().startswith("# Sample")
+        assert csv_file.read_text().startswith("experiment,")
+
+    def test_float_formatting(self):
+        report = ExperimentReport("f")
+        report.add("e", "s", "t", big=1.23e10, small=0.5, zero=0.0)
+        text = report.to_markdown()
+        assert "1.230e+10" in text
+        assert "0.500" in text
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([5.0]) == 5.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,45 @@
+"""Tests for the scheduler's automatic cap escalation."""
+
+import pytest
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel, tiny
+from repro.core import SchedulerOptions, schedule
+from repro.workloads import conv1d, conv2d
+
+
+class TestAutoEscalation:
+    def test_full_utilization_skips_escalation(self):
+        # A layer that saturates the array on the first pass: the second
+        # (wide) pass must not run, so evaluations stay small.
+        wl = conv1d(K=8, C=8, P=16, R=3)
+        arch = tiny(l1_words=128, l2_words=4096, pes=8)
+        with_esc = schedule(wl, arch, SchedulerOptions(auto_escalate=True))
+        without = schedule(wl, arch, SchedulerOptions(auto_escalate=False))
+        assert with_esc.cost.utilization == 1.0
+        assert with_esc.stats.evaluations == without.stats.evaluations
+
+    def test_escalation_never_hurts(self):
+        # An awkward fanout (PEs don't divide any dimension cleanly) leaves
+        # lanes idle and triggers the wide retry.
+        wl = conv1d(K=7, C=5, P=11, R=3)
+        arch = tiny(l1_words=64, l2_words=4096, pes=8)
+        escalated = schedule(wl, arch, SchedulerOptions(auto_escalate=True))
+        plain = schedule(wl, arch, SchedulerOptions(auto_escalate=False))
+        assert escalated.found
+        assert escalated.edp <= plain.edp * 1.0001
+        # The retry's evaluations are accounted for.
+        assert escalated.stats.evaluations >= plain.stats.evaluations
+
+    def test_escalation_disabled_with_unbounded_beam(self):
+        wl = conv1d(K=7, C=5, P=11, R=3)
+        arch = tiny(l1_words=64, l2_words=4096, pes=8)
+        result = schedule(wl, arch,
+                          SchedulerOptions(beam_width=None,
+                                           auto_escalate=True))
+        assert result.found  # no retry path, still works
+
+    def test_result_options_reflect_request(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        arch = tiny(l1_words=64, l2_words=512, pes=4)
+        result = schedule(wl, arch, SchedulerOptions(auto_escalate=True))
+        assert result.found

@@ -1,0 +1,95 @@
+"""Tests for JSON (de)serialisation of workloads, architectures, mappings."""
+
+import json
+
+import pytest
+
+from repro.arch import conventional, simba_like, tiny
+from repro.core import schedule
+from repro.mapping import build_mapping
+from repro.mapping.serialize import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.model import evaluate
+from repro.workloads import conv1d, conv2d, mttkrp
+
+
+class TestWorkloadRoundtrip:
+    @pytest.mark.parametrize("wl", [
+        conv1d(K=4, C=4, P=14, R=3),
+        conv2d(N=2, K=8, C=8, P=6, Q=6, R=3, S=3, stride=2),
+        mttkrp(I=8, K=8, L=8, J=4),
+    ], ids=lambda w: w.name)
+    def test_roundtrip(self, wl):
+        restored = workload_from_dict(workload_to_dict(wl))
+        assert restored.dims == wl.dims
+        assert [t.name for t in restored.tensors] == \
+            [t.name for t in wl.tensors]
+        for a, b in zip(restored.tensors, wl.tensors):
+            assert a.indices == b.indices
+            assert a.role == b.role
+            assert a.is_output == b.is_output
+
+    def test_json_serialisable(self):
+        doc = workload_to_dict(conv2d(N=1, K=4, C=4, P=4, Q=4, R=3, S=3))
+        json.dumps(doc)  # must not raise
+
+
+class TestArchitectureRoundtrip:
+    @pytest.mark.parametrize("factory", [conventional, simba_like, tiny],
+                             ids=lambda f: f.__name__)
+    def test_roundtrip(self, factory):
+        arch = factory()
+        restored = architecture_from_dict(architecture_to_dict(arch))
+        assert restored.name == arch.name
+        assert restored.num_levels == arch.num_levels
+        for a, b in zip(restored.levels, arch.levels):
+            assert a.name == b.name
+            assert a.capacity_words == b.capacity_words
+            assert a.fanout == b.fanout
+            assert a.read_energy == b.read_energy
+            assert a.read_bandwidth == b.read_bandwidth
+
+    def test_infinite_bandwidth_roundtrip(self):
+        arch = tiny()
+        assert arch.levels[0].read_bandwidth == float("inf")
+        restored = architecture_from_dict(architecture_to_dict(arch))
+        assert restored.levels[0].read_bandwidth == float("inf")
+
+
+class TestMappingRoundtrip:
+    def test_cost_preserved(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        arch = tiny(l1_words=64, l2_words=512, pes=4)
+        mapping = build_mapping(
+            wl, arch, temporal=[{"P": 7, "R": 3}, {"K": 2}, {}],
+            spatial=[{"C": 2}, {}, {}],
+        )
+        restored = mapping_from_dict(mapping_to_dict(mapping))
+        assert evaluate(restored).edp == pytest.approx(evaluate(mapping).edp)
+
+    def test_scheduled_mapping_roundtrip(self, tmp_path):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        arch = tiny(l1_words=64, l2_words=512, pes=4)
+        result = schedule(wl, arch)
+        path = str(tmp_path / "mapping.json")
+        save_mapping(result.mapping, path)
+        restored = load_mapping(path)
+        assert evaluate(restored).edp == pytest.approx(result.edp)
+
+    def test_document_is_self_contained(self):
+        wl = conv1d(K=2, C=2, P=4, R=1)
+        arch = tiny()
+        mapping = build_mapping(wl, arch, temporal=[{}, {}, {}])
+        doc = mapping_to_dict(mapping)
+        assert "workload" in doc and "architecture" in doc
+        text = json.dumps(doc)
+        restored = mapping_from_dict(json.loads(text))
+        assert restored.workload.name == wl.name

@@ -1,0 +1,108 @@
+"""Property-based round-trip tests for the serialisation layer."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel
+from repro.mapping import build_mapping
+from repro.mapping.serialize import (
+    architecture_from_dict,
+    architecture_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.model import evaluate
+from repro.workloads import IndexExpr, TensorRef, Workload
+
+_SIZES = st.integers(min_value=1, max_value=8)
+_NAMES = st.sampled_from(["A", "B", "C", "D"])
+
+
+@st.composite
+def _workloads(draw):
+    n_dims = draw(st.integers(min_value=2, max_value=4))
+    dim_names = ["I", "J", "K", "L"][:n_dims]
+    dims = {d: draw(_SIZES) for d in dim_names}
+    window = draw(st.booleans()) and n_dims >= 3
+    tensors = []
+    if window:
+        stride = draw(st.sampled_from([1, 2]))
+        tensors.append(TensorRef(
+            "in0",
+            (IndexExpr((dim_names[0], dim_names[1]), stride=stride),
+             *(IndexExpr((d,)) for d in dim_names[2:])),
+        ))
+        out_dims = [dim_names[0], *dim_names[2:]]
+    else:
+        tensors.append(TensorRef(
+            "in0", tuple(IndexExpr((d,)) for d in dim_names[:-1]),
+        ))
+        out_dims = dim_names[1:]
+    tensors.append(TensorRef(
+        "in1", tuple(IndexExpr((d,)) for d in dim_names[1:]),
+    ))
+    tensors.append(TensorRef(
+        "out", tuple(IndexExpr((d,)) for d in out_dims), is_output=True,
+    ))
+    return Workload("prop", dims, tensors)
+
+
+@st.composite
+def _architectures(draw):
+    levels = []
+    n_bounded = draw(st.integers(min_value=1, max_value=3))
+    for i in range(n_bounded):
+        levels.append(MemoryLevel(
+            name=f"M{i}",
+            capacity_words={UNIFIED: draw(st.integers(8, 4096))},
+            fanout=draw(st.sampled_from([1, 2, 4])) if i == 0 else 1,
+            read_energy=draw(st.floats(0.1, 10.0)),
+            write_energy=draw(st.floats(0.1, 10.0)),
+            read_bandwidth=draw(st.sampled_from([4.0, 16.0,
+                                                 float("inf")])),
+        ))
+    levels.append(MemoryLevel("DRAM", None, read_energy=100.0,
+                              write_energy=100.0))
+    return Architecture("prop-arch", levels,
+                        mac_energy=draw(st.floats(0.1, 4.0)))
+
+
+@given(_workloads())
+@settings(max_examples=40, deadline=None)
+def test_workload_roundtrip(wl):
+    document = json.loads(json.dumps(workload_to_dict(wl)))
+    restored = workload_from_dict(document)
+    assert restored.dims == wl.dims
+    assert restored.reuse_table() == wl.reuse_table()
+    for a, b in zip(restored.tensors, wl.tensors):
+        assert a == b
+
+
+@given(_architectures())
+@settings(max_examples=40, deadline=None)
+def test_architecture_roundtrip(arch):
+    document = json.loads(json.dumps(architecture_to_dict(arch)))
+    restored = architecture_from_dict(document)
+    assert restored.num_levels == arch.num_levels
+    for a, b in zip(restored.levels, arch.levels):
+        assert a == b
+    assert restored.mac_energy == arch.mac_energy
+
+
+@given(_workloads(), _architectures())
+@settings(max_examples=25, deadline=None)
+def test_mapping_roundtrip_preserves_cost(wl, arch):
+    mapping = build_mapping(wl, arch,
+                            temporal=[dict(wl.dims)]
+                            + [{} for _ in range(arch.num_levels - 1)])
+    document = json.loads(json.dumps(mapping_to_dict(mapping)))
+    restored = mapping_from_dict(document)
+    original = evaluate(mapping)
+    roundtripped = evaluate(restored)
+    assert roundtripped.energy_pj == original.energy_pj
+    assert roundtripped.cycles == original.cycles
+    assert roundtripped.valid == original.valid

@@ -1,0 +1,78 @@
+"""Tests for the Table I search-space size estimators."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    dmazerunner_space,
+    interstellar_space,
+    marvel_space,
+    ordered_factorizations,
+    sunstone_space,
+    table1,
+    timeloop_space,
+)
+from repro.arch import conventional, tiny
+from repro.workloads import INCEPTION_EXAMPLE_LAYER, conv1d
+
+
+class TestOrderedFactorizations:
+    def test_prime(self):
+        # p over s slots: s placements.
+        assert ordered_factorizations(7, 3) == 3
+
+    def test_prime_power(self):
+        # 2^2 over 2 slots: (1,4), (2,2), (4,1).
+        assert ordered_factorizations(4, 2) == 3
+
+    def test_composite(self):
+        # 12 = 2^2 * 3 over 2 slots: 3 * 2 = 6.
+        assert ordered_factorizations(12, 2) == 6
+
+    def test_one_slot(self):
+        assert ordered_factorizations(100, 1) == 1
+
+    def test_brute_force_agreement(self):
+        def brute(n, s):
+            if s == 1:
+                return 1
+            return sum(brute(n // d, s - 1)
+                       for d in range(1, n + 1) if n % d == 0)
+        for n in (6, 8, 12, 30):
+            for s in (2, 3, 4):
+                assert ordered_factorizations(n, s) == brute(n, s)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            ordered_factorizations(4, 0)
+
+
+class TestTable1:
+    def test_ordering_matches_paper(self):
+        """Table I: TL >> Marvel ~ Interstellar >> dMaze >> Sunstone."""
+        wl = INCEPTION_EXAMPLE_LAYER.inference(batch=1)
+        arch = conventional()
+        tl = timeloop_space(wl, arch).total
+        marvel = marvel_space(wl, arch).total
+        inter = interstellar_space(wl, arch).total
+        dmaze = dmazerunner_space(wl, arch).total
+        sunstone = sunstone_space(wl, arch).total
+        assert tl > marvel > dmaze > sunstone
+        assert tl > inter > sunstone
+        # The headline claim: orders of magnitude smaller.
+        assert tl / sunstone > 1e6
+
+    def test_rows(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        rows = table1(wl, tiny(l1_words=64, l2_words=512, pes=4))
+        assert [r.tool for r in rows] == [
+            "timeloop", "marvel", "interstellar", "dmazerunner", "sunstone",
+        ]
+        assert all(r.total >= 1 for r in rows)
+
+    def test_sunstone_row_is_measured(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        row = sunstone_space(wl, tiny(l1_words=64, l2_words=512, pes=4))
+        assert row.notes == "measured candidate evaluations"
+        assert row.total > 0

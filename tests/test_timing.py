@@ -1,0 +1,79 @@
+"""Tests for the double-buffered pipeline latency model."""
+
+import pytest
+
+from repro.arch import conventional, tiny
+from repro.core import schedule
+from repro.mapping import build_mapping
+from repro.model import analyze_timing, evaluate
+from repro.workloads import conv1d, conv2d
+
+
+@pytest.fixture
+def mapping():
+    wl = conv1d(K=4, C=4, P=14, R=3)
+    arch = tiny(l1_words=64, l2_words=2048, pes=4).with_level(
+        "DRAM", read_bandwidth=4, write_bandwidth=4,
+    ).with_level(
+        "L2", read_bandwidth=16, write_bandwidth=16,
+    ).with_level(
+        "L1", read_bandwidth=8, write_bandwidth=8,
+    )
+    return build_mapping(
+        wl, arch,
+        temporal=[{"P": 7, "K": 2, "C": 2, "R": 3}, {"P": 2, "K": 2, "C": 2}, {}],
+        orders=[["P", "K", "C", "R"], ["P", "K", "C"], []],
+    )
+
+
+class TestBrackets:
+    def test_refined_between_steady_and_serialized(self, mapping):
+        timing = analyze_timing(mapping)
+        assert timing.steady_state_cycles <= timing.refined_cycles
+        assert timing.refined_cycles <= timing.serialized_cycles
+
+    def test_steady_state_matches_cost_model(self, mapping):
+        timing = analyze_timing(mapping)
+        cost = evaluate(mapping)
+        assert timing.steady_state_cycles == pytest.approx(cost.cycles)
+
+    def test_overlap_efficiency_bounded(self, mapping):
+        timing = analyze_timing(mapping)
+        assert 0.0 < timing.overlap_efficiency <= 1.0
+
+    def test_compute_cycles_component(self, mapping):
+        timing = analyze_timing(mapping)
+        assert timing.compute_cycles <= timing.steady_state_cycles
+        assert set(timing.per_level_transfer_cycles) == {"L1", "L2", "DRAM"}
+
+
+class TestBandwidthSensitivity:
+    def test_slower_dram_increases_refined_latency(self):
+        wl = conv2d(N=1, K=16, C=16, P=14, Q=14, R=3, S=3)
+        arch_fast = conventional()
+        arch_slow = arch_fast.with_level("DRAM", read_bandwidth=0.5,
+                                         write_bandwidth=0.5)
+        m_fast = build_mapping(wl, arch_fast,
+                               temporal=[{"K": 4, "C": 4, "R": 3, "S": 3},
+                                         {"P": 14, "Q": 14}, {}])
+        m_slow = build_mapping(wl, arch_slow,
+                               temporal=[{"K": 4, "C": 4, "R": 3, "S": 3},
+                                         {"P": 14, "Q": 14}, {}])
+        assert analyze_timing(m_slow).refined_cycles > \
+            analyze_timing(m_fast).refined_cycles
+
+    def test_infinite_bandwidth_is_compute_bound(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        arch = tiny(l1_words=64, l2_words=2048, pes=4)
+        m = build_mapping(wl, arch, temporal=[{"P": 7, "R": 3}, {"K": 2}, {}])
+        timing = analyze_timing(m)
+        assert timing.steady_state_cycles == pytest.approx(
+            timing.compute_cycles)
+
+    def test_scheduled_mapping_timing(self):
+        wl = conv2d(N=1, K=32, C=32, P=14, Q=14, R=3, S=3)
+        result = schedule(wl, conventional())
+        timing = analyze_timing(result.mapping)
+        assert timing.refined_cycles >= result.cost.cycles
+        # With the paper's bandwidths the fill term is minor.
+        assert timing.overlap_efficiency > 0.5

@@ -1,0 +1,97 @@
+"""Tests for spatial-unrolling candidates and the Unrolling Principle."""
+
+import math
+
+import pytest
+
+from repro.core import UnrollingStats, allowed_unroll_dims, enumerate_unrollings
+from repro.workloads import conv1d, mttkrp
+
+
+@pytest.fixture
+def conv():
+    return conv1d(K=8, C=8, P=16, R=3)
+
+
+class TestAllowedDims:
+    def test_ofmap_reused_rejects_its_nonindexing_dims(self, conv):
+        # OP = ofmap (indexed by K, P): reject C and R.
+        allowed = allowed_unroll_dims(conv, ["ofmap"])
+        assert set(allowed) == {"K", "P"}
+
+    def test_ifmap_reused_rejects_k(self, conv):
+        allowed = allowed_unroll_dims(conv, ["ifmap"])
+        assert set(allowed) == {"C", "P", "R"}
+
+    def test_multiple_reused_intersect(self, conv):
+        allowed = allowed_unroll_dims(conv, ["ofmap", "weight"])
+        assert set(allowed) == {"K"}
+
+    def test_no_reused_allows_all(self, conv):
+        assert set(allowed_unroll_dims(conv, [])) == set(conv.dim_names)
+
+
+class TestEnumerateUnrollings:
+    def test_fanout_one_yields_empty(self, conv):
+        assert enumerate_unrollings(conv, 1, dict(conv.dims)) == [{}]
+
+    def test_factors_bounded_by_fanout(self, conv):
+        for unroll in enumerate_unrollings(conv, 16, dict(conv.dims)):
+            assert math.prod(unroll.values() or [1]) <= 16
+
+    def test_factors_divide_remaining(self, conv):
+        remaining = {"K": 8, "C": 8, "P": 16, "R": 3}
+        for unroll in enumerate_unrollings(conv, 16, remaining):
+            for dim, factor in unroll.items():
+                assert remaining[dim] % factor == 0
+
+    def test_high_throughput_keeps_only_maximal(self, conv):
+        unrolls = enumerate_unrollings(conv, 16, dict(conv.dims),
+                                       utilization_threshold=1.0)
+        for unroll in unrolls:
+            assert math.prod(unroll.values() or [1]) == 16
+
+    def test_relaxed_threshold_keeps_more(self, conv):
+        strict = enumerate_unrollings(conv, 16, dict(conv.dims),
+                                      utilization_threshold=1.0)
+        relaxed = enumerate_unrollings(conv, 16, dict(conv.dims),
+                                       utilization_threshold=0.5)
+        assert len(relaxed) > len(strict)
+
+    def test_allowed_dims_respected(self, conv):
+        unrolls = enumerate_unrollings(conv, 16, dict(conv.dims),
+                                       allowed_dims=("K", "P"))
+        for unroll in unrolls:
+            assert set(unroll) <= {"K", "P"}
+
+    def test_max_unrolled_dims(self, conv):
+        unrolls = enumerate_unrollings(conv, 64, dict(conv.dims),
+                                       max_unrolled_dims=1,
+                                       utilization_threshold=0.0)
+        for unroll in unrolls:
+            assert len([f for f in unroll.values() if f > 1]) <= 1
+
+    def test_empty_when_nothing_unrollable(self):
+        wl = conv1d(K=1, C=1, P=1, R=2)
+        unrolls = enumerate_unrollings(wl, 16, {"K": 1, "C": 1, "P": 1, "R": 1})
+        assert unrolls == [{}]
+
+    def test_no_duplicates(self, conv):
+        unrolls = enumerate_unrollings(conv, 16, dict(conv.dims),
+                                       utilization_threshold=0.5)
+        keys = [tuple(sorted(u.items())) for u in unrolls]
+        assert len(keys) == len(set(keys))
+
+    def test_stats(self, conv):
+        stats = UnrollingStats()
+        enumerate_unrollings(conv, 16, dict(conv.dims), stats=stats)
+        assert stats.combinations_visited > 0
+        assert stats.candidates > 0
+
+    def test_mttkrp_unrolling(self):
+        wl = mttkrp(I=16, K=16, L=16, J=8)
+        allowed = allowed_unroll_dims(wl, ["out"])
+        # out[i, j]: reject the reduction dims K and L.
+        assert set(allowed) == {"I", "J"}
+        unrolls = enumerate_unrollings(wl, 32, dict(wl.dims), allowed)
+        assert all(set(u) <= {"I", "J"} for u in unrolls)

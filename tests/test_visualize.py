@@ -1,0 +1,93 @@
+"""Tests for the text-mode visualisation helpers."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    energy_chart,
+    mapping_report,
+    occupancy_chart,
+    reuse_chart,
+    spatial_chart,
+)
+from repro.arch import conventional, simba_like, tiny
+from repro.core import schedule
+from repro.mapping import build_mapping
+from repro.model import evaluate
+from repro.workloads import conv1d, conv2d
+
+
+@pytest.fixture
+def mapping():
+    wl = conv1d(K=4, C=4, P=14, R=3)
+    arch = tiny(l1_words=64, l2_words=512, pes=4)
+    return build_mapping(wl, arch, temporal=[{"P": 7, "R": 3}, {"K": 2}, {}],
+                         spatial=[{"C": 2}, {}, {}])
+
+
+class TestOccupancy:
+    def test_lists_every_level(self, mapping):
+        text = occupancy_chart(mapping)
+        for name in ("L1", "L2", "DRAM"):
+            assert name in text
+        assert "unbounded" in text
+
+    def test_shows_word_counts(self, mapping):
+        text = occupancy_chart(mapping)
+        used = sum(mapping.occupancy(0).values())
+        assert f"{used}/64 words" in text
+
+    def test_per_role_levels(self):
+        wl = conv2d(N=1, K=8, C=8, P=4, Q=4, R=3, S=3)
+        arch = simba_like()
+        m = build_mapping(wl, arch, temporal=[{"K": 8}, {"C": 8}, {}, {}])
+        text = occupancy_chart(m)
+        assert "weight" in text
+
+
+class TestEnergyChart:
+    def test_fractions_rendered(self, mapping):
+        cost = evaluate(mapping)
+        text = energy_chart(cost)
+        assert "%" in text
+        assert "compute" in text
+        assert "DRAM" in text
+
+
+class TestSpatialChart:
+    def test_active_lanes_marked(self, mapping):
+        text = spatial_chart(mapping, 0)
+        assert "Cx2" in text
+        assert "50%" in text
+        assert "o" in text and "." in text
+
+    def test_no_fanout_message(self, mapping):
+        assert "no fanout" in spatial_chart(mapping, 1)
+
+    def test_large_grid_is_compacted(self):
+        wl = conv2d(N=1, K=32, C=32, P=4, Q=4, R=1, S=1)
+        arch = conventional()  # 32x32 grid
+        m = build_mapping(wl, arch, temporal=[{}, {"P": 4, "Q": 4}, {}],
+                          spatial=[{"K": 32, "C": 32}, {}, {}])
+        text = spatial_chart(m, 0)
+        longest = max(len(line) for line in text.splitlines()[1:])
+        assert longest <= 40  # compacted to terminal width
+
+
+class TestReuseChart:
+    def test_table3_content(self):
+        text = reuse_chart(conv1d(K=4, C=4, P=7, R=3))
+        assert "ofmap" in text and "C,R" in text
+
+
+class TestMappingReport:
+    def test_report_composes_sections(self, mapping):
+        text = mapping_report(mapping)
+        assert "buffer occupancy" in text
+        assert "energy breakdown" in text
+        assert "fanout" in text
+
+    def test_report_on_scheduled_mapping(self):
+        wl = conv1d(K=4, C=4, P=14, R=3)
+        result = schedule(wl, tiny(l1_words=64, l2_words=512, pes=4))
+        text = mapping_report(result.mapping, result.cost)
+        assert "valid" in text
