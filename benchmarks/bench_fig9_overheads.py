@@ -113,3 +113,75 @@ def test_compile_and_simulate_benchmark(benchmark):
 
     sim = benchmark.pedantic(run, rounds=1, iterations=1)
     assert sim.counts.macs == wl.total_operations
+
+
+def main(argv=None):
+    """Standalone entry: ``python benchmarks/bench_fig9_overheads.py``.
+
+    Schedules the ResNet-18 layers (a subset with ``--quick``) on the
+    DianNao-like machine through one shared evaluation engine, simulates
+    the optimized and naive executions, and prints the per-layer energy
+    ratios plus the engine's evaluation/cache statistics.
+    """
+    import argparse
+    import time
+
+    from repro.core import SchedulerOptions
+    from repro.core.network import schedule_network
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="only the first 4 ResNet-18 layers")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="evaluation worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable cost-result memoisation")
+    parser.add_argument("--no-sim", action="store_true",
+                        help="skip the compile+simulate overhead pass")
+    args = parser.parse_args(argv)
+
+    layers = RESNET18_LAYERS[:4] if args.quick else RESNET18_LAYERS
+    arch = diannao_like()
+    workloads = [layer.inference(batch=1) for layer in layers]
+    options = SchedulerOptions(workers=args.workers,
+                               cache=not args.no_cache)
+
+    start = time.perf_counter()
+    network = schedule_network(workloads, arch, options, dedupe=False)
+    schedule_s = time.perf_counter() - start
+    if not network.all_found:
+        missing = [entry.workload.name for entry in network.layers
+                   if not entry.result.found]
+        print(f"no mapping found for {missing}")
+        return 1
+
+    print(f"{'layer':<10} {'EDP':>12} {'energy(uJ)':>11} "
+          f"{'naive/opt':>10} {'instr %':>8}")
+    total_opt = total_naive = 0.0
+    for index, entry in enumerate(network.layers):
+        result = entry.result
+        line = (f"{entry.workload.name:<10} {result.edp:>12.3e} "
+                f"{result.cost.energy_pj / 1e6:>11.2f}")
+        if not args.no_sim:
+            program = compile_mapping(result.mapping,
+                                      reorder_inputs=(index == 0))
+            opt = run_program(program)
+            naive = run_program(compile_naive(entry.workload))
+            total_opt += opt.total_energy
+            total_naive += naive.total_energy
+            norm = opt.normalized_breakdown()
+            line += (f" {naive.total_energy / opt.total_energy:>9.2f}x "
+                     f"{norm['Instructions']:>8.1%}")
+        print(line)
+    if total_opt:
+        print(f"overall naive/optimized energy: "
+              f"{total_naive / total_opt:.2f}x (paper: ~2.9x)")
+    print(f"scheduling wall time: {schedule_s:.2f}s "
+          f"({len(layers)} layers, workers={args.workers}, "
+          f"cache={'off' if args.no_cache else 'on'})")
+    print(f"search engine: {network.search_stats.summary()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

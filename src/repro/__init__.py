@@ -8,6 +8,8 @@ Public API highlights
 * :mod:`repro.mapping` — the mapping (dataflow) representation.
 * :mod:`repro.model` — Timeloop-style analytical cost model.
 * :mod:`repro.core` — the Sunstone scheduler itself.
+* :mod:`repro.search` — parallel, memoized evaluation engine (see
+  ``docs/SEARCH.md``).
 * :mod:`repro.baselines` — reimplementations of the compared mappers.
 * :mod:`repro.sim` — DianNao-like simulator for the overhead study.
 * :mod:`repro.analysis` — search-space size accounting (Table I).
@@ -26,11 +28,12 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, arch, baselines, core, energy, mapping, model, noc, sim, workloads
+from . import analysis, arch, baselines, core, energy, mapping, model, noc, search, sim, workloads
 from .arch import conventional, diannao_like, simba_like
 from .core import SchedulerOptions, SunstoneScheduler, schedule
 from .mapping import Mapping, build_mapping, render_nest
 from .model import evaluate
+from .search import EvalCache, SearchEngine, SearchStats
 from .workloads import Workload, conv1d, conv2d, mmc, mttkrp, sddmm, tcl, ttmc
 
 __all__ = [
@@ -42,9 +45,13 @@ __all__ = [
     "mapping",
     "model",
     "noc",
+    "search",
     "sim",
     "workloads",
     "__version__",
+    "EvalCache",
+    "SearchEngine",
+    "SearchStats",
     "schedule",
     "SunstoneScheduler",
     "SchedulerOptions",

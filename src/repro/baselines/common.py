@@ -10,6 +10,7 @@ from typing import Sequence
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
 from ..model.cost import CostResult
+from ..search import SearchEngine, SearchStats
 from ..workloads.expression import Workload
 
 
@@ -24,6 +25,10 @@ class SearchResult:
     evaluations: int = 0
     wall_time_s: float = 0.0
     invalid_reason: str = ""
+    # Engine telemetry; ``evaluations`` above stays the mapper's own
+    # notion of candidates considered (cache hits included), matching the
+    # paper's search-size accounting.
+    search_stats: SearchStats | None = None
 
     @property
     def found(self) -> bool:
@@ -75,3 +80,16 @@ def random_factor_split(
 def spatial_slots(arch: Architecture) -> list[int]:
     """Level indices that have a usable fanout boundary."""
     return [i for i, level in enumerate(arch.levels) if level.fanout > 1]
+
+
+def resolve_engine(
+    engine: SearchEngine | None,
+    workers: int,
+    cache: bool,
+    partial_reuse: bool,
+) -> tuple[SearchEngine, bool]:
+    """Return (engine, owns_it): reuse an injected engine or build one."""
+    if engine is not None:
+        return engine, False
+    return SearchEngine(workers=workers, cache=cache,
+                        partial_reuse=partial_reuse), True

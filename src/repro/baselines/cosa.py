@@ -27,9 +27,9 @@ from dataclasses import dataclass
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import build_mapping
-from ..model.cost import evaluate
+from ..search import SearchEngine
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, spatial_slots
+from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,7 @@ def cosa_search(
     arch: Architecture,
     config: CosaConfig = CosaConfig(),
     partial_reuse: bool = True,
+    engine: SearchEngine | None = None,
 ) -> SearchResult:
     """Run the CoSA-like one-shot mapper.
 
@@ -169,7 +170,9 @@ def cosa_search(
         spatial=spatial,
         orders=orders,
     )
-    cost = evaluate(mapping, partial_reuse=partial_reuse)
+    engine, _ = resolve_engine(engine, workers=1, cache=False,
+                               partial_reuse=partial_reuse)
+    cost = engine.evaluate(mapping)
     elapsed = time.perf_counter() - start
     return SearchResult(
         mapper="cosa-like",
@@ -178,4 +181,5 @@ def cosa_search(
         evaluations=1,
         wall_time_s=elapsed,
         invalid_reason="" if cost.valid else "; ".join(cost.violations),
+        search_stats=engine.stats,
     )

@@ -78,8 +78,8 @@ class _DMazeSearch(SunstoneScheduler):
     """
 
     def __init__(self, workload: Workload, arch: Architecture,
-                 config: DMazeConfig, options) -> None:
-        super().__init__(workload, arch, options)
+                 config: DMazeConfig, options, engine=None) -> None:
+        super().__init__(workload, arch, options, engine=engine)
         self.config = config
 
     def _utilization(self, level_index: int, sizes: dict[str, int]) -> float:
@@ -177,6 +177,9 @@ def dmazerunner_search(
     arch: Architecture,
     config: DMazeConfig = DMAZE_FAST,
     partial_reuse: bool = True,
+    engine=None,
+    workers: int = 1,
+    cache: bool = True,
 ) -> SearchResult:
     """Run the dMazeRunner-like search."""
     start = time.perf_counter()
@@ -197,8 +200,10 @@ def dmazerunner_search(
         beam_width=config.beam_width,
         objective=config.objective,
         partial_reuse=partial_reuse,
+        workers=workers,
+        cache=cache,
     )
-    search = _DMazeSearch(workload, arch, config, options)
+    search = _DMazeSearch(workload, arch, config, options, engine=engine)
     result = search.schedule()
     elapsed = time.perf_counter() - start
     if not result.found:
@@ -210,6 +215,7 @@ def dmazerunner_search(
             wall_time_s=elapsed,
             invalid_reason="no mapping meets the minimum utilization "
                            "constraints",
+            search_stats=result.stats.search,
         )
     return SearchResult(
         mapper="dmazerunner-like",
@@ -217,4 +223,5 @@ def dmazerunner_search(
         cost=result.cost,
         evaluations=result.stats.evaluations,
         wall_time_s=elapsed,
+        search_stats=result.stats.search,
     )

@@ -15,9 +15,9 @@ from typing import Iterator
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import LevelMapping, Mapping
-from ..model.cost import evaluate
+from ..search import SearchEngine
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, spatial_slots
+from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -48,6 +48,9 @@ def exhaustive_search(
     orders_per_level: int | None = None,
     partial_reuse: bool = True,
     objective: str = "edp",
+    engine: SearchEngine | None = None,
+    workers: int = 1,
+    cache: bool = True,
 ) -> SearchResult:
     """Enumerate the full mapping space and return the best valid mapping.
 
@@ -81,8 +84,28 @@ def exhaustive_search(
             f"exhaustive space {space} exceeds budget {max_evaluations}"
         )
 
+    engine, owns_engine = resolve_engine(engine, workers, cache,
+                                         partial_reuse)
     best = None
     evaluations = 0
+    buffer: list[Mapping] = []
+    # Chunk size for batched evaluation; results are scanned in
+    # enumeration order with a strict < so the winner matches the
+    # one-at-a-time scan exactly.
+    flush_at = max(256, engine.workers * engine.chunk_size)
+
+    def flush() -> None:
+        nonlocal best, evaluations
+        costs = engine.evaluate_batch(buffer)
+        for mapping, cost in zip(buffer, costs):
+            evaluations += 1
+            if not cost.valid:
+                continue
+            value = cost.edp if objective == "edp" else cost.energy_pj
+            if best is None or value < best[0]:
+                best = (value, mapping, cost)
+        buffer.clear()
+
     for combo in itertools.product(*per_dim_assignments):
         temporal = [dict[str, int]() for _ in range(num)]
         spatial = [dict[str, int]() for _ in range(num)]
@@ -102,16 +125,14 @@ def exhaustive_search(
                     temporal=nest,
                     spatial=tuple(sorted(spatial[i].items())),
                 ))
-            mapping = Mapping(workload, arch, levels)
-            cost = evaluate(mapping, partial_reuse=partial_reuse)
-            evaluations += 1
-            if not cost.valid:
-                continue
-            value = cost.edp if objective == "edp" else cost.energy_pj
-            if best is None or value < best[0]:
-                best = (value, mapping, cost)
+            buffer.append(Mapping(workload, arch, levels))
+            if len(buffer) >= flush_at:
+                flush()
+    flush()
 
     elapsed = time.perf_counter() - start
+    if owns_engine:
+        engine.close()
     if best is None:
         return SearchResult(
             mapper="exhaustive",
@@ -120,6 +141,7 @@ def exhaustive_search(
             evaluations=evaluations,
             wall_time_s=elapsed,
             invalid_reason="no valid mapping exists",
+            search_stats=engine.stats,
         )
     return SearchResult(
         mapper="exhaustive",
@@ -127,4 +149,5 @@ def exhaustive_search(
         cost=best[2],
         evaluations=evaluations,
         wall_time_s=elapsed,
+        search_stats=engine.stats,
     )

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import LevelMapping, Mapping
-from ..model.cost import CostResult, evaluate
+from ..model.cost import CostResult
+from ..search import SearchEngine
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, spatial_slots
+from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
 
 @dataclass(frozen=True)
@@ -46,11 +47,13 @@ class _Genome:
 
 class _GammaSearch:
     def __init__(self, workload: Workload, arch: Architecture,
-                 config: GammaConfig, partial_reuse: bool) -> None:
+                 config: GammaConfig, partial_reuse: bool,
+                 engine: SearchEngine) -> None:
         self.workload = workload
         self.arch = arch
         self.config = config
         self.partial_reuse = partial_reuse
+        self.engine = engine
         self.rng = random.Random(config.seed)
         self.boundaries = set(spatial_slots(arch))
         self.primes = {
@@ -119,15 +122,18 @@ class _GammaSearch:
             ))
         return Mapping(self.workload, self.arch, levels)
 
-    def fitness(self, genome: _Genome) -> tuple[float, Mapping, CostResult]:
-        mapping = self.decode(genome)
-        cost = evaluate(mapping, partial_reuse=self.partial_reuse)
-        self.evaluations += 1
+    def _value(self, cost: CostResult) -> float:
         value = cost.edp if self.config.objective == "edp" \
             else cost.energy_pj
         if not cost.valid:
             value *= 1e6  # heavily penalise, GAMMA-style, but keep gradient
-        return value, mapping, cost
+        return value
+
+    def fitness(self, genome: _Genome) -> tuple[float, Mapping, CostResult]:
+        mapping = self.decode(genome)
+        cost = self.engine.evaluate(mapping)
+        self.evaluations += 1
+        return self._value(cost), mapping, cost
 
     # -- main loop ----------------------------------------------------------
     def run(self) -> tuple[Mapping, CostResult] | None:
@@ -135,9 +141,13 @@ class _GammaSearch:
                       for _ in range(self.config.population)]
         best: tuple[float, Mapping, CostResult] | None = None
         for _ in range(self.config.generations):
+            # One whole generation is a natural evaluation batch.
+            mappings = [self.decode(genome) for genome in population]
+            costs = self.engine.evaluate_batch(mappings)
+            self.evaluations += len(population)
             ranked = []
-            for genome in population:
-                value, mapping, cost = self.fitness(genome)
+            for genome, mapping, cost in zip(population, mappings, costs):
+                value = self._value(cost)
                 ranked.append((value, genome))
                 if cost.valid and (best is None or value < best[0]):
                     best = (value, mapping, cost)
@@ -163,12 +173,19 @@ def gamma_search(
     arch: Architecture,
     config: GammaConfig = GammaConfig(),
     partial_reuse: bool = True,
+    engine: SearchEngine | None = None,
+    workers: int = 1,
+    cache: bool = True,
 ) -> SearchResult:
     """Run the GAMMA-like genetic search."""
+    engine, owns_engine = resolve_engine(engine, workers, cache,
+                                         partial_reuse)
     start = time.perf_counter()
-    search = _GammaSearch(workload, arch, config, partial_reuse)
+    search = _GammaSearch(workload, arch, config, partial_reuse, engine)
     outcome = search.run()
     elapsed = time.perf_counter() - start
+    if owns_engine:
+        engine.close()
     if outcome is None:
         return SearchResult(
             mapper="gamma-like",
@@ -177,6 +194,7 @@ def gamma_search(
             evaluations=search.evaluations,
             wall_time_s=elapsed,
             invalid_reason="no valid individual evolved",
+            search_stats=engine.stats,
         )
     mapping, cost = outcome
     return SearchResult(
@@ -185,4 +203,5 @@ def gamma_search(
         cost=cost,
         evaluations=search.evaluations,
         wall_time_s=elapsed,
+        search_stats=engine.stats,
     )

@@ -37,8 +37,9 @@ class _InterstellarSearch(SunstoneScheduler):
     """Level sweep with CK-preset unrolling and all-dims tiling growth."""
 
     def __init__(self, workload: Workload, arch: Architecture,
-                 config: InterstellarConfig, options: SchedulerOptions) -> None:
-        super().__init__(workload, arch, options)
+                 config: InterstellarConfig, options: SchedulerOptions,
+                 engine=None) -> None:
+        super().__init__(workload, arch, options, engine=engine)
         self.config = config
 
     def _children_bottom_up(self, state: _State, level: int, orderings,
@@ -97,6 +98,9 @@ def interstellar_search(
     arch: Architecture,
     config: InterstellarConfig = InterstellarConfig(),
     partial_reuse: bool = True,
+    engine=None,
+    workers: int = 1,
+    cache: bool = True,
 ) -> SearchResult:
     """Run the Interstellar-like search."""
     start = time.perf_counter()
@@ -105,8 +109,11 @@ def interstellar_search(
         beam_width=config.beam_width,
         objective=config.objective,
         partial_reuse=partial_reuse,
+        workers=workers,
+        cache=cache,
     )
-    search = _InterstellarSearch(workload, arch, config, options)
+    search = _InterstellarSearch(workload, arch, config, options,
+                                 engine=engine)
     result = search.schedule()
     elapsed = time.perf_counter() - start
     if not result.found:
@@ -117,6 +124,7 @@ def interstellar_search(
             evaluations=result.stats.evaluations,
             wall_time_s=elapsed,
             invalid_reason="no mapping can use the preset unrolling",
+            search_stats=result.stats.search,
         )
     return SearchResult(
         mapper="interstellar-like",
@@ -124,4 +132,5 @@ def interstellar_search(
         cost=result.cost,
         evaluations=result.stats.evaluations,
         wall_time_s=elapsed,
+        search_stats=result.stats.search,
     )

@@ -21,9 +21,10 @@ from typing import Sequence
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import LevelMapping, Mapping
-from ..model.cost import CostResult, evaluate
+from ..model.cost import CostResult
+from ..search import SearchEngine
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, spatial_slots
+from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
 
 @dataclass(frozen=True)
@@ -109,33 +110,54 @@ def timeloop_search(
     config: TimeloopConfig = TIMELOOP_FAST,
     constraints: MappingConstraints | None = None,
     partial_reuse: bool = True,
+    engine: SearchEngine | None = None,
+    workers: int = 1,
+    cache: bool = True,
 ) -> SearchResult:
-    """Run the Timeloop-like random search."""
+    """Run the Timeloop-like random search.
+
+    Candidates are drawn (and counted) in the exact order the serial
+    sampler would produce; with ``workers > 1`` they are evaluated in
+    batches, and the stopping scan discards any surplus candidates past
+    the victory/timeout point, so the outcome is identical.
+    """
+    engine, owns_engine = resolve_engine(engine, workers, cache,
+                                         partial_reuse)
     rng = random.Random(config.seed)
     start = time.perf_counter()
     best: tuple[float, Mapping, CostResult] | None = None
     since_improvement = 0
     sampled = 0
+    batch_size = max(1, engine.workers * engine.chunk_size // 8) \
+        if engine.workers > 1 else 1
 
-    while sampled < config.timeout:
+    stopped = False
+    while sampled < config.timeout and not stopped:
         if (config.wall_clock_limit_s is not None
                 and time.perf_counter() - start > config.wall_clock_limit_s):
             break
-        mapping = sample_random_mapping(workload, arch, rng, constraints)
-        sampled += 1
-        cost = evaluate(mapping, partial_reuse=partial_reuse)
-        if not cost.valid:
-            continue
-        value = cost.edp if config.objective == "edp" else cost.energy_pj
-        if best is None or value < best[0]:
-            best = (value, mapping, cost)
-            since_improvement = 0
-        else:
-            since_improvement += 1
-            if since_improvement >= config.victory_condition:
-                break
+        batch = [
+            sample_random_mapping(workload, arch, rng, constraints)
+            for _ in range(min(batch_size, config.timeout - sampled))
+        ]
+        costs = engine.evaluate_batch(batch)
+        for mapping, cost in zip(batch, costs):
+            sampled += 1
+            if not cost.valid:
+                continue
+            value = cost.edp if config.objective == "edp" else cost.energy_pj
+            if best is None or value < best[0]:
+                best = (value, mapping, cost)
+                since_improvement = 0
+            else:
+                since_improvement += 1
+                if since_improvement >= config.victory_condition:
+                    stopped = True
+                    break
 
     elapsed = time.perf_counter() - start
+    if owns_engine:
+        engine.close()
     if best is None:
         return SearchResult(
             mapper="timeloop-like",
@@ -144,6 +166,7 @@ def timeloop_search(
             evaluations=sampled,
             wall_time_s=elapsed,
             invalid_reason="no valid mapping sampled",
+            search_stats=engine.stats,
         )
     return SearchResult(
         mapper="timeloop-like",
@@ -151,6 +174,7 @@ def timeloop_search(
         cost=best[2],
         evaluations=sampled,
         wall_time_s=elapsed,
+        search_stats=engine.stats,
     )
 
 

@@ -120,7 +120,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     """Schedule one workload and print mapping, nest, cost (and report)."""
     workload = build_workload(args.workload, args.dims)
     arch = build_architecture(args.arch)
-    options = SchedulerOptions(objective=args.objective)
+    options = SchedulerOptions(objective=args.objective,
+                               workers=args.workers,
+                               cache=not args.no_cache)
     result = schedule(workload, arch, options)
     if not result.found:
         print("no valid mapping found", file=sys.stderr)
@@ -134,6 +136,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         print(mapping_report(result.mapping, result.cost))
     print(f"candidates evaluated: {result.stats.evaluations} in "
           f"{result.stats.wall_time_s:.2f}s")
+    print(f"search engine: {result.stats.search.summary()}")
     if args.output:
         save_mapping(result.mapping, args.output)
         print(f"mapping saved to {args.output}")
@@ -144,14 +147,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """Run Sunstone and the selected baselines; print a comparison table."""
     workload = build_workload(args.workload, args.dims)
     arch = build_architecture(args.arch)
-    rows = [("sunstone", schedule(workload, arch))]
+    workers, cache = args.workers, not args.no_cache
+    options = SchedulerOptions(workers=workers, cache=cache)
+    rows = [("sunstone", schedule(workload, arch, options))]
     searches = {
         "timeloop-like": lambda: timeloop_search(workload, arch,
-                                                 TIMELOOP_FAST),
-        "dmazerunner-like": lambda: dmazerunner_search(workload, arch),
-        "interstellar-like": lambda: interstellar_search(workload, arch),
+                                                 TIMELOOP_FAST,
+                                                 workers=workers,
+                                                 cache=cache),
+        "dmazerunner-like": lambda: dmazerunner_search(workload, arch,
+                                                       workers=workers,
+                                                       cache=cache),
+        "interstellar-like": lambda: interstellar_search(workload, arch,
+                                                         workers=workers,
+                                                         cache=cache),
         "cosa-like": lambda: cosa_search(workload, arch),
-        "gamma-like": lambda: gamma_search(workload, arch),
+        "gamma-like": lambda: gamma_search(workload, arch,
+                                           workers=workers, cache=cache),
     }
     selected = None
     if args.mappers:
@@ -161,7 +173,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             continue
         rows.append((name, runner()))
     print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
-          f"{'status':>8}")
+          f"{'hits':>8} {'status':>8}")
     for name, result in rows:
         time_s = getattr(result, "wall_time_s", None)
         if time_s is None:
@@ -169,11 +181,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
         evals = getattr(result, "evaluations", None)
         if evals is None:
             evals = result.stats.evaluations
+        search_stats = getattr(result, "search_stats", None)
+        if search_stats is None and hasattr(result, "stats"):
+            search_stats = getattr(result.stats, "search", None)
+        hits = search_stats.cache_hits if search_stats is not None else 0
         status = "ok" if getattr(result, "valid", None) or (
             result.found and result.cost.valid) else "invalid"
         edp = result.edp if result.found else float("inf")
         print(f"{name:<18} {edp:>12.3e} {time_s:>8.2f} {evals:>8} "
-              f"{status:>8}")
+              f"{hits:>8} {status:>8}")
     return 0
 
 
@@ -184,7 +200,11 @@ def cmd_network(args: argparse.Namespace) -> int:
 
     model = load_model(args.model)
     arch = build_architecture(args.arch)
-    network = schedule_network(model, arch, processes=args.processes)
+    options = SchedulerOptions(workers=args.workers,
+                               cache=not args.no_cache)
+    network = schedule_network(model, arch, options,
+                               processes=args.processes,
+                               dedupe=not args.no_dedupe)
     print(network.summary())
     return 0 if network.all_found else 1
 
@@ -226,6 +246,18 @@ def make_parser() -> argparse.ArgumentParser:
                                      description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    def add_engine_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=positive_int, default=1,
+                       help="evaluation worker processes (1 = in-process)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable cost-result memoisation")
+
     p = sub.add_parser("schedule", help="map a workload onto an accelerator")
     p.add_argument("--workload", required=True)
     p.add_argument("--arch", default="conventional")
@@ -233,6 +265,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="save the mapping document (JSON)")
     p.add_argument("--report", action="store_true",
                    help="print the occupancy/energy/spatial dashboard")
+    add_engine_flags(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_schedule)
 
@@ -241,6 +274,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("model", help="path to a model JSON (see configs/)")
     p.add_argument("--arch", default="conventional")
     p.add_argument("--processes", type=int, default=None)
+    p.add_argument("--no-dedupe", action="store_true",
+                   help="search every layer even when shapes repeat")
+    add_engine_flags(p)
     p.set_defaults(func=cmd_network)
 
     p = sub.add_parser("compare", help="compare Sunstone against baselines")
@@ -249,6 +285,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--mappers",
                    help="comma-separated subset of "
                         "timeloop,dmazerunner,interstellar,cosa,gamma")
+    add_engine_flags(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_compare)
 

@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 from ..arch.spec import Architecture
 from ..core.scheduler import ScheduleResult, SchedulerOptions, SunstoneScheduler
+from ..search import SearchEngine, SearchStats
 from ..workloads.expression import Workload
 
 Mapper = Callable[[Workload, Architecture], ScheduleResult]
@@ -45,6 +46,9 @@ class NetworkSchedule:
 
     layers: list[LayerSchedule]
     wall_time_s: float = 0.0
+    # Evaluation-engine totals across every layer search (merged from the
+    # worker processes when layer-parallelism is used).
+    search_stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def all_found(self) -> bool:
@@ -95,6 +99,8 @@ class NetworkSchedule:
             f"({self.unique_searches} unique searches, "
             f"{self.wall_time_s:.1f}s)"
         )
+        if self.search_stats.requests:
+            lines.append(f"search engine: {self.search_stats.summary()}")
         return "\n".join(lines)
 
 
@@ -115,6 +121,8 @@ def schedule_network(
     options: SchedulerOptions | None = None,
     mapper: Mapper | None = None,
     processes: int | None = None,
+    engine: SearchEngine | None = None,
+    dedupe: bool = True,
 ) -> NetworkSchedule:
     """Schedule every layer of a network, deduplicating identical shapes.
 
@@ -123,18 +131,27 @@ def schedule_network(
     ``cost`` and ``mapping``).  ``processes`` > 1 searches distinct shapes
     in parallel worker processes (the paper runs its tools with 8 threads);
     only the default Sunstone mapper supports it.
+
+    The default Sunstone path shares one evaluation engine (and hence one
+    result cache) across all layer searches, so near-identical layers
+    dedupe at the evaluation level too.  ``dedupe=False`` disables the
+    shape-level search sharing (every layer runs its own search; the
+    shared cache then absorbs the repeats).
     """
     start = time.perf_counter()
+    opts = options or SchedulerOptions()
 
     # Deduplicate first so parallel workers never repeat a search.
     keys = [_shape_key(workload) for workload in workloads]
     first_index: dict[tuple, int] = {}
     unique_indices: list[int] = []
     for i, key in enumerate(keys):
-        if key not in first_index:
-            first_index[key] = i
-            unique_indices.append(i)
+        if dedupe and key in first_index:
+            continue
+        first_index[key] = i
+        unique_indices.append(i)
 
+    totals = SearchStats()
     results: dict[int, ScheduleResult] = {}
     if processes and processes > 1 and mapper is None:
         jobs = [(workloads[i], arch, options) for i in unique_indices]
@@ -142,17 +159,39 @@ def schedule_network(
             for i, result in zip(unique_indices,
                                  pool.map(_schedule_one, jobs)):
                 results[i] = result
+                totals.merge(result.stats.search)
     else:
+        shared_engine = engine
+        owns_engine = False
         if mapper is None:
+            if shared_engine is None:
+                shared_engine = SearchEngine(
+                    workers=opts.workers, cache=opts.cache,
+                    partial_reuse=opts.partial_reuse)
+                owns_engine = True
+
             def mapper(workload: Workload, arch: Architecture
                        ) -> ScheduleResult:
-                return SunstoneScheduler(workload, arch, options).schedule()
-        for i in unique_indices:
-            results[i] = mapper(workloads[i], arch)
+                return SunstoneScheduler(workload, arch, options,
+                                         engine=shared_engine).schedule()
+        try:
+            for i in unique_indices:
+                results[i] = mapper(workloads[i], arch)
+        finally:
+            if owns_engine:
+                shared_engine.close()
+        if shared_engine is not None:
+            totals = shared_engine.stats
+        else:
+            for result in results.values():
+                sub = (getattr(getattr(result, "stats", None), "search", None)
+                       or getattr(result, "search_stats", None))
+                if sub is not None:
+                    totals.merge(sub)
 
     layers: list[LayerSchedule] = []
     for i, workload in enumerate(workloads):
-        owner = first_index[keys[i]]
+        owner = i if i in results else first_index[keys[i]]
         if owner == i:
             layers.append(LayerSchedule(workload, results[owner]))
         else:
@@ -161,4 +200,5 @@ def schedule_network(
                 shared_with=workloads[owner].name,
             ))
     return NetworkSchedule(layers,
-                           wall_time_s=time.perf_counter() - start)
+                           wall_time_s=time.perf_counter() - start,
+                           search_stats=totals)

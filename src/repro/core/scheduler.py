@@ -32,7 +32,8 @@ from typing import Iterator, Sequence
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping, build_mapping
-from ..model.cost import CostResult, evaluate
+from ..model.cost import CostResult
+from ..search import SearchEngine, SearchStats
 from ..workloads.expression import Workload
 from .order_trie import OrderingCandidate, TrieStats, enumerate_orderings
 from .tiling_tree import (
@@ -79,6 +80,12 @@ class SchedulerOptions:
     # once with widened caps and keep the better result.  Layers that
     # already saturate the array (the common case) never pay for this.
     auto_escalate: bool = True
+    # Evaluation engine: worker processes for candidate batches (1 = fully
+    # in-process) and fingerprint-keyed memoisation of cost results.  Both
+    # are behaviour-preserving: the best mapping and its cost are identical
+    # for every (workers, cache) combination.
+    workers: int = 1
+    cache: bool = True
     # Where a top-down partial parks its residual factors for estimation:
     # "innermost" (paper-faithful: the estimate is far from the final
     # energy, so alpha-beta prunes poorly — the Table VI effect) or
@@ -101,6 +108,8 @@ class SchedulerOptions:
             raise ValueError(
                 f"unknown topdown_estimate {self.topdown_estimate}"
             )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 @dataclass
@@ -114,6 +123,9 @@ class SchedulerStats:
     trie: TrieStats = field(default_factory=TrieStats)
     tiling: TilingStats = field(default_factory=TilingStats)
     unrolling: UnrollingStats = field(default_factory=UnrollingStats)
+    # Engine-side telemetry (shared with the engine, which may itself be
+    # shared across searches — e.g. the layers of one network).
+    search: SearchStats = field(default_factory=SearchStats)
 
     @property
     def space_size(self) -> int:
@@ -167,6 +179,19 @@ class _State:
     sink_level: int = -1
 
 
+def _state_key(state: _State) -> tuple:
+    """Canonical, totally ordered identity of a partial schedule's
+    decisions.  Used both to deduplicate frontier states and as the
+    tie-break when ranking equal-cost candidates, so the winner never
+    depends on arrival order (which parallel evaluation must be free to
+    change)."""
+    return (
+        tuple(tuple(sorted(t.items())) for t in state.temporal),
+        tuple(tuple(sorted(s.items())) for s in state.spatial),
+        tuple(o if o is not None else () for o in state.orders),
+    )
+
+
 class SunstoneScheduler:
     """Maps a tensor workload onto a spatial accelerator.
 
@@ -182,6 +207,7 @@ class SunstoneScheduler:
         workload: Workload,
         arch: Architecture,
         options: SchedulerOptions | None = None,
+        engine: SearchEngine | None = None,
     ) -> None:
         self.workload = workload
         self.arch = arch
@@ -190,6 +216,20 @@ class SunstoneScheduler:
         # candidate enumeration is memoised per scheduler instance.
         self._tiling_cache: dict = {}
         self._unroll_cache: dict = {}
+        # Evaluation engine: injected to share a result cache (and pool)
+        # across searches, or built lazily from the options.
+        self._engine = engine
+        self._owns_engine = False
+
+    def _get_engine(self) -> SearchEngine:
+        if self._engine is None:
+            self._engine = SearchEngine(
+                workers=self.options.workers,
+                cache=self.options.cache,
+                partial_reuse=self.options.partial_reuse,
+            )
+            self._owns_engine = True
+        return self._engine
 
     # ------------------------------------------------------------------
     # public API
@@ -197,6 +237,16 @@ class SunstoneScheduler:
     def schedule(self) -> ScheduleResult:
         """Run the search and return the best mapping found."""
         start = time.perf_counter()
+        engine = self._get_engine()
+        try:
+            result = self._run_with_escalation()
+        finally:
+            if self._owns_engine:
+                engine.close()
+        result.stats.wall_time_s = time.perf_counter() - start
+        return result
+
+    def _run_with_escalation(self) -> ScheduleResult:
         result = self._schedule_once()
         if (self.options.auto_escalate
                 and self.options.beam_width is not None
@@ -214,7 +264,8 @@ class SunstoneScheduler:
                     else max(24, self.options.max_unrolls_per_step * 2)),
                 auto_escalate=False,
             )
-            retry = SunstoneScheduler(self.workload, self.arch, wide)
+            retry = SunstoneScheduler(self.workload, self.arch, wide,
+                                      engine=self._engine)
             escalated = retry._schedule_once()
             escalated.stats.evaluations += result.stats.evaluations
             if escalated.found:
@@ -225,12 +276,12 @@ class SunstoneScheduler:
                     result = escalated
                 else:
                     result.stats.evaluations = escalated.stats.evaluations
-        result.stats.wall_time_s = time.perf_counter() - start
         return result
 
     def _schedule_once(self) -> ScheduleResult:
         start = time.perf_counter()
         stats = SchedulerStats()
+        stats.search = self._get_engine().stats
         orderings = enumerate_orderings(self.workload, stats=stats.trie)
 
         if self.options.direction == "bottom-up":
@@ -324,8 +375,7 @@ class SunstoneScheduler:
                 )
             except Exception:
                 return False
-            result = evaluate(candidate,
-                              partial_reuse=self.options.partial_reuse)
+            result = self._get_engine().evaluate(candidate)
             stats.evaluations += 1
             if result.valid and value_of(result) < best_value:
                 best_mapping = candidate
@@ -343,7 +393,7 @@ class SunstoneScheduler:
                     factor = get(state, src[0], src[1], dim)
                     if factor <= 1:
                         continue
-                    for p in set(prime_factors(factor)):
+                    for p in sorted(set(prime_factors(factor))):
                         for dst in all_slots:
                             if dst == src:
                                 continue
@@ -363,7 +413,7 @@ class SunstoneScheduler:
                     f1 = get(state, slot[0], slot[1], d1)
                     if f1 <= 1:
                         continue
-                    for p1 in set(prime_factors(f1)):
+                    for p1 in sorted(set(prime_factors(f1))):
                         for d2 in dims:
                             if d2 == d1:
                                 continue
@@ -373,7 +423,7 @@ class SunstoneScheduler:
                                 f2 = get(state, src[0], src[1], d2)
                                 if f2 <= 1:
                                     continue
-                                for p2 in set(prime_factors(f2)):
+                                for p2 in sorted(set(prime_factors(f2))):
                                     trial = apply(state, [
                                         (slot[0], slot[1], d1, p1, "div"),
                                         (src[0], src[1], d1, p1, "mul"),
@@ -422,31 +472,46 @@ class SunstoneScheduler:
 
         # Every estimated partial is a complete (if possibly suboptimal)
         # mapping, so the best valid one seen anywhere is the answer.
+        engine = self._get_engine()
         best: tuple[float, Mapping, CostResult] | None = None
         for level in steps:
-            scored: list[tuple[float, _State]] = []
+            level_start = time.perf_counter()
+            children: list[_State] = []
             for _, state in frontier:
-                for child in self._children(state, level, orderings, stats,
-                                            bottom_up):
-                    value, mapping, cost = self._estimate(child, stats)
-                    if not cost.valid:
-                        if bottom_up:
-                            # Occupancy only grows as more levels are
-                            # decided bottom-up, so an invalid completion
-                            # can never become valid.
-                            continue
-                        # Top-down estimates park residual factors at a
-                        # lower level and may be (transiently) invalid;
-                        # keep searching through them.
-                        scored.append((value, child))
+                children.extend(
+                    self._children(state, level, orderings, stats, bottom_up))
+            # Batch the whole level: the engine dedupes equal fingerprints
+            # and fans misses out over its workers, returning results in
+            # candidate order so ranking matches the serial path exactly.
+            mappings = [self._materialize(child) for child in children]
+            costs = engine.evaluate_batch(mappings)
+            stats.evaluations += len(children)
+            scored: list[tuple[float, _State]] = []
+            for child, mapping, cost in zip(children, mappings, costs):
+                value = (cost.edp if self.options.objective == "edp"
+                         else cost.energy_pj)
+                if not cost.valid:
+                    if bottom_up:
+                        # Occupancy only grows as more levels are
+                        # decided bottom-up, so an invalid completion
+                        # can never become valid.
                         continue
+                    # Top-down estimates park residual factors at a
+                    # lower level and may be (transiently) invalid;
+                    # keep searching through them.
                     scored.append((value, child))
-                    if best is None or value < best[0]:
-                        best = (value, mapping, cost)
+                    continue
+                scored.append((value, child))
+                if best is None or value < best[0]:
+                    best = (value, mapping, cost)
+            engine.stats.add_level_time(
+                self.arch.levels[level].name,
+                time.perf_counter() - level_start)
             if not scored:
                 break
             remaining_steps = (num - 1 - level) if bottom_up else (level + 1)
             frontier = self._prune(scored, stats, remaining_steps)
+        engine.stats.prunes += stats.pruned_alpha_beta + stats.pruned_beam
 
         if best is not None:
             return best[1], best[2]
@@ -458,16 +523,15 @@ class SunstoneScheduler:
         stats: SchedulerStats,
         remaining_steps: int = 1,
     ) -> list[tuple[float, _State]]:
-        scored.sort(key=lambda item: item[0])
+        # Rank by estimate with the canonical decision key as tie-break:
+        # equal-cost candidates are ordered by *what they decide*, never by
+        # arrival order, so batch/merge order cannot flip the winner.
+        keyed = [(value, _state_key(state), state) for value, state in scored]
+        keyed.sort(key=lambda item: (item[0], item[1]))
         # Deduplicate states that encode identical decisions.
         unique: list[tuple[float, _State]] = []
         seen: set = set()
-        for value, state in scored:
-            key = (
-                tuple(tuple(sorted(t.items())) for t in state.temporal),
-                tuple(tuple(sorted(s.items())) for s in state.spatial),
-                state.orders,
-            )
+        for value, key, state in keyed:
             if key in seen:
                 continue
             seen.add(key)
@@ -907,7 +971,7 @@ class SunstoneScheduler:
     def _estimate(self, state: _State, stats: SchedulerStats
                   ) -> tuple[float, Mapping, CostResult]:
         mapping = self._materialize(state)
-        cost = evaluate(mapping, partial_reuse=self.options.partial_reuse)
+        cost = self._get_engine().evaluate(mapping)
         stats.evaluations += 1
         value = cost.edp if self.options.objective == "edp" else cost.energy_pj
         return value, mapping, cost
@@ -917,6 +981,7 @@ def schedule(
     workload: Workload,
     arch: Architecture,
     options: SchedulerOptions | None = None,
+    engine: SearchEngine | None = None,
 ) -> ScheduleResult:
     """Convenience wrapper: ``SunstoneScheduler(workload, arch).schedule()``."""
-    return SunstoneScheduler(workload, arch, options).schedule()
+    return SunstoneScheduler(workload, arch, options, engine=engine).schedule()

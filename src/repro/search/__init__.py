@@ -1,0 +1,19 @@
+"""Parallel, memoized schedule-search engine shared by all mappers."""
+
+from .cache import EvalCache
+from .engine import SearchEngine
+from .fingerprint import (
+    architecture_fingerprint,
+    mapping_fingerprint,
+    workload_fingerprint,
+)
+from .stats import SearchStats
+
+__all__ = [
+    "EvalCache",
+    "SearchEngine",
+    "SearchStats",
+    "architecture_fingerprint",
+    "mapping_fingerprint",
+    "workload_fingerprint",
+]

@@ -1,0 +1,62 @@
+"""LRU memo of cost-model results keyed on mapping fingerprints."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..model.cost import CostResult
+from .fingerprint import Fingerprint
+
+
+class EvalCache:
+    """Bounded LRU cache of :class:`CostResult`s with usage counters.
+
+    Keys are canonical mapping fingerprints
+    (:func:`repro.search.fingerprint.mapping_fingerprint`), so a hit is
+    guaranteed to carry the exact result a fresh evaluation would
+    produce.  ``max_entries=None`` disables eviction.
+    """
+
+    def __init__(self, max_entries: int | None = 200_000) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Fingerprint, CostResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Fingerprint) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: Fingerprint) -> CostResult | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Fingerprint, result: CostResult) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = result
+            return
+        self._entries[key] = result
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()

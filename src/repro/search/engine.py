@@ -1,0 +1,239 @@
+"""Parallel, memoized evaluation of mapping candidates.
+
+The :class:`SearchEngine` is the single funnel through which the Sunstone
+scheduler and every baseline mapper run the cost model.  It adds two
+orthogonal accelerations, both provably behaviour-preserving:
+
+* **memoisation** — results are cached in an :class:`EvalCache` keyed on
+  the canonical mapping fingerprint, so re-evaluating an
+  identically-shaped candidate (within a level sweep, across the
+  escalation retry, or across the layers of a network) is free;
+* **parallelism** — batches of cache misses fan out over a
+  ``ProcessPoolExecutor`` in deterministic chunks and merge back in
+  submission order, so the downstream argmin sees candidates in exactly
+  the order the serial path would.
+
+``workers=1`` (the default) never touches multiprocessing: every
+evaluation runs in-process, which keeps tests, coverage and debugging
+identical to a direct ``evaluate()`` call.  The determinism guarantee —
+same best mapping, same ``energy_pj``/``cycles`` for every
+(workers, cache) configuration — is pinned by
+``tests/test_search_engine.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..mapping.mapping import Mapping
+from ..model.cost import CostResult, evaluate
+from .cache import EvalCache
+from .fingerprint import (
+    Fingerprint,
+    architecture_fingerprint,
+    mapping_fingerprint,
+    workload_fingerprint,
+)
+from .stats import SearchStats
+
+
+def _evaluate_chunk(
+    payload: tuple[list[Mapping], bool],
+) -> list[CostResult]:
+    """Top-level worker so process pools can pickle it."""
+    mappings, partial_reuse = payload
+    return [evaluate(m, partial_reuse=partial_reuse) for m in mappings]
+
+
+class SearchEngine:
+    """Memoized, optionally parallel ``evaluate()`` frontend.
+
+    Parameters
+    ----------
+    workers:
+        Process count for batch evaluation.  ``1`` stays fully
+        in-process; higher values lazily spawn a pool that is reused
+        across batches until :meth:`close`.
+    cache:
+        ``True`` (default) builds a fresh :class:`EvalCache`, ``False``
+        disables memoisation, or pass an existing cache to share it
+        across searches (e.g. the layers of one network).
+    partial_reuse:
+        Forwarded to :func:`repro.model.cost.evaluate`; it is part of
+        the cache key, so engines with different settings never share
+        results even when handed the same cache object.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: EvalCache | bool = True,
+        partial_reuse: bool = True,
+        chunk_size: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = workers
+        # Evaluation is CPU-bound pure Python: a pool wider than the
+        # physical core count only adds pickling overhead, so the pool
+        # (and the serial-vs-parallel crossover) is sized by this clamp.
+        self._effective_workers = min(workers, os.cpu_count() or 1)
+        if cache is True:
+            cache = EvalCache()
+        elif cache is False:
+            cache = None
+        self.cache: EvalCache | None = cache
+        self.partial_reuse = partial_reuse
+        self.chunk_size = chunk_size
+        self.stats = SearchStats(workers=self._effective_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        # Workload/architecture fingerprints are invariant across the
+        # thousands of candidates of one search; memoise them by object
+        # identity (the referenced objects are kept alive by the entry).
+        self._invariant_fps: dict[int, tuple[object, Fingerprint]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._effective_workers == 1:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._effective_workers)
+            except (OSError, ValueError):
+                # Restricted environments (no /dev/shm, no fork) fall
+                # back to in-process evaluation; results are identical.
+                self.workers = 1
+                self._effective_workers = 1
+                self.stats.workers = 1
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def fingerprint(self, mapping: Mapping) -> Fingerprint:
+        """Cache key of ``mapping`` under this engine's settings."""
+        wl, arch = mapping.workload, mapping.arch
+        entry = self._invariant_fps.get(id(wl))
+        if entry is None or entry[0] is not wl:
+            entry = (wl, workload_fingerprint(wl))
+            self._invariant_fps[id(wl)] = entry
+        wl_fp = entry[1]
+        entry = self._invariant_fps.get(id(arch))
+        if entry is None or entry[0] is not arch:
+            entry = (arch, architecture_fingerprint(arch))
+            self._invariant_fps[id(arch)] = entry
+        return mapping_fingerprint(
+            mapping, self.partial_reuse, workload_fp=wl_fp, arch_fp=entry[1])
+
+    def evaluate(self, mapping: Mapping) -> CostResult:
+        """Evaluate one mapping, through the cache, in-process."""
+        if self.cache is None:
+            self.stats.evaluations += 1
+            return evaluate(mapping, partial_reuse=self.partial_reuse)
+        key = self.fingerprint(mapping)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = evaluate(mapping, partial_reuse=self.partial_reuse)
+        self.stats.evaluations += 1
+        self.stats.cache_misses += 1
+        self.cache.put(key, result)
+        self.stats.cache_evictions = self.cache.evictions
+        return result
+
+    def evaluate_batch(
+        self, mappings: Sequence[Mapping],
+    ) -> list[CostResult]:
+        """Evaluate a batch; results align with ``mappings`` by index.
+
+        Cache hits are served directly; the remaining distinct
+        fingerprints are evaluated (in parallel when ``workers > 1``)
+        and merged back in input order, so the returned list is
+        bit-identical to what ``[evaluate(m) for m in mappings]`` would
+        produce.
+        """
+        start = time.perf_counter()
+        self.stats.batches += 1
+        if self.cache is None:
+            results = self._run(list(mappings))
+            self.stats.evaluations += len(mappings)
+            self.stats.wall_time_s += time.perf_counter() - start
+            return results
+
+        results: list[CostResult | None] = [None] * len(mappings)
+        todo: list[Mapping] = []
+        todo_keys: list[Fingerprint] = []
+        waiters: dict[Fingerprint, list[int]] = {}
+        for i, mapping in enumerate(mappings):
+            key = self.fingerprint(mapping)
+            pending = waiters.get(key)
+            if pending is not None:
+                pending.append(i)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[i] = cached
+                self.stats.cache_hits += 1
+                continue
+            waiters[key] = [i]
+            todo.append(mapping)
+            todo_keys.append(key)
+
+        fresh = self._run(todo)
+        self.stats.evaluations += len(todo)
+        self.stats.cache_misses += len(todo)
+        for key, result in zip(todo_keys, fresh):
+            self.cache.put(key, result)
+            indices = waiters[key]
+            for i in indices:
+                results[i] = result
+            # Later duplicates of an in-batch miss are served without a
+            # fresh evaluation: count them as hits.
+            self.stats.cache_hits += len(indices) - 1
+        self.stats.cache_evictions = self.cache.evictions
+        self.stats.wall_time_s += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def _run(self, mappings: list[Mapping]) -> list[CostResult]:
+        """Evaluate ``mappings`` preserving order; parallel on misses."""
+        if not mappings:
+            return []
+        workers = self._effective_workers
+        if workers == 1 or len(mappings) < 2 * workers:
+            return [evaluate(m, partial_reuse=self.partial_reuse)
+                    for m in mappings]
+        pool = self._ensure_pool()
+        if pool is None:  # pool creation failed; workers reset to 1
+            return [evaluate(m, partial_reuse=self.partial_reuse)
+                    for m in mappings]
+        chunk = min(self.chunk_size,
+                    math.ceil(len(mappings) / self._effective_workers))
+        chunks = [mappings[i:i + chunk]
+                  for i in range(0, len(mappings), chunk)]
+        results: list[CostResult] = []
+        for part in pool.map(_evaluate_chunk,
+                             [(c, self.partial_reuse) for c in chunks]):
+            results.extend(part)
+        return results

@@ -1,0 +1,74 @@
+"""Canonical mapping fingerprints for evaluation memoisation.
+
+A fingerprint captures exactly the inputs the cost model reads: the
+workload's loop bounds and tensor access structure, the architecture's
+level parameters, and the mapping's cost-relevant decisions — the
+non-trivial temporal nest (order matters: it determines reuse) and the
+spatial unrolling factors per level (order-insensitive: the cost model
+only sees the factor products), plus the ``partial_reuse`` evaluation
+flag.  Two mappings with equal fingerprints receive identical
+:class:`~repro.model.cost.CostResult`s, and perturbing any tile factor,
+non-trivial loop order, or unrolling changes the fingerprint — both
+properties are pinned by ``tests/test_fingerprint_properties.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import Mapping
+from ..workloads.expression import Workload
+
+Fingerprint = Hashable
+
+
+def workload_fingerprint(workload: Workload) -> Fingerprint:
+    """Hashable identity of a workload's bounds and access structure."""
+    return (
+        tuple(sorted(workload.dims.items())),
+        tuple(
+            (t.name, t.role, t.is_output,
+             tuple((e.dims, e.stride) for e in t.indices))
+            for t in workload.tensors
+        ),
+    )
+
+
+def architecture_fingerprint(arch: Architecture) -> Fingerprint:
+    """Hashable identity of every level parameter the cost model reads."""
+    levels = []
+    for lvl in arch.levels:
+        capacity = (None if lvl.capacity_words is None
+                    else tuple(sorted(lvl.capacity_words.items())))
+        levels.append((
+            lvl.name, capacity, lvl.fanout, lvl.fanout_shape,
+            lvl.read_energy, lvl.write_energy, lvl.network_energy,
+            lvl.read_bandwidth, lvl.write_bandwidth,
+        ))
+    return (arch.name, arch.mac_energy, arch.mac_width, tuple(levels))
+
+
+def mapping_fingerprint(
+    mapping: Mapping,
+    partial_reuse: bool = True,
+    workload_fp: Fingerprint | None = None,
+    arch_fp: Fingerprint | None = None,
+) -> Fingerprint:
+    """Canonical cache key for ``evaluate(mapping, partial_reuse)``.
+
+    ``workload_fp`` / ``arch_fp`` let callers that evaluate many mappings
+    of the same problem pre-compute the invariant parts.
+    """
+    levels = tuple(
+        (
+            lvl.nontrivial_temporal(),
+            tuple(sorted((d, f) for d, f in lvl.spatial if f > 1)),
+        )
+        for lvl in mapping.levels
+    )
+    if workload_fp is None:
+        workload_fp = workload_fingerprint(mapping.workload)
+    if arch_fp is None:
+        arch_fp = architecture_fingerprint(mapping.arch)
+    return (workload_fp, arch_fp, levels, bool(partial_reuse))

@@ -1,0 +1,63 @@
+"""Search telemetry shared by Sunstone and the baseline mappers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Evaluation-engine accounting (Fig. 9 overhead study).
+
+    ``evaluations`` counts cost-model executions actually performed;
+    ``cache_hits`` counts results served from the memo instead (a request
+    is one or the other, never both).  ``prunes`` aggregates candidates
+    discarded before evaluation (alpha-beta + beam for Sunstone).
+    ``level_wall_time_s`` buckets sweep time per memory-level step.
+    """
+
+    workers: int = 1
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    batches: int = 0
+    prunes: int = 0
+    wall_time_s: float = 0.0
+    level_wall_time_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        """Cost-model queries issued, whether computed or served cached."""
+        return self.evaluations + self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.cache_hits / total if total else 0.0
+
+    def add_level_time(self, level_name: str, seconds: float) -> None:
+        self.level_wall_time_s[level_name] = (
+            self.level_wall_time_s.get(level_name, 0.0) + seconds
+        )
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another record (e.g. a worker process's) into this one."""
+        self.workers = max(self.workers, other.workers)
+        self.evaluations += other.evaluations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.batches += other.batches
+        self.prunes += other.prunes
+        self.wall_time_s += other.wall_time_s
+        for name, seconds in other.level_wall_time_s.items():
+            self.add_level_time(name, seconds)
+
+    def summary(self) -> str:
+        return (
+            f"evaluations {self.evaluations}, cache hits {self.cache_hits} "
+            f"({self.hit_rate:.0%} of {self.requests} requests), "
+            f"prunes {self.prunes}, workers {self.workers}, "
+            f"wall {self.wall_time_s:.2f}s"
+        )

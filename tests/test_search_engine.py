@@ -1,0 +1,380 @@
+"""Oracle-backed regression harness for the evaluation engine.
+
+Pins the engine's core guarantee: for every (workers, cache)
+configuration the search returns the *same best mapping* with
+*bit-identical* cost as the plain serial path, and cached results are
+exactly what a fresh evaluation would produce (cross-checked against the
+brute-force loop-nest interpreter on single-digit problems).
+"""
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.arch import UNIFIED, Architecture, MemoryLevel, tiny
+from repro.baselines import TimeloopConfig, timeloop_search
+from repro.baselines.random_search import sample_random_mapping
+from repro.core import SchedulerOptions, SunstoneScheduler, schedule
+from repro.core.network import schedule_network
+from repro.mapping import build_mapping
+from repro.mapping.serialize import mapping_to_dict
+from repro.model import count_accesses, evaluate, simulate_fills
+from repro.search import EvalCache, SearchEngine
+from repro.workloads import conv1d, conv2d, make_workload, mttkrp
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _matmul(i=8, j=8, k=8):
+    return make_workload(
+        "mm", {"I": i, "J": j, "K": k},
+        {"A": ["I", "K"], "B": ["K", "J"], "out": ["I", "J"]},
+        outputs=["out"],
+    )
+
+
+_EQUIVALENCE_CASES = [
+    (conv1d(K=4, C=4, P=14, R=3), tiny(l1_words=64, l2_words=512, pes=4)),
+    (_matmul(8, 8, 8), tiny(l1_words=32, l2_words=256, pes=4)),
+    (mttkrp(I=4, K=4, L=4, J=4), tiny(l1_words=64, l2_words=512, pes=2)),
+]
+
+
+def _cost_tuple(result):
+    return (result.cost.energy_pj, result.cost.cycles, result.cost.edp)
+
+
+# ---------------------------------------------------------------------------
+# Satellite (a): serial vs cached vs parallel equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", range(len(_EQUIVALENCE_CASES)))
+def test_scheduler_equivalence_matrix(case):
+    """workers/cache settings must not change the best mapping or cost."""
+    workload, arch = _EQUIVALENCE_CASES[case]
+    serial = schedule(workload, arch,
+                      SchedulerOptions(workers=1, cache=False))
+    assert serial.found
+    oracle_mapping = mapping_to_dict(serial.mapping)
+    oracle_cost = _cost_tuple(serial)
+    for workers, cache in [(1, True), (2, True), (2, False)]:
+        result = schedule(workload, arch,
+                          SchedulerOptions(workers=workers, cache=cache))
+        assert result.found
+        assert mapping_to_dict(result.mapping) == oracle_mapping, \
+            (workers, cache)
+        assert _cost_tuple(result) == oracle_cost, (workers, cache)
+
+
+def test_baseline_equivalence_timeloop():
+    workload, arch = _EQUIVALENCE_CASES[0]
+    config = TimeloopConfig(timeout=400, victory_condition=50, seed=3)
+    serial = timeloop_search(workload, arch, config, cache=False)
+    for kwargs in ({"cache": True}, {"cache": True, "workers": 2}):
+        other = timeloop_search(workload, arch, config, **kwargs)
+        assert other.evaluations == serial.evaluations, kwargs
+        assert _cost_tuple(other) == _cost_tuple(serial), kwargs
+        assert mapping_to_dict(other.mapping) == \
+            mapping_to_dict(serial.mapping), kwargs
+
+
+def test_engine_batch_matches_individual_evaluations():
+    workload, arch = _EQUIVALENCE_CASES[0]
+    rng = random.Random(7)
+    mappings = [sample_random_mapping(workload, arch, rng)
+                for _ in range(40)]
+    fresh = [evaluate(m) for m in mappings]
+    with SearchEngine(workers=2, cache=True) as engine:
+        batched = engine.evaluate_batch(mappings)
+    assert len(batched) == len(fresh)
+    for a, b in zip(batched, fresh):
+        assert (a.energy_pj, a.cycles, a.valid) == \
+            (b.energy_pj, b.cycles, b.valid)
+
+
+# ---------------------------------------------------------------------------
+# Satellite (a): cached results are oracle-exact on random mappings
+# ---------------------------------------------------------------------------
+
+
+def _temporal_only_arch():
+    """fanout=1 everywhere so random mappings stay interpreter-friendly."""
+    return Architecture("flat", [
+        MemoryLevel("L1", {UNIFIED: 10**9}, read_energy=1.0,
+                    write_energy=1.0),
+        MemoryLevel("L2", {UNIFIED: 10**9}, read_energy=4.0,
+                    write_energy=4.0),
+        MemoryLevel("DRAM", None, read_energy=64.0, write_energy=64.0),
+    ])
+
+
+def test_cached_results_match_reference_interpreter():
+    """Cache hits carry exactly the result ground truth prescribes."""
+    arch = _temporal_only_arch()
+    rng = random.Random(11)
+    engine = SearchEngine(workers=1, cache=True, partial_reuse=False)
+    for trial in range(12):
+        workload = conv1d(K=rng.choice([2, 4]), C=rng.choice([2, 3]),
+                          P=rng.choice([4, 6]), R=rng.choice([1, 3]))
+        mapping = sample_random_mapping(workload, arch, rng)
+        first = engine.evaluate(mapping)
+        second = engine.evaluate(mapping)  # served from the cache
+        assert (second.energy_pj, second.cycles) == \
+            (first.energy_pj, first.cycles)
+        oracle = evaluate(mapping, partial_reuse=False)
+        assert (second.energy_pj, second.cycles, second.valid) == \
+            (oracle.energy_pj, oracle.cycles, oracle.valid)
+        # Tie the analytical fills the cached result was computed from to
+        # the brute-force interpreter.
+        reference = simulate_fills(mapping)
+        counts = count_accesses(mapping, partial_reuse=False)
+        for (tensor_name, child), ref_words in \
+                reference.fill_words.items():
+            tensor = workload.tensor(tensor_name)
+            parent = arch.parent_storage(child, tensor.role)
+            volume = counts.per_tensor[tensor_name].pair(child, parent)
+            model_words = volume.parent_side if tensor.is_output \
+                else volume.child_side
+            assert model_words == ref_words, (trial, tensor_name, child)
+    assert engine.stats.cache_hits == 12
+    assert engine.stats.evaluations == engine.stats.cache_misses
+
+
+# ---------------------------------------------------------------------------
+# EvalCache unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestEvalCache:
+    def test_counters_and_contains(self):
+        cache = EvalCache()
+        assert cache.get("a") is None
+        assert cache.misses == 1 and cache.hits == 0
+        cache.put("a", "result-a")
+        assert "a" in cache and len(cache) == 1
+        assert cache.get("a") == "result-a"
+        assert cache.hits == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = EvalCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": now "b" is oldest
+        cache.put("c", 3)
+        assert cache.evictions == 1
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_overwrite_does_not_evict(self):
+        cache = EvalCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_clear_keeps_counters(self):
+        cache = EvalCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EvalCache(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Satellite (c): determinism regression
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_search_is_reproducible_run_to_run(workers):
+    """Two fresh searches of the same problem serialize identically."""
+    workload, arch = _EQUIVALENCE_CASES[0]
+    options = SchedulerOptions(workers=workers, cache=True)
+    first = SunstoneScheduler(workload, arch, options).schedule()
+    second = SunstoneScheduler(workload, arch, options).schedule()
+    assert first.found and second.found
+    assert mapping_to_dict(first.mapping) == mapping_to_dict(second.mapping)
+    assert _cost_tuple(first) == _cost_tuple(second)
+    assert first.stats.evaluations == second.stats.evaluations
+
+
+def test_tie_break_is_value_then_canonical_key():
+    """Ranking ties resolve by canonical state key, not arrival order."""
+    from repro.core.scheduler import _state_key
+
+    workload, arch = _EQUIVALENCE_CASES[1]
+    options = SchedulerOptions(workers=1, cache=True)
+    scheduler = SunstoneScheduler(workload, arch, options)
+    result = scheduler.schedule()
+    assert result.found
+    # _state_key must be a pure function of the state's content.
+    state_like = type("S", (), {
+        "temporal": [{"K": 2, "C": 4}], "spatial": [{"K": 2}],
+        "orders": [("K", "C")],
+    })()
+    permuted = type("S", (), {
+        "temporal": [{"C": 4, "K": 2}], "spatial": [{"K": 2}],
+        "orders": [("K", "C")],
+    })()
+    assert _state_key(state_like) == _state_key(permuted)
+
+
+# ---------------------------------------------------------------------------
+# Satellite (d): SearchStats counter exactness
+# ---------------------------------------------------------------------------
+
+
+def test_stats_exact_single_mapping():
+    workload, arch = _EQUIVALENCE_CASES[0]
+    mapping = build_mapping(
+        workload, arch,
+        temporal=[{"P": 7, "R": 3}, {"P": 2, "K": 2, "C": 4}, {"K": 2}],
+        spatial=[{}, {"C": 1}, {}],
+        orders=[["P", "R"], ["P", "K", "C"], ["K"]],
+    )
+    engine = SearchEngine(workers=1, cache=True)
+    for _ in range(3):
+        engine.evaluate(mapping)
+    assert engine.stats.evaluations == 1
+    assert engine.stats.cache_misses == 1
+    assert engine.stats.cache_hits == 2
+    assert engine.stats.requests == 3
+    assert engine.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_stats_exact_batch_with_duplicates():
+    workload, arch = _EQUIVALENCE_CASES[0]
+    rng = random.Random(5)
+    distinct = [sample_random_mapping(workload, arch, rng)
+                for _ in range(4)]
+    batch = distinct + distinct[:2]  # 2 in-batch duplicates
+    engine = SearchEngine(workers=1, cache=True)
+    engine.evaluate_batch(batch)
+    assert engine.stats.batches == 1
+    assert engine.stats.evaluations == 4
+    assert engine.stats.cache_misses == 4
+    assert engine.stats.cache_hits == 2
+    engine.evaluate_batch(distinct)  # all hits now
+    assert engine.stats.cache_hits == 6
+    assert engine.stats.evaluations == 4
+
+
+def test_stats_count_evictions():
+    workload, arch = _EQUIVALENCE_CASES[0]
+    rng = random.Random(9)
+    engine = SearchEngine(workers=1, cache=EvalCache(max_entries=2))
+    for _ in range(5):
+        engine.evaluate(sample_random_mapping(workload, arch, rng))
+    assert engine.stats.cache_evictions == 3
+    assert len(engine.cache) == 2
+
+
+def test_stats_merge_and_summary():
+    from repro.search import SearchStats
+
+    a = SearchStats(workers=1, evaluations=10, cache_hits=5, cache_misses=10)
+    a.add_level_time("L1", 0.5)
+    b = SearchStats(workers=2, evaluations=3, cache_hits=1, cache_misses=3,
+                    prunes=7)
+    b.add_level_time("L1", 0.25)
+    b.add_level_time("DRAM", 1.0)
+    a.merge(b)
+    assert a.workers == 2
+    assert a.evaluations == 13
+    assert a.requests == 19
+    assert a.prunes == 7
+    assert a.level_wall_time_s == {"L1": 0.75, "DRAM": 1.0}
+    assert "cache hits 6" in a.summary()
+
+
+def test_scheduler_stats_requests_match_evaluation_count():
+    """SchedulerStats.evaluations (requests) = engine executions + hits."""
+    workload, arch = _EQUIVALENCE_CASES[0]
+    result = schedule(workload, arch, SchedulerOptions(workers=1, cache=True))
+    search = result.stats.search
+    assert search.evaluations + search.cache_hits >= result.stats.evaluations
+    assert search.evaluations < result.stats.evaluations  # cache did work
+    assert search.cache_hits > 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite (d): network-level cache sharing + bench entry point
+# ---------------------------------------------------------------------------
+
+
+def test_network_shared_cache_hits_across_layers():
+    """Repeated layer shapes hit the shared cache when search sharing is
+    off, and the totals report a nonzero hit rate."""
+    arch = tiny(l1_words=64, l2_words=512, pes=4)
+    layers = [conv1d(K=4, C=4, P=14, R=3),
+              conv1d(K=4, C=4, P=14, R=3),
+              conv1d(K=8, C=4, P=7, R=3)]
+    network = schedule_network(layers, arch, SchedulerOptions(),
+                               dedupe=False)
+    assert network.all_found
+    assert network.search_stats.cache_hits > 0
+    assert network.search_stats.hit_rate > 0
+    # The duplicate layer re-ran its search entirely against the cache, so
+    # executions stay well below total requests.
+    assert network.search_stats.evaluations < network.search_stats.requests
+    # Equivalent outcome to the deduplicated path.
+    deduped = schedule_network(layers, arch, SchedulerOptions())
+    assert network.total_edp == deduped.total_edp
+
+
+def test_bench_fig9_quick_entry_runs():
+    """`bench_fig9_overheads.py --quick` must report without crashing."""
+    proc = subprocess.run(
+        [sys.executable,
+         str(REPO_ROOT / "benchmarks" / "bench_fig9_overheads.py"),
+         "--quick", "--no-sim"],
+        capture_output=True, text=True, timeout=600,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "search engine:" in proc.stdout
+    assert "scheduling wall time" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_engine_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        SearchEngine(workers=0)
+    with pytest.raises(ValueError):
+        SearchEngine(chunk_size=0)
+    with pytest.raises(ValueError):
+        SchedulerOptions(workers=0)
+
+
+def test_engine_without_cache_counts_only_evaluations():
+    workload, arch = _EQUIVALENCE_CASES[0]
+    rng = random.Random(2)
+    mapping = sample_random_mapping(workload, arch, rng)
+    engine = SearchEngine(workers=1, cache=False)
+    engine.evaluate(mapping)
+    engine.evaluate(mapping)
+    assert engine.stats.evaluations == 2
+    assert engine.stats.cache_hits == 0
+    assert engine.cache is None
+
+
+def test_empty_batch_is_fine():
+    engine = SearchEngine(workers=2, cache=True)
+    assert engine.evaluate_batch([]) == []
+    engine.close()
