@@ -11,6 +11,7 @@ from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
 from ..model.cost import CostResult
 from ..search import SearchEngine, SearchStats
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 
 
@@ -87,9 +88,11 @@ def resolve_engine(
     workers: int,
     cache: bool,
     partial_reuse: bool,
+    sparsity: SparsitySpec | None = None,
 ) -> tuple[SearchEngine, bool]:
     """Return (engine, owns_it): reuse an injected engine or build one."""
     if engine is not None:
         return engine, False
     return SearchEngine(workers=workers, cache=cache,
-                        partial_reuse=partial_reuse), True
+                        partial_reuse=partial_reuse,
+                        sparsity=sparsity), True

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..arch.spec import Architecture
 from ..mapping.mapping import build_mapping
 from ..search import SearchEngine
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
@@ -75,6 +76,7 @@ def cosa_search(
     config: CosaConfig = CosaConfig(),
     partial_reuse: bool = True,
     engine: SearchEngine | None = None,
+    sparsity: SparsitySpec | None = None,
 ) -> SearchResult:
     """Run the CoSA-like one-shot mapper.
 
@@ -171,7 +173,8 @@ def cosa_search(
         orders=orders,
     )
     engine, _ = resolve_engine(engine, workers=1, cache=False,
-                               partial_reuse=partial_reuse)
+                               partial_reuse=partial_reuse,
+                               sparsity=sparsity)
     cost = engine.evaluate(mapping)
     elapsed = time.perf_counter() - start
     return SearchResult(

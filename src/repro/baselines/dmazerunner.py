@@ -29,6 +29,7 @@ from ..core.tiling_tree import divisors
 from ..core.unrolling import enumerate_unrollings
 from ..mapping.mapping import Mapping
 from ..model.cost import CostResult, evaluate
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult
 
@@ -180,6 +181,7 @@ def dmazerunner_search(
     engine=None,
     workers: int = 1,
     cache: bool = True,
+    sparsity: SparsitySpec | None = None,
 ) -> SearchResult:
     """Run the dMazeRunner-like search."""
     start = time.perf_counter()
@@ -202,6 +204,7 @@ def dmazerunner_search(
         partial_reuse=partial_reuse,
         workers=workers,
         cache=cache,
+        sparsity=sparsity,
     )
     search = _DMazeSearch(workload, arch, config, options, engine=engine)
     result = search.schedule()

@@ -16,6 +16,7 @@ from typing import Iterator
 from ..arch.spec import Architecture
 from ..mapping.mapping import LevelMapping, Mapping
 from ..search import SearchEngine
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
@@ -51,6 +52,7 @@ def exhaustive_search(
     engine: SearchEngine | None = None,
     workers: int = 1,
     cache: bool = True,
+    sparsity: SparsitySpec | None = None,
 ) -> SearchResult:
     """Enumerate the full mapping space and return the best valid mapping.
 
@@ -85,7 +87,7 @@ def exhaustive_search(
         )
 
     engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse)
+                                         partial_reuse, sparsity)
     best = None
     evaluations = 0
     buffer: list[Mapping] = []

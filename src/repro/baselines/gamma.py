@@ -22,6 +22,7 @@ from ..arch.spec import Architecture
 from ..mapping.mapping import LevelMapping, Mapping
 from ..model.cost import CostResult
 from ..search import SearchEngine
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
@@ -176,10 +177,11 @@ def gamma_search(
     engine: SearchEngine | None = None,
     workers: int = 1,
     cache: bool = True,
+    sparsity: SparsitySpec | None = None,
 ) -> SearchResult:
     """Run the GAMMA-like genetic search."""
     engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse)
+                                         partial_reuse, sparsity)
     start = time.perf_counter()
     search = _GammaSearch(workload, arch, config, partial_reuse, engine)
     outcome = search.run()

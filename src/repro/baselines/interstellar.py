@@ -19,6 +19,7 @@ from ..arch.spec import Architecture
 from ..core.scheduler import SchedulerOptions, SchedulerStats, SunstoneScheduler, _State
 from ..core.tiling_tree import enumerate_tilings
 from ..core.unrolling import enumerate_unrollings
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult
 
@@ -101,6 +102,7 @@ def interstellar_search(
     engine=None,
     workers: int = 1,
     cache: bool = True,
+    sparsity: SparsitySpec | None = None,
 ) -> SearchResult:
     """Run the Interstellar-like search."""
     start = time.perf_counter()
@@ -111,6 +113,7 @@ def interstellar_search(
         partial_reuse=partial_reuse,
         workers=workers,
         cache=cache,
+        sparsity=sparsity,
     )
     search = _InterstellarSearch(workload, arch, config, options,
                                  engine=engine)

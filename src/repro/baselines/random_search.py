@@ -23,6 +23,7 @@ from ..arch.spec import Architecture
 from ..mapping.mapping import LevelMapping, Mapping
 from ..model.cost import CostResult
 from ..search import SearchEngine
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
 
@@ -113,6 +114,7 @@ def timeloop_search(
     engine: SearchEngine | None = None,
     workers: int = 1,
     cache: bool = True,
+    sparsity: SparsitySpec | None = None,
 ) -> SearchResult:
     """Run the Timeloop-like random search.
 
@@ -122,7 +124,7 @@ def timeloop_search(
     the victory/timeout point, so the outcome is identical.
     """
     engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse)
+                                         partial_reuse, sparsity)
     rng = random.Random(config.seed)
     start = time.perf_counter()
     best: tuple[float, Mapping, CostResult] | None = None

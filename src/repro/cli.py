@@ -32,8 +32,9 @@ from .baselines import (
 from .baselines.gamma import gamma_search
 from .core import SchedulerOptions, schedule
 from .mapping import render_nest
-from .mapping.serialize import load_mapping, save_mapping
+from .mapping.serialize import load_mapping, mapping_to_dict, save_mapping
 from .model import evaluate
+from .sparse import SparsityError, SparsitySpec, spec_from_cli
 from .workloads import (
     Workload,
     attention_scores,
@@ -116,19 +117,55 @@ def build_architecture(name: str) -> Architecture:
                      f"{sorted(ARCHITECTURES)} or pass a .json config")
 
 
+def build_sparsity(args: argparse.Namespace,
+                   workload: Workload) -> SparsitySpec | None:
+    """Assemble the sparsity spec from --density/--format/--saf flags."""
+    try:
+        return spec_from_cli(
+            args.density, args.format, args.saf,
+            tensor_names=[t.name for t in workload.tensors],
+        )
+    except SparsityError as error:
+        raise SystemExit(str(error))
+
+
+def _cost_dict(cost) -> dict:
+    return {
+        "energy_pj": cost.energy_pj,
+        "cycles": cost.cycles,
+        "edp": cost.edp,
+        "valid": cost.valid,
+        "violations": list(cost.violations),
+        "utilization": cost.utilization,
+        "compute_energy": cost.compute_energy,
+        "noc_energy": cost.noc_energy,
+        "level_energy": dict(cost.level_energy),
+    }
+
+
+def _write_stats_json(path: str, document: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"stats saved to {path}")
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Schedule one workload and print mapping, nest, cost (and report)."""
     workload = build_workload(args.workload, args.dims)
     arch = build_architecture(args.arch)
+    sparsity = build_sparsity(args, workload)
     options = SchedulerOptions(objective=args.objective,
                                workers=args.workers,
-                               cache=not args.no_cache)
+                               cache=not args.no_cache,
+                               sparsity=sparsity)
     result = schedule(workload, arch, options)
     if not result.found:
         print("no valid mapping found", file=sys.stderr)
         return 1
     print(result.mapping)
     print(render_nest(result.mapping))
+    if sparsity is not None:
+        print(f"sparsity: {sparsity.describe()}")
     print(result.cost.summary())
     if args.report:
         from .analysis.visualize import mapping_report
@@ -140,6 +177,19 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if args.output:
         save_mapping(result.mapping, args.output)
         print(f"mapping saved to {args.output}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "command": "schedule",
+            "workload": workload.name,
+            "arch": arch.name,
+            "objective": args.objective,
+            "sparsity": sparsity.describe() if sparsity else None,
+            "mapping": mapping_to_dict(result.mapping),
+            "cost": _cost_dict(result.cost),
+            "evaluations": result.stats.evaluations,
+            "wall_time_s": result.stats.wall_time_s,
+            "search": result.stats.search.to_dict(),
+        })
     return 0
 
 
@@ -147,23 +197,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """Run Sunstone and the selected baselines; print a comparison table."""
     workload = build_workload(args.workload, args.dims)
     arch = build_architecture(args.arch)
+    sparsity = build_sparsity(args, workload)
     workers, cache = args.workers, not args.no_cache
-    options = SchedulerOptions(workers=workers, cache=cache)
+    options = SchedulerOptions(workers=workers, cache=cache,
+                               sparsity=sparsity)
     rows = [("sunstone", schedule(workload, arch, options))]
     searches = {
         "timeloop-like": lambda: timeloop_search(workload, arch,
                                                  TIMELOOP_FAST,
                                                  workers=workers,
-                                                 cache=cache),
+                                                 cache=cache,
+                                                 sparsity=sparsity),
         "dmazerunner-like": lambda: dmazerunner_search(workload, arch,
                                                        workers=workers,
-                                                       cache=cache),
+                                                       cache=cache,
+                                                       sparsity=sparsity),
         "interstellar-like": lambda: interstellar_search(workload, arch,
                                                          workers=workers,
-                                                         cache=cache),
-        "cosa-like": lambda: cosa_search(workload, arch),
+                                                         cache=cache,
+                                                         sparsity=sparsity),
+        "cosa-like": lambda: cosa_search(workload, arch,
+                                         sparsity=sparsity),
         "gamma-like": lambda: gamma_search(workload, arch,
-                                           workers=workers, cache=cache),
+                                           workers=workers, cache=cache,
+                                           sparsity=sparsity),
     }
     selected = None
     if args.mappers:
@@ -172,8 +229,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
         if selected is not None and name.split("-")[0] not in selected:
             continue
         rows.append((name, runner()))
+    if sparsity is not None:
+        print(f"sparsity: {sparsity.describe()}")
     print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
           f"{'hits':>8} {'status':>8}")
+    mapper_docs = []
     for name, result in rows:
         time_s = getattr(result, "wall_time_s", None)
         if time_s is None:
@@ -190,6 +250,26 @@ def cmd_compare(args: argparse.Namespace) -> int:
         edp = result.edp if result.found else float("inf")
         print(f"{name:<18} {edp:>12.3e} {time_s:>8.2f} {evals:>8} "
               f"{hits:>8} {status:>8}")
+        mapper_docs.append({
+            "mapper": name,
+            "found": result.found,
+            "status": status,
+            "evaluations": evals,
+            "wall_time_s": time_s,
+            "cost": _cost_dict(result.cost) if result.found else None,
+            "mapping": (mapping_to_dict(result.mapping)
+                        if result.found else None),
+            "search": (search_stats.to_dict()
+                       if search_stats is not None else None),
+        })
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "command": "compare",
+            "workload": workload.name,
+            "arch": arch.name,
+            "sparsity": sparsity.describe() if sparsity else None,
+            "mappers": mapper_docs,
+        })
     return 0
 
 
@@ -206,6 +286,32 @@ def cmd_network(args: argparse.Namespace) -> int:
                                processes=args.processes,
                                dedupe=not args.no_dedupe)
     print(network.summary())
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "command": "network",
+            "model": args.model,
+            "arch": arch.name,
+            "totals": {
+                "energy_pj": network.total_energy_pj,
+                "cycles": network.total_cycles,
+                "edp": network.total_edp,
+                "unique_searches": network.unique_searches,
+                "wall_time_s": network.wall_time_s,
+            },
+            "layers": [
+                {
+                    "layer": entry.workload.name,
+                    "found": entry.result.found,
+                    "shared_with": entry.shared_with,
+                    "cost": (_cost_dict(entry.result.cost)
+                             if entry.result.found else None),
+                    "mapping": (mapping_to_dict(entry.result.mapping)
+                                if entry.result.found else None),
+                }
+                for entry in network.layers
+            ],
+            "search": network.search_stats.to_dict(),
+        })
     return 0 if network.all_found else 1
 
 
@@ -258,6 +364,25 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="disable cost-result memoisation")
 
+    def add_sparsity_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--density", action="append", default=[],
+                       metavar="TENSOR=P",
+                       help="expected density of a tensor, e.g. A=0.05 "
+                            "(repeatable; default format coordinate, "
+                            "action skipping)")
+        p.add_argument("--format", action="append", default=[],
+                       metavar="TENSOR=FMT",
+                       help="compressed format: uncompressed, bitmask, "
+                            "rle, coordinate, csr")
+        p.add_argument("--saf", action="append", default=[],
+                       metavar="TENSOR=ACTION",
+                       help="compute optimisation: none, gating, skipping")
+
+    def add_stats_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--stats-json", metavar="PATH",
+                       help="dump mapping, cost breakdown and search "
+                            "statistics as JSON")
+
     p = sub.add_parser("schedule", help="map a workload onto an accelerator")
     p.add_argument("--workload", required=True)
     p.add_argument("--arch", default="conventional")
@@ -266,6 +391,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true",
                    help="print the occupancy/energy/spatial dashboard")
     add_engine_flags(p)
+    add_sparsity_flags(p)
+    add_stats_json(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_schedule)
 
@@ -277,6 +404,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-dedupe", action="store_true",
                    help="search every layer even when shapes repeat")
     add_engine_flags(p)
+    add_stats_json(p)
     p.set_defaults(func=cmd_network)
 
     p = sub.add_parser("compare", help="compare Sunstone against baselines")
@@ -286,6 +414,8 @@ def make_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset of "
                         "timeloop,dmazerunner,interstellar,cosa,gamma")
     add_engine_flags(p)
+    add_sparsity_flags(p)
+    add_stats_json(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_compare)
 

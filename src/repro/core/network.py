@@ -167,7 +167,8 @@ def schedule_network(
             if shared_engine is None:
                 shared_engine = SearchEngine(
                     workers=opts.workers, cache=opts.cache,
-                    partial_reuse=opts.partial_reuse)
+                    partial_reuse=opts.partial_reuse,
+                    sparsity=opts.sparsity)
                 owns_engine = True
 
             def mapper(workload: Workload, arch: Architecture

@@ -34,6 +34,7 @@ from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping, build_mapping
 from ..model.cost import CostResult
 from ..search import SearchEngine, SearchStats
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .order_trie import OrderingCandidate, TrieStats, enumerate_orderings
 from .tiling_tree import (
@@ -86,6 +87,11 @@ class SchedulerOptions:
     # for every (workers, cache) combination.
     workers: int = 1
     cache: bool = True
+    # Optional sparsity spec (repro.sparse) forwarded to every cost-model
+    # evaluation.  None keeps the dense model bit-identical; the spec is
+    # part of the evaluation-cache key, so dense and sparse searches never
+    # exchange results.
+    sparsity: SparsitySpec | None = None
     # Where a top-down partial parks its residual factors for estimation:
     # "innermost" (paper-faithful: the estimate is far from the final
     # energy, so alpha-beta prunes poorly — the Table VI effect) or
@@ -227,6 +233,7 @@ class SunstoneScheduler:
                 workers=self.options.workers,
                 cache=self.options.cache,
                 partial_reuse=self.options.partial_reuse,
+                sparsity=self.options.sparsity,
             )
             self._owns_engine = True
         return self._engine

@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass, field
 
 from ..mapping.mapping import Mapping
+from ..sparse.saf import compute_scales, traffic_scale
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import IndexExpr, TensorRef
 
 
@@ -87,12 +89,27 @@ class TensorTraffic:
 
 @dataclass
 class AccessCounts:
-    """Full access-count result for a mapping."""
+    """Full access-count result for a mapping.
+
+    ``total_ops`` is the dense iteration-space volume.  ``energy_ops``
+    and ``cycle_ops`` are the effective MAC counts after sparse
+    compute-action optimizations (gating elides energy only, skipping
+    elides energy and cycles); without a sparsity spec both equal
+    ``total_ops``.
+    """
 
     levels: list[LevelAccesses]
     per_tensor: dict[str, TensorTraffic]
     noc_words: dict[int, float]  # boundary level index -> words crossing
     total_ops: int
+    energy_ops: float = 0.0
+    cycle_ops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.energy_ops:
+            self.energy_ops = self.total_ops
+        if not self.cycle_ops:
+            self.cycle_ops = self.total_ops
 
     def level_total(self, index: int) -> float:
         """Total words moved through one level (reads + writes)."""
@@ -176,9 +193,19 @@ def _partial_reuse_words(
     return sweeps * words_per_sweep
 
 
-def count_accesses(mapping: Mapping, partial_reuse: bool = True
-                   ) -> AccessCounts:
-    """Count machine-wide reads/writes per level for ``mapping``."""
+def count_accesses(mapping: Mapping, partial_reuse: bool = True,
+                   sparsity: SparsitySpec | None = None) -> AccessCounts:
+    """Count machine-wide reads/writes per level for ``mapping``.
+
+    ``sparsity`` optionally scales the dense counts into expected sparse
+    traffic (Sparseloop's expected-value formulation, docs/SPARSE.md):
+    per-tensor transfers shrink by the compressed-tile word ratio, and
+    the compute-side accesses and MAC counts shrink by the effectual
+    fraction under gating/skipping.  ``None`` (the default) — and any
+    spec whose densities are 1.0 — leaves every count bit-identical to
+    the dense model.  Spec entries naming tensors this workload does not
+    have are ignored.
+    """
     arch = mapping.arch
     workload = mapping.workload
     num = arch.num_levels
@@ -201,9 +228,18 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True
         return math.prod(sp_all[j] for j in range(level, num)) or 1
 
     total_ops = workload.total_operations
+    energy_ops: float = total_ops
+    cycle_ops: float = total_ops
+    op_scale = 1.0
+    if sparsity is not None:
+        tensor_names = [t.name for t in workload.tensors]
+        op_scale, cycle_scale = compute_scales(sparsity, tensor_names)
+        energy_ops = total_ops * op_scale
+        cycle_ops = total_ops * cycle_scale
 
     for tensor in workload.tensors:
         traffic = per_tensor[tensor.name]
+        spec = sparsity.get(tensor.name) if sparsity is not None else None
         storage = arch.storage_levels(tensor.role)
         if not storage:
             raise ValueError(
@@ -219,6 +255,10 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True
             sp_all[j] // sp_indexing(j, indexing) for j in range(innermost)
         ) or 1
         compute_accesses = total_ops / share
+        if sparsity is not None:
+            # Elided (gated/skipped) MACs touch no operands and merge no
+            # partial output: innermost accesses track effectual MACs.
+            compute_accesses = compute_accesses * op_scale
         if tensor.is_output:
             # Read-modify-write accumulation at the innermost buffer.
             traffic.at(innermost).writes += compute_accesses
@@ -244,6 +284,14 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True
                 )
             else:
                 fill_words = fills * footprint
+            # Sparse scaling: expected stored words of the child tile
+            # over its dense footprint (format payload + metadata,
+            # capped at dense; empty-tile skipping for uncompressed).
+            pair_words = footprint
+            if spec is not None:
+                pair_scale = traffic_scale(spec, footprint)
+                fill_words = fill_words * pair_scale
+                pair_words = footprint * pair_scale
 
             between_idx = math.prod(
                 sp_indexing(j, indexing) for j in range(child, parent)
@@ -270,8 +318,8 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True
                 # must restore partials from the parent.
                 revisit = fills - distinct
                 if revisit > 0:
-                    back_child = revisit * footprint * between_all * above
-                    back_parent = revisit * footprint * between_idx * above
+                    back_child = revisit * pair_words * between_all * above
+                    back_parent = revisit * pair_words * between_idx * above
                     volume.readback_child += back_child
                     volume.readback_parent += back_parent
                     traffic.at(child).writes += back_child
@@ -295,4 +343,6 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True
         per_tensor=per_tensor,
         noc_words=noc_words,
         total_ops=total_ops,
+        energy_ops=energy_ops,
+        cycle_ops=cycle_ops,
     )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
+from ..sparse.spec import SparsitySpec
 from .accesses import AccessCounts, count_accesses
 
 
@@ -48,17 +49,25 @@ INVALID_COST = float("inf")
 
 
 def evaluate(mapping: Mapping, partial_reuse: bool = True,
-             keep_accesses: bool = False) -> CostResult:
+             keep_accesses: bool = False,
+             sparsity: SparsitySpec | None = None) -> CostResult:
     """Evaluate energy, latency and EDP for ``mapping``.
 
     Invalid mappings (capacity or fanout violations) still receive an
     energy/latency estimate — the search algorithms need a number to rank
     by — but are flagged ``valid=False`` and must never be returned as
     solutions.
+
+    ``sparsity`` optionally applies the expected-value sparse traffic
+    model of :mod:`repro.sparse` (docs/SPARSE.md).  ``None`` — and any
+    degenerate all-dense spec — yields output bit-identical to the dense
+    model; sparsity never changes which mappings are *valid*, since
+    buffer occupancy is provisioned for the dense tile (worst case).
     """
     arch = mapping.arch
     violations = mapping.validate()
-    counts = count_accesses(mapping, partial_reuse=partial_reuse)
+    counts = count_accesses(mapping, partial_reuse=partial_reuse,
+                            sparsity=sparsity)
 
     level_energy: dict[str, float] = {}
     total = 0.0
@@ -74,12 +83,13 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
         noc_energy += words * arch.levels[boundary].network_energy
     total += noc_energy
 
-    compute_energy = counts.total_ops * arch.mac_energy
+    compute_energy = counts.energy_ops * arch.mac_energy
     total += compute_energy
 
-    # Latency: compute-bound vs per-level bandwidth-bound.
+    # Latency: compute-bound vs per-level bandwidth-bound.  Skipping
+    # (but not gating) shrinks the effective MAC issue count.
     used_lanes = mapping.used_lanes() * arch.mac_width
-    compute_cycles = counts.total_ops / max(used_lanes, 1)
+    compute_cycles = counts.cycle_ops / max(used_lanes, 1)
     cycles = compute_cycles
     for i, arch_level in enumerate(arch.levels):
         instances = math.prod(
@@ -103,9 +113,11 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
     )
 
 
-def edp(mapping: Mapping, partial_reuse: bool = True) -> float:
+def edp(mapping: Mapping, partial_reuse: bool = True,
+        sparsity: SparsitySpec | None = None) -> float:
     """EDP of a mapping; ``inf`` when invalid."""
-    result = evaluate(mapping, partial_reuse=partial_reuse)
+    result = evaluate(mapping, partial_reuse=partial_reuse,
+                      sparsity=sparsity)
     if not result.valid:
         return INVALID_COST
     return result.edp

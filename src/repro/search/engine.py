@@ -31,6 +31,7 @@ from typing import Sequence
 
 from ..mapping.mapping import Mapping
 from ..model.cost import CostResult, evaluate
+from ..sparse.spec import SparsitySpec
 from .cache import EvalCache
 from .fingerprint import (
     Fingerprint,
@@ -42,11 +43,12 @@ from .stats import SearchStats
 
 
 def _evaluate_chunk(
-    payload: tuple[list[Mapping], bool],
+    payload: tuple[list[Mapping], bool, SparsitySpec | None],
 ) -> list[CostResult]:
     """Top-level worker so process pools can pickle it."""
-    mappings, partial_reuse = payload
-    return [evaluate(m, partial_reuse=partial_reuse) for m in mappings]
+    mappings, partial_reuse, sparsity = payload
+    return [evaluate(m, partial_reuse=partial_reuse, sparsity=sparsity)
+            for m in mappings]
 
 
 class SearchEngine:
@@ -66,6 +68,11 @@ class SearchEngine:
         Forwarded to :func:`repro.model.cost.evaluate`; it is part of
         the cache key, so engines with different settings never share
         results even when handed the same cache object.
+    sparsity:
+        Optional :class:`~repro.sparse.spec.SparsitySpec` forwarded to
+        every evaluation.  Like ``partial_reuse`` it is part of the
+        cache key: a dense engine and a sparse engine can share one
+        cache object without ever exchanging results.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class SearchEngine:
         cache: EvalCache | bool = True,
         partial_reuse: bool = True,
         chunk_size: int = 64,
+        sparsity: SparsitySpec | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -90,6 +98,7 @@ class SearchEngine:
             cache = None
         self.cache: EvalCache | None = cache
         self.partial_reuse = partial_reuse
+        self.sparsity = sparsity
         self.chunk_size = chunk_size
         self.stats = SearchStats(workers=self._effective_workers)
         self._pool: ProcessPoolExecutor | None = None
@@ -144,19 +153,22 @@ class SearchEngine:
             entry = (arch, architecture_fingerprint(arch))
             self._invariant_fps[id(arch)] = entry
         return mapping_fingerprint(
-            mapping, self.partial_reuse, workload_fp=wl_fp, arch_fp=entry[1])
+            mapping, self.partial_reuse, workload_fp=wl_fp, arch_fp=entry[1],
+            sparsity=self.sparsity)
 
     def evaluate(self, mapping: Mapping) -> CostResult:
         """Evaluate one mapping, through the cache, in-process."""
         if self.cache is None:
             self.stats.evaluations += 1
-            return evaluate(mapping, partial_reuse=self.partial_reuse)
+            return evaluate(mapping, partial_reuse=self.partial_reuse,
+                            sparsity=self.sparsity)
         key = self.fingerprint(mapping)
         cached = self.cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        result = evaluate(mapping, partial_reuse=self.partial_reuse)
+        result = evaluate(mapping, partial_reuse=self.partial_reuse,
+                          sparsity=self.sparsity)
         self.stats.evaluations += 1
         self.stats.cache_misses += 1
         self.cache.put(key, result)
@@ -222,11 +234,13 @@ class SearchEngine:
             return []
         workers = self._effective_workers
         if workers == 1 or len(mappings) < 2 * workers:
-            return [evaluate(m, partial_reuse=self.partial_reuse)
+            return [evaluate(m, partial_reuse=self.partial_reuse,
+                             sparsity=self.sparsity)
                     for m in mappings]
         pool = self._ensure_pool()
         if pool is None:  # pool creation failed; workers reset to 1
-            return [evaluate(m, partial_reuse=self.partial_reuse)
+            return [evaluate(m, partial_reuse=self.partial_reuse,
+                             sparsity=self.sparsity)
                     for m in mappings]
         chunk = min(self.chunk_size,
                     math.ceil(len(mappings) / self._effective_workers))
@@ -234,6 +248,7 @@ class SearchEngine:
                   for i in range(0, len(mappings), chunk)]
         results: list[CostResult] = []
         for part in pool.map(_evaluate_chunk,
-                             [(c, self.partial_reuse) for c in chunks]):
+                             [(c, self.partial_reuse, self.sparsity)
+                              for c in chunks]):
             results.extend(part)
         return results

@@ -6,10 +6,13 @@ level parameters, and the mapping's cost-relevant decisions — the
 non-trivial temporal nest (order matters: it determines reuse) and the
 spatial unrolling factors per level (order-insensitive: the cost model
 only sees the factor products), plus the ``partial_reuse`` evaluation
-flag.  Two mappings with equal fingerprints receive identical
+flag and the sparsity spec (a frozen value object — dense and sparse
+evaluations of the same mapping must never share a cache entry).  Two
+mappings with equal fingerprints receive identical
 :class:`~repro.model.cost.CostResult`s, and perturbing any tile factor,
 non-trivial loop order, or unrolling changes the fingerprint — both
-properties are pinned by ``tests/test_fingerprint_properties.py``.
+properties are pinned by ``tests/test_fingerprint_properties.py``; the
+dense/sparse key separation by ``tests/test_sparse_fingerprint.py``.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Hashable
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
+from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 
 Fingerprint = Hashable
@@ -54,11 +58,14 @@ def mapping_fingerprint(
     partial_reuse: bool = True,
     workload_fp: Fingerprint | None = None,
     arch_fp: Fingerprint | None = None,
+    sparsity: SparsitySpec | None = None,
 ) -> Fingerprint:
-    """Canonical cache key for ``evaluate(mapping, partial_reuse)``.
+    """Canonical cache key for ``evaluate(mapping, partial_reuse, sparsity)``.
 
     ``workload_fp`` / ``arch_fp`` let callers that evaluate many mappings
-    of the same problem pre-compute the invariant parts.
+    of the same problem pre-compute the invariant parts.  ``sparsity``
+    (a frozen, hashable value object) embeds verbatim: any difference in
+    density model, format or action yields a distinct key.
     """
     levels = tuple(
         (
@@ -71,4 +78,4 @@ def mapping_fingerprint(
         workload_fp = workload_fingerprint(mapping.workload)
     if arch_fp is None:
         arch_fp = architecture_fingerprint(mapping.arch)
-    return (workload_fp, arch_fp, levels, bool(partial_reuse))
+    return (workload_fp, arch_fp, levels, bool(partial_reuse), sparsity)

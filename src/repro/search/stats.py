@@ -54,6 +54,22 @@ class SearchStats:
         for name, seconds in other.level_wall_time_s.items():
             self.add_level_time(name, seconds)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot (used by the CLI's ``--stats-json``)."""
+        return {
+            "workers": self.workers,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "batches": self.batches,
+            "prunes": self.prunes,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+            "wall_time_s": self.wall_time_s,
+            "level_wall_time_s": dict(self.level_wall_time_s),
+        }
+
     def summary(self) -> str:
         return (
             f"evaluations {self.evaluations}, cache hits {self.cache_hits} "

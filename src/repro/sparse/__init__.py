@@ -1,0 +1,47 @@
+"""Sparseloop-style sparsity modeling for the analytical cost model.
+
+The subsystem composes three small analytical pieces — statistical
+density models (:mod:`.density`), compressed-format storage arithmetic
+(:mod:`.format`) and compute-action optimizations (:mod:`.saf`) — into a
+:class:`~repro.sparse.spec.SparsitySpec` that scales the *dense* access
+counts of :mod:`repro.model.accesses` into expected sparse traffic.
+
+Sparsity is opt-in and everywhere explicit: with no spec (or a
+degenerate density-1.0 spec) every evaluation is bit-identical to the
+dense model, and the spec is part of the mapping fingerprint so dense
+and sparse results never collide in the evaluation cache.  See
+``docs/SPARSE.md`` for the equations.
+"""
+
+from .density import (
+    Banded,
+    Dense,
+    DensityModel,
+    SparsityError,
+    Uniform,
+    density_model,
+)
+from .format import FORMATS, Format, get_format
+from .presets import parse_assignments, spec_from_cli, workload_sparsity
+from .saf import compute_scales, traffic_scale
+from .spec import ACTIONS, SparsitySpec, TensorSparsity
+
+__all__ = [
+    "ACTIONS",
+    "Banded",
+    "Dense",
+    "DensityModel",
+    "FORMATS",
+    "Format",
+    "SparsityError",
+    "SparsitySpec",
+    "TensorSparsity",
+    "Uniform",
+    "compute_scales",
+    "density_model",
+    "get_format",
+    "parse_assignments",
+    "spec_from_cli",
+    "traffic_scale",
+    "workload_sparsity",
+]

@@ -1,0 +1,150 @@
+"""Statistical per-tensor density models (Sparseloop-style).
+
+A density model answers the questions the expected-value traffic
+equations need, per tile of ``n`` dense positions:
+
+* ``expected_density()`` — the stationary fraction of nonzero positions;
+* ``nonempty_fraction(n)`` — the probability that a tile of ``n``
+  positions holds at least one nonzero (the fraction of tile fetches a
+  skipping optimization cannot elide);
+* ``expected_runs(n)`` — the expected number of maximal nonzero runs in
+  a linearised tile, which prices run-length metadata.
+
+All models are frozen dataclasses, so they hash and pickle; they are
+embedded verbatim in mapping fingerprints (see
+:mod:`repro.search.fingerprint`) and shipped to evaluation worker
+processes.
+
+The equations are documented in ``docs/SPARSE.md``.  The key boundary
+guarantee: at ``density == 1.0`` every quantity collapses to its dense
+value *exactly* (``expected_density() == 1.0``,
+``nonempty_fraction(n) == 1.0``), so the sparse cost path multiplies the
+dense counts by exactly ``1.0`` and stays bit-identical to the dense
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SparsityError(ValueError):
+    """Raised when a sparsity description is malformed."""
+
+
+def _check_density(density: float) -> None:
+    if not 0.0 < density <= 1.0:
+        raise SparsityError(
+            f"density must be in (0, 1], got {density}"
+        )
+
+
+@dataclass(frozen=True)
+class Dense:
+    """The trivial model: every position holds data."""
+
+    def expected_density(self) -> float:
+        return 1.0
+
+    def nonempty_fraction(self, n: int) -> float:
+        return 1.0
+
+    def expected_runs(self, n: int) -> float:
+        # One maximal run spanning the whole tile.
+        return 1.0 if n > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """I.i.d. Bernoulli occupancy: each position is nonzero w.p. ``density``.
+
+    The workhorse model for unstructured sparsity (FROSTT tensors).  A
+    tile of ``n`` positions is entirely empty with probability
+    ``(1 - density)^n`` and contains ``density * n * (1 - density) +
+    density`` maximal nonzero runs in expectation.
+    """
+
+    density: float
+
+    def __post_init__(self) -> None:
+        _check_density(self.density)
+
+    def expected_density(self) -> float:
+        return self.density
+
+    def nonempty_fraction(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        return 1.0 - (1.0 - self.density) ** n
+
+    def expected_runs(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        p = self.density
+        # Run starts: position 0 nonzero, or a 0->1 transition.
+        return n * p * (1.0 - p) + p
+
+
+@dataclass(frozen=True)
+class Banded:
+    """Structured/clustered occupancy (banded or blocked matrices).
+
+    Nonzeros appear in dense clusters of expected length ``cluster``
+    (e.g. the diagonal band of a FEM stiffness matrix, or blocked
+    pruning).  The stationary density is still ``density``, but the
+    clusters change two things relative to :class:`Uniform`:
+
+    * **more empty tiles** — occupancy is decided by ``n / cluster``
+      independent cluster draws rather than ``n`` position draws, so
+      ``nonempty_fraction`` is smaller and tile-granular skipping wins
+      more often;
+    * **cheaper run-length metadata** — runs are ``cluster`` positions
+      long, so there are ``cluster``x fewer of them.
+
+    ``cluster >= 2`` is enforced: it keeps the run-length storage bound
+    ``payload + metadata`` monotonically non-decreasing in ``density``
+    (see docs/SPARSE.md), which the property suite pins.
+    """
+
+    density: float
+    cluster: float = 8.0
+
+    def __post_init__(self) -> None:
+        _check_density(self.density)
+        if self.cluster < 2.0:
+            raise SparsityError(
+                f"cluster must be >= 2, got {self.cluster}"
+            )
+
+    def expected_density(self) -> float:
+        return self.density
+
+    def nonempty_fraction(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        draws = max(n / self.cluster, 1.0)
+        return 1.0 - (1.0 - self.density) ** draws
+
+    def expected_runs(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        p = self.density
+        return n * p * (1.0 - p) / self.cluster + p
+
+
+DensityModel = Dense | Uniform | Banded
+
+
+def density_model(density: float = 1.0, cluster: float | None = None
+                  ) -> DensityModel:
+    """Build the natural model for a scalar density.
+
+    ``density == 1.0`` yields :class:`Dense`; otherwise :class:`Uniform`,
+    or :class:`Banded` when ``cluster`` is given.
+    """
+    _check_density(density)
+    if density >= 1.0:
+        return Dense()
+    if cluster is not None:
+        return Banded(density, cluster)
+    return Uniform(density)

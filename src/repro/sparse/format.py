@@ -1,0 +1,89 @@
+"""Compressed tensor-format descriptors.
+
+A format prices the *stored words* of one tile as a function of the
+tile's dense footprint and its density model — payload words (the
+nonzero values themselves for compressed formats, every word for
+uncompressed) plus metadata words (occupancy bitmasks, run headers,
+coordinates, per-tile pointers), following Sparseloop's format
+abstraction.
+
+The traffic equations (:mod:`repro.sparse.saf`) cap the stored words at
+the dense footprint — a scheduler-visible format never makes a tile
+*larger* than dense, modelling the offline fallback every real format
+stack performs when compression does not pay.  The cap is also what
+keeps sparse traffic monotonically non-decreasing in density and makes
+``density == 1.0`` collapse to exactly the dense word count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .density import DensityModel, SparsityError
+
+#: Occupancy bits per machine word for bitmask metadata.
+WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class Format:
+    """Expected stored words per tile for one format.
+
+    ``tile_words`` returns the *uncapped* expectation
+    ``payload + metadata``; consumers cap at the dense footprint.
+
+    Parameters price the metadata sources:
+
+    * ``meta_per_nnz`` — words carried per nonzero (coordinates);
+    * ``meta_per_word`` — words carried per dense position (bitmask:
+      ``1 / WORD_BITS``);
+    * ``meta_per_run`` — words per maximal nonzero run (run-length
+      encoding: start + length);
+    * ``meta_per_tile`` — fixed words per tile fetch (segment pointers),
+      which penalises very small tiles.
+
+    ``compressed = False`` marks the identity format: every dense word is
+    stored and no metadata exists, so the only sparse saving left is
+    tile-granular skipping (see :func:`repro.sparse.saf.traffic_scale`).
+    """
+
+    name: str
+    compressed: bool = True
+    meta_per_nnz: float = 0.0
+    meta_per_word: float = 0.0
+    meta_per_run: float = 0.0
+    meta_per_tile: float = 0.0
+
+    def tile_words(self, model: DensityModel, n: int) -> float:
+        """Expected stored words (payload + metadata) of an ``n``-word tile."""
+        if n <= 0:
+            return 0.0
+        if not self.compressed:
+            return float(n)
+        nnz = model.expected_density() * n
+        words = nnz * (1.0 + self.meta_per_nnz)
+        words += n * self.meta_per_word
+        words += self.meta_per_run * model.expected_runs(n)
+        words += self.meta_per_tile
+        return words
+
+
+#: Registry of the format vocabulary, keyed by the CLI / spec name.
+FORMATS: dict[str, Format] = {
+    "uncompressed": Format("uncompressed", compressed=False),
+    "bitmask": Format("bitmask", meta_per_word=1.0 / WORD_BITS),
+    "rle": Format("rle", meta_per_run=2.0),
+    "coordinate": Format("coordinate", meta_per_nnz=1.0, meta_per_tile=2.0),
+}
+#: CSR-like is the coordinate format under its common name.
+FORMATS["csr"] = FORMATS["coordinate"]
+
+
+def get_format(name: str) -> Format:
+    """Look up a format by name; raises :class:`SparsityError` if unknown."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise SparsityError(
+            f"unknown format {name!r}; choose from {sorted(FORMATS)}"
+        ) from None

@@ -1,0 +1,88 @@
+"""Spec assembly helpers for the CLI and the benchmarks.
+
+The CLI expresses sparsity as repeated ``TENSOR=VALUE`` assignments
+(``--density A=0.05 --format A=bitmask --saf A=gating``); this module
+turns those into a validated :class:`~repro.sparse.spec.SparsitySpec`.
+It also resolves the spec a workload constructor attached (the
+FROSTT / SuiteSparse entries of :mod:`repro.workloads.library` carry
+nnz-derived densities) so benchmarks can opt into it explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .density import SparsityError
+from .format import FORMATS
+from .spec import ACTIONS, SparsitySpec
+
+
+def parse_assignments(pairs: Sequence[str], what: str) -> dict[str, str]:
+    """Parse repeated ``TENSOR=VALUE`` options into a dict."""
+    out: dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SparsityError(f"expected TENSOR=VALUE for {what}, "
+                                f"got {pair!r}")
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SparsityError(f"expected TENSOR=VALUE for {what}, "
+                                f"got {pair!r}")
+        out[name] = value
+    return out
+
+
+def spec_from_cli(
+    density_args: Sequence[str],
+    format_args: Sequence[str] = (),
+    saf_args: Sequence[str] = (),
+    tensor_names: Sequence[str] | None = None,
+) -> SparsitySpec | None:
+    """Build a spec from CLI assignment lists; ``None`` when all empty.
+
+    ``tensor_names``, when given, validates every referenced tensor
+    against the workload (catching typos before a long search runs).
+    Tensors given a density default to the ``coordinate`` format with
+    the ``skipping`` action; ``--format`` / ``--saf`` override.
+    """
+    if not density_args and not format_args and not saf_args:
+        return None
+    densities_raw = parse_assignments(density_args, "--density")
+    formats = parse_assignments(format_args, "--format")
+    actions = parse_assignments(saf_args, "--saf")
+
+    densities: dict[str, float] = {}
+    for name, value in densities_raw.items():
+        try:
+            densities[name] = float(value)
+        except ValueError:
+            raise SparsityError(
+                f"--density {name}={value!r}: not a number") from None
+    for name, value in formats.items():
+        if value not in FORMATS:
+            raise SparsityError(
+                f"--format {name}={value!r}: choose from {sorted(FORMATS)}")
+    for name, value in actions.items():
+        if value not in ACTIONS:
+            raise SparsityError(
+                f"--saf {name}={value!r}: choose from {ACTIONS}")
+
+    if tensor_names is not None:
+        known = set(tensor_names)
+        unknown = (set(densities) | set(formats) | set(actions)) - known
+        if unknown:
+            raise SparsityError(
+                f"sparsity flags reference unknown tensors "
+                f"{sorted(unknown)}; workload has {sorted(known)}"
+            )
+    return SparsitySpec.from_densities(densities, formats, actions)
+
+
+def workload_sparsity(workload) -> SparsitySpec | None:
+    """The spec a workload constructor attached, if any.
+
+    Sparsity is opt-in at evaluation time: an attached spec is inert
+    until passed to ``evaluate()`` / the schedulers explicitly.  This
+    helper is that explicit step.
+    """
+    return getattr(workload, "sparsity", None)

@@ -1,0 +1,72 @@
+"""Storage- and compute-action scaling (Sparseloop's expected-value SAFs).
+
+The sparse model never re-derives traffic: it *scales* the dense access
+counts of :mod:`repro.model.accesses` by expected-value factors, exactly
+Sparseloop's formulation.  Three factor families exist:
+
+* :func:`traffic_scale` — per tensor and per tile, the ratio of expected
+  stored words (format payload + metadata, capped at dense) to dense
+  words; multiplies every fill / drain / readback / NoC volume of that
+  tensor;
+* :func:`compute_scales` — the fraction of MACs whose gated/skipped
+  operands are all nonzero (independence across tensors), split into an
+  energy factor (gating and skipping both save energy) and a cycle
+  factor (only skipping saves time);
+* the compute-side storage accesses at the innermost buffers scale with
+  the energy factor: an elided MAC touches no operands and merges no
+  partial output.
+
+Every factor is exactly ``1.0`` at density 1.0 (or for tensors absent
+from the spec), so a degenerate spec reproduces the dense model
+bit-for-bit; every factor is monotonically non-decreasing in density,
+which ``tests/test_sparse_cost.py`` pins by property.  The derivations
+are in ``docs/SPARSE.md``.
+"""
+
+from __future__ import annotations
+
+from .format import get_format
+from .spec import SparsitySpec, TensorSparsity
+
+
+def traffic_scale(ts: TensorSparsity, n: int) -> float:
+    """Expected stored words of an ``n``-word tile over dense words.
+
+    For compressed formats: ``min(payload + metadata, n) / n``.  For the
+    uncompressed format nothing inside a tile can be elided — only a
+    skipping optimization may drop *entirely empty* tiles, so the scale
+    is the tile's nonempty probability.
+    """
+    if n <= 0:
+        return 1.0
+    fmt = get_format(ts.format)
+    if not fmt.compressed:
+        if ts.action == "skipping":
+            return ts.density.nonempty_fraction(n)
+        return 1.0
+    words = fmt.tile_words(ts.density, n)
+    return min(words, float(n)) / n
+
+
+def compute_scales(spec: SparsitySpec, tensor_names: "list[str] | tuple"
+                   ) -> tuple[float, float]:
+    """(energy factor, cycle factor) for the MAC count.
+
+    A MAC is *ineffectual* when any operand with an action-enabled
+    sparsity entry is zero; assuming independence across tensors the
+    effectual fraction is the product of those operands' densities.
+    Gating elides the energy of ineffectual MACs (and their operand
+    accesses); skipping additionally elides their issue slots, shrinking
+    the compute-bound cycle count.
+    """
+    energy = 1.0
+    cycles = 1.0
+    for name in tensor_names:
+        ts = spec.get(name)
+        if ts is None or ts.action == "none":
+            continue
+        p = ts.density.expected_density()
+        energy *= p
+        if ts.action == "skipping":
+            cycles *= p
+    return energy, cycles

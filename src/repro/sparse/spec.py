@@ -1,0 +1,147 @@
+"""Per-workload sparsity specification.
+
+A :class:`SparsitySpec` names, per tensor, a density model, a storage
+format and a compute-action optimization (gating / skipping).  It is the
+single object the cost model, the evaluation engine and the schedulers
+pass around: frozen, hashable (it embeds directly into mapping
+fingerprints, so dense and sparse evaluations of the same mapping can
+never collide in the :class:`~repro.search.cache.EvalCache`) and
+picklable (it ships to evaluation worker processes).
+
+Tensors absent from the spec are fully dense.  A spec naming a tensor
+the evaluated workload does not have is simply inert for that workload —
+network scheduling hands one spec to layers with heterogeneous tensor
+sets — but the CLI validates names against the chosen workload up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from .density import Dense, DensityModel, SparsityError, density_model
+from .format import get_format
+
+#: Compute-action optimizations (Sparseloop's SAFs).
+ACTIONS = ("none", "gating", "skipping")
+
+
+@dataclass(frozen=True)
+class TensorSparsity:
+    """Sparsity description of one tensor.
+
+    ``density`` is a model from :mod:`repro.sparse.density`; ``format``
+    names an entry of :data:`repro.sparse.format.FORMATS`; ``action``
+    selects the compute optimization keyed on this tensor's operand
+    being zero — ``"gating"`` suppresses the energy of the ineffectual
+    compute (and its operand accesses) but not its cycles,
+    ``"skipping"`` suppresses both.
+    """
+
+    density: DensityModel
+    format: str = "uncompressed"
+    action: str = "none"
+
+    def __post_init__(self) -> None:
+        get_format(self.format)  # validates the name
+        if self.action not in ACTIONS:
+            raise SparsityError(
+                f"unknown action {self.action!r}; choose from {ACTIONS}"
+            )
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether this entry is observationally identical to dense."""
+        return (self.density.expected_density() >= 1.0
+                and self.format == "uncompressed"
+                and self.action == "none")
+
+
+@dataclass(frozen=True)
+class SparsitySpec:
+    """Immutable map of tensor name -> :class:`TensorSparsity`.
+
+    Build with :meth:`of` (keyword-per-tensor) or :meth:`from_densities`
+    (scalar densities with shared defaults).
+    """
+
+    entries: tuple[tuple[str, TensorSparsity], ...]
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.entries]
+        if len(set(names)) != len(names):
+            raise SparsityError(f"duplicate tensor names in {names}")
+        # Canonical order: equal specs compare and hash equal however
+        # they were assembled.
+        object.__setattr__(
+            self, "entries", tuple(sorted(self.entries)),
+        )
+
+    @classmethod
+    def of(cls, tensors: Mapping[str, TensorSparsity]) -> "SparsitySpec":
+        return cls(entries=tuple(tensors.items()))
+
+    @classmethod
+    def from_densities(
+        cls,
+        densities: Mapping[str, float],
+        formats: Mapping[str, str] | None = None,
+        actions: Mapping[str, str] | None = None,
+        default_format: str = "coordinate",
+        default_action: str = "skipping",
+        cluster: float | None = None,
+    ) -> "SparsitySpec":
+        """Spec from scalar densities with per-tensor format/action overrides.
+
+        Tensors named only in ``formats``/``actions`` default to density
+        1.0 (format overhead alone).
+        """
+        formats = dict(formats or {})
+        actions = dict(actions or {})
+        names = set(densities) | set(formats) | set(actions)
+        tensors = {}
+        for name in names:
+            p = densities.get(name, 1.0)
+            model = density_model(p, cluster=cluster if p < 1.0 else None)
+            tensors[name] = TensorSparsity(
+                density=model,
+                format=formats.get(name, default_format),
+                action=actions.get(name, default_action),
+            )
+        return cls.of(tensors)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> TensorSparsity | None:
+        for entry_name, ts in self.entries:
+            if entry_name == name:
+                return ts
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, TensorSparsity]]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def tensor_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.entries)
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether the whole spec is observationally identical to dense."""
+        return all(ts.is_dense for _, ts in self.entries)
+
+    def describe(self) -> str:
+        parts = []
+        for name, ts in self.entries:
+            model = ts.density
+            if isinstance(model, Dense):
+                dens = "1"
+            else:
+                dens = f"{model.expected_density():.3g}"
+            parts.append(f"{name}: d={dens} {ts.format}/{ts.action}")
+        return "; ".join(parts) or "(dense)"

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from ..sparse.spec import SparsitySpec
 
 
 class WorkloadError(ValueError):
@@ -154,10 +157,16 @@ class Workload:
         name: str,
         dims: Mapping[str, int],
         tensors: Sequence[TensorRef],
+        sparsity: "SparsitySpec | None" = None,
     ) -> None:
         self.name = name
         self.dims: dict[str, int] = dict(dims)
         self.tensors: tuple[TensorRef, ...] = tuple(tensors)
+        # Advisory per-tensor sparsity (nnz-derived for the FROSTT /
+        # SuiteSparse library entries).  Inert metadata: evaluation only
+        # applies a spec passed to it explicitly, so attaching one here
+        # never perturbs dense results.
+        self.sparsity: "SparsitySpec | None" = sparsity
         self._validate()
 
     def _validate(self) -> None:
@@ -263,7 +272,8 @@ class Workload:
             if dim not in dims:
                 raise WorkloadError(f"unknown dimension {dim}")
             dims[dim] *= factor
-        return Workload(self.name, dims, self.tensors)
+        return Workload(self.name, dims, self.tensors,
+                        sparsity=self.sparsity)
 
     def __repr__(self) -> str:
         dims = ", ".join(f"{d}={s}" for d, s in self.dims.items())

@@ -8,6 +8,10 @@ tensor-decomposition kernels).
 
 from __future__ import annotations
 
+import math
+
+from ..sparse.density import Banded, Uniform
+from ..sparse.spec import SparsitySpec, TensorSparsity
 from .expression import IndexExpr, TensorRef, Workload, make_workload
 
 
@@ -205,20 +209,78 @@ SUITESPARSE_SHAPES: dict[str, tuple[int, int]] = {
     "cant": (62451, 62451),
 }
 
+# Published nonzero counts for the library entries above.  FROSTT reports
+# the nnz of each tensor; SuiteSparse of each matrix.  poisson1 is the
+# usual synthetic 1%-dense Poisson tensor.  Densities derived from these
+# feed the repro.sparse models the constructors below attach.
+FROSTT_NNZ: dict[str, int] = {
+    "nell2": 76_879_419,
+    "netflix": 100_480_507,
+    "poisson1": 10_737_418,  # 1% of 1024^3
+}
+
+SUITESPARSE_NNZ: dict[str, int] = {
+    "bcsstk17": 428_650,
+    "cant": 4_007_383,
+}
+
+
+def frostt_density(tensor: str) -> float:
+    """nnz-derived density of a FROSTT tensor (nnz / prod(mode sizes))."""
+    return FROSTT_NNZ[tensor] / math.prod(FROSTT_SHAPES[tensor])
+
+
+def suitesparse_density(matrix: str) -> float:
+    """nnz-derived density of a SuiteSparse matrix (nnz / rows*cols)."""
+    rows, cols = SUITESPARSE_SHAPES[matrix]
+    return SUITESPARSE_NNZ[matrix] / (rows * cols)
+
 
 def mttkrp_from_frostt(tensor: str, rank: int = 32) -> Workload:
-    """MTTKRP over a FROSTT tensor's mode sizes (paper Fig. 6, rank 32)."""
+    """MTTKRP over a FROSTT tensor's mode sizes (paper Fig. 6, rank 32).
+
+    The returned workload carries an advisory ``sparsity`` spec for the
+    sparse operand ``A`` (uniform-random at the tensor's nnz-derived
+    density, coordinate format, skipping).  It is inert metadata until
+    passed to the evaluator / scheduler explicitly.
+    """
     i, k, l = FROSTT_SHAPES[tensor]
-    return mttkrp(I=i, K=k, L=l, J=rank, name=f"mttkrp_{tensor}")
+    spec = SparsitySpec.of({
+        "A": TensorSparsity(Uniform(frostt_density(tensor)),
+                            format="coordinate", action="skipping"),
+    })
+    workload = mttkrp(I=i, K=k, L=l, J=rank, name=f"mttkrp_{tensor}")
+    workload.sparsity = spec
+    return workload
 
 
 def ttmc_from_frostt(tensor: str, rank: int = 8) -> Workload:
     """TTMc over a FROSTT tensor's mode sizes (paper Fig. 6, rank 8)."""
     i, j, k = FROSTT_SHAPES[tensor]
-    return ttmc(I=i, J=j, K=k, L=rank, M=rank, name=f"ttmc_{tensor}")
+    spec = SparsitySpec.of({
+        "A": TensorSparsity(Uniform(frostt_density(tensor)),
+                            format="coordinate", action="skipping"),
+    })
+    workload = ttmc(I=i, J=j, K=k, L=rank, M=rank, name=f"ttmc_{tensor}")
+    workload.sparsity = spec
+    return workload
 
 
 def sddmm_from_suitesparse(matrix: str, rank: int = 512) -> Workload:
-    """SDDMM over a SuiteSparse matrix's shape (paper Fig. 6, rank 512)."""
+    """SDDMM over a SuiteSparse matrix's shape (paper Fig. 6, rank 512).
+
+    SuiteSparse FEM matrices are banded, so the sampling matrix ``A`` uses
+    the clustered density model; the output inherits A's sparsity pattern
+    (SDDMM only produces values where the sample is nonzero) but takes no
+    compute action of its own.
+    """
     i, j = SUITESPARSE_SHAPES[matrix]
-    return sddmm(I=i, J=j, K=rank, name=f"sddmm_{matrix}")
+    p = suitesparse_density(matrix)
+    spec = SparsitySpec.of({
+        "A": TensorSparsity(Banded(p), format="coordinate",
+                            action="skipping"),
+        "out": TensorSparsity(Banded(p), format="coordinate"),
+    })
+    workload = sddmm(I=i, J=j, K=rank, name=f"sddmm_{matrix}")
+    workload.sparsity = spec
+    return workload

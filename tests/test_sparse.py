@@ -1,0 +1,265 @@
+"""Unit tests for the repro.sparse subsystem (density / format / SAF / spec)."""
+
+import pickle
+
+import pytest
+
+from repro.sparse import (
+    ACTIONS,
+    FORMATS,
+    Banded,
+    Dense,
+    SparsityError,
+    SparsitySpec,
+    TensorSparsity,
+    Uniform,
+    compute_scales,
+    density_model,
+    get_format,
+    parse_assignments,
+    spec_from_cli,
+    traffic_scale,
+    workload_sparsity,
+)
+from repro.sparse.format import WORD_BITS
+from repro.workloads import mmc, mttkrp_from_frostt, sddmm_from_suitesparse
+
+
+class TestDensityModels:
+    def test_dense_is_exactly_one(self):
+        model = Dense()
+        assert model.expected_density() == 1.0
+        assert model.nonempty_fraction(1000) == 1.0
+        assert model.expected_runs(8) == 1.0
+        assert model.expected_runs(0) == 0.0
+
+    def test_uniform_basics(self):
+        model = Uniform(0.25)
+        assert model.expected_density() == 0.25
+        assert model.nonempty_fraction(1) == pytest.approx(0.25)
+        assert model.nonempty_fraction(4) == pytest.approx(1 - 0.75 ** 4)
+        assert model.nonempty_fraction(0) == 0.0
+        # n*p*(1-p) + p run starts.
+        assert model.expected_runs(8) == pytest.approx(8 * 0.25 * 0.75 + 0.25)
+
+    def test_uniform_at_density_one_collapses_to_dense(self):
+        model = Uniform(1.0)
+        assert model.expected_density() == 1.0
+        assert model.nonempty_fraction(64) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_invalid_densities_rejected(self, bad):
+        with pytest.raises(SparsityError, match="density"):
+            Uniform(bad)
+        with pytest.raises(SparsityError, match="density"):
+            Banded(bad)
+
+    def test_banded_clusters_empty_more_tiles(self):
+        uniform = Uniform(0.01)
+        banded = Banded(0.01, cluster=8.0)
+        # Clustering means fewer independent draws -> more empty tiles.
+        assert banded.nonempty_fraction(64) < uniform.nonempty_fraction(64)
+        # ... and cluster-times fewer runs (up to the +p boundary term).
+        assert banded.expected_runs(64) < uniform.expected_runs(64)
+
+    def test_banded_cluster_floor(self):
+        with pytest.raises(SparsityError, match="cluster"):
+            Banded(0.1, cluster=1.0)
+
+    def test_density_model_factory(self):
+        assert isinstance(density_model(1.0), Dense)
+        assert isinstance(density_model(0.3), Uniform)
+        assert isinstance(density_model(0.3, cluster=4.0), Banded)
+        with pytest.raises(SparsityError):
+            density_model(0.0)
+
+    def test_models_hash_and_pickle(self):
+        for model in (Dense(), Uniform(0.125), Banded(0.125, 4.0)):
+            assert model == pickle.loads(pickle.dumps(model))
+            assert hash(model) == hash(pickle.loads(pickle.dumps(model)))
+
+
+class TestFormats:
+    def test_registry_and_alias(self):
+        assert set(FORMATS) == {"uncompressed", "bitmask", "rle",
+                                "coordinate", "csr"}
+        assert get_format("csr") is get_format("coordinate")
+        with pytest.raises(SparsityError, match="unknown format"):
+            get_format("ellpack")
+
+    def test_uncompressed_stores_every_word(self):
+        fmt = get_format("uncompressed")
+        assert fmt.tile_words(Uniform(0.01), 128) == 128.0
+
+    def test_bitmask_words(self):
+        fmt = get_format("bitmask")
+        expected = 0.25 * 64 + 64 / WORD_BITS
+        assert fmt.tile_words(Uniform(0.25), 64) == pytest.approx(expected)
+
+    def test_coordinate_words(self):
+        fmt = get_format("coordinate")
+        # One coordinate word per nonzero plus two per-tile pointers.
+        assert fmt.tile_words(Uniform(0.25), 64) == \
+            pytest.approx(2 * 0.25 * 64 + 2.0)
+
+    def test_rle_prices_runs(self):
+        fmt = get_format("rle")
+        model = Uniform(0.25)
+        expected = 0.25 * 64 + 2.0 * model.expected_runs(64)
+        assert fmt.tile_words(model, 64) == pytest.approx(expected)
+
+    def test_empty_tile_is_free(self):
+        for fmt in FORMATS.values():
+            assert fmt.tile_words(Uniform(0.5), 0) == 0.0
+
+
+class TestTrafficScale:
+    def test_cap_at_dense(self):
+        # bitmask at density 1.0 would store n + n/32 words; the offline
+        # fallback caps at dense, so the scale is exactly 1.0.
+        ts = TensorSparsity(Uniform(1.0), format="bitmask")
+        assert traffic_scale(ts, 64) == 1.0
+
+    def test_compressed_scale_tracks_words(self):
+        ts = TensorSparsity(Uniform(0.25), format="coordinate")
+        fmt = get_format("coordinate")
+        expected = fmt.tile_words(Uniform(0.25), 64) / 64
+        assert traffic_scale(ts, 64) == pytest.approx(expected)
+
+    def test_uncompressed_needs_skipping_to_save(self):
+        dense_words = TensorSparsity(Uniform(0.01), format="uncompressed",
+                                     action="gating")
+        assert traffic_scale(dense_words, 64) == 1.0
+        skipped = TensorSparsity(Uniform(0.01), format="uncompressed",
+                                 action="skipping")
+        assert traffic_scale(skipped, 64) == \
+            pytest.approx(Uniform(0.01).nonempty_fraction(64))
+
+    def test_uncompressed_skipping_rewards_small_tiles(self):
+        ts = TensorSparsity(Uniform(0.01), format="uncompressed",
+                            action="skipping")
+        # Smaller tiles are more likely to be entirely empty.
+        assert traffic_scale(ts, 4) < traffic_scale(ts, 4096)
+
+    def test_degenerate_tile_scale_is_one(self):
+        ts = TensorSparsity(Uniform(0.5), format="coordinate")
+        assert traffic_scale(ts, 0) == 1.0
+
+
+class TestComputeScales:
+    def test_gating_saves_energy_not_cycles(self):
+        spec = SparsitySpec.of({
+            "A": TensorSparsity(Uniform(0.5), action="gating"),
+        })
+        energy, cycles = compute_scales(spec, ["A", "B"])
+        assert energy == 0.5
+        assert cycles == 1.0
+
+    def test_skipping_saves_both(self):
+        spec = SparsitySpec.of({
+            "A": TensorSparsity(Uniform(0.5), action="skipping"),
+            "B": TensorSparsity(Uniform(0.25), action="skipping"),
+        })
+        energy, cycles = compute_scales(spec, ["A", "B"])
+        assert energy == pytest.approx(0.125)
+        assert cycles == pytest.approx(0.125)
+
+    def test_action_none_and_absent_tensors_are_inert(self):
+        spec = SparsitySpec.of({
+            "A": TensorSparsity(Uniform(0.5), action="none"),
+            "Z": TensorSparsity(Uniform(0.01), action="skipping"),
+        })
+        # Z is not among the workload's tensors; A takes no action.
+        assert compute_scales(spec, ["A", "B"]) == (1.0, 1.0)
+
+
+class TestSparsitySpec:
+    def test_canonical_order_and_equality(self):
+        a = SparsitySpec(entries=(
+            ("B", TensorSparsity(Uniform(0.5))),
+            ("A", TensorSparsity(Uniform(0.25))),
+        ))
+        b = SparsitySpec(entries=(
+            ("A", TensorSparsity(Uniform(0.25))),
+            ("B", TensorSparsity(Uniform(0.5))),
+        ))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.tensor_names == ("A", "B")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SparsityError, match="duplicate"):
+            SparsitySpec(entries=(
+                ("A", TensorSparsity(Uniform(0.5))),
+                ("A", TensorSparsity(Uniform(0.25))),
+            ))
+
+    def test_bad_format_and_action_rejected(self):
+        with pytest.raises(SparsityError, match="unknown format"):
+            TensorSparsity(Uniform(0.5), format="blocked")
+        with pytest.raises(SparsityError, match="unknown action"):
+            TensorSparsity(Uniform(0.5), action="pruning")
+        assert ACTIONS == ("none", "gating", "skipping")
+
+    def test_from_densities_defaults(self):
+        spec = SparsitySpec.from_densities(
+            {"A": 0.05}, formats={"B": "bitmask"}, actions={"A": "gating"})
+        a = spec.get("A")
+        assert isinstance(a.density, Uniform)
+        assert a.format == "coordinate" and a.action == "gating"
+        b = spec.get("B")
+        assert isinstance(b.density, Dense)
+        assert b.format == "bitmask"
+        assert "A" in spec and "C" not in spec
+        assert len(spec) == 2
+
+    def test_is_dense_and_describe(self):
+        dense = SparsitySpec.of({"A": TensorSparsity(Dense())})
+        assert dense.is_dense
+        sparse = SparsitySpec.of({
+            "A": TensorSparsity(Uniform(0.05), format="bitmask",
+                                action="skipping"),
+        })
+        assert not sparse.is_dense
+        assert "A: d=0.05 bitmask/skipping" in sparse.describe()
+
+    def test_spec_pickles(self):
+        spec = SparsitySpec.from_densities({"A": 0.05, "B": 0.5})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestPresets:
+    def test_parse_assignments(self):
+        assert parse_assignments(["A=0.5", "B=x"], "--density") == \
+            {"A": "0.5", "B": "x"}
+        with pytest.raises(SparsityError, match="TENSOR=VALUE"):
+            parse_assignments(["A"], "--density")
+        with pytest.raises(SparsityError, match="TENSOR=VALUE"):
+            parse_assignments(["=0.5"], "--density")
+
+    def test_spec_from_cli_empty_is_none(self):
+        assert spec_from_cli([], [], []) is None
+
+    def test_spec_from_cli_builds_and_validates(self):
+        spec = spec_from_cli(["A=0.05"], ["A=bitmask"], ["A=gating"],
+                             tensor_names=["A", "B"])
+        ts = spec.get("A")
+        assert ts.format == "bitmask" and ts.action == "gating"
+        with pytest.raises(SparsityError, match="not a number"):
+            spec_from_cli(["A=fast"])
+        with pytest.raises(SparsityError, match="choose from"):
+            spec_from_cli(["A=0.5"], ["A=blocked"])
+        with pytest.raises(SparsityError, match="choose from"):
+            spec_from_cli(["A=0.5"], [], ["A=zapping"])
+        with pytest.raises(SparsityError, match="unknown tensors"):
+            spec_from_cli(["Z=0.5"], tensor_names=["A", "B"])
+
+    def test_workload_sparsity_resolution(self):
+        assert workload_sparsity(mmc(I=4, J=4, K=4, L=4)) is None
+        frostt = mttkrp_from_frostt("nell2", rank=4)
+        spec = workload_sparsity(frostt)
+        assert spec is not None and "A" in spec
+        assert isinstance(spec.get("A").density, Uniform)
+        fem = workload_sparsity(sddmm_from_suitesparse("bcsstk17", rank=8))
+        assert isinstance(fem.get("A").density, Banded)
+        assert "out" in fem and fem.get("out").action == "none"
