@@ -1,0 +1,227 @@
+"""Model-evaluation throughput: scalar vs partial-cache vs batch.
+
+Times the three cost-model pipelines from ``docs/PERF.md`` on sweep-like
+cohorts (candidates sharing their inner levels, as the level sweep emits
+them) and reports evaluations/second:
+
+* ``scalar``  — one ``evaluate()`` call per mapping, no caches;
+* ``partial`` — scalar evaluation with a shared term-level
+  ``PartialEvalCache``;
+* ``batch``   — ``evaluate_batch()`` per cohort with the shared cache
+  (the numpy-vectorised path the search engine uses).
+
+Workloads: a ResNet-18 layer on the DianNao-like machine (the paper's
+Fig. 9 setting) and an MTTKRP on the conventional machine.  Run it from
+the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_model_throughput.py
+
+which writes ``BENCH_model.json`` next to this repo's README.  CI runs
+``--quick --check`` as a smoke test: small cohorts, plus a bit-identity
+assertion between the three pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import random
+
+from repro.arch import conventional, diannao_like
+from repro.baselines.common import prime_factors
+from repro.mapping import build_mapping
+from repro.model import (
+    HAVE_NUMPY,
+    PartialEvalCache,
+    evaluate,
+    evaluate_batch,
+)
+from repro.workloads import RESNET18_LAYERS, mttkrp
+
+_FIELDS = ("energy_pj", "cycles", "valid", "violations", "level_energy",
+           "compute_energy", "noc_energy", "utilization")
+
+
+def sweep_cohorts(workload, arch, rng, n_cohorts, cohort_size):
+    """Cohorts of mappings from one level sweep over the outer levels.
+
+    The inner levels are decided once — exactly the state ``_sweep()``
+    carries between steps — and every candidate redistributes the
+    remaining prime factors over the two outermost levels.  Terms whose
+    child level sits below the perturbed levels repeat across candidates
+    and cohorts, which is the reuse the partial cache exists for.
+    """
+    num = arch.num_levels
+    factors = [(d, p) for d, size in workload.dims.items()
+               for p in prime_factors(size)]
+    rng.shuffle(factors)
+    split = len(factors) // 2
+    lower_t = [dict() for _ in range(num)]
+    lower_s = [dict() for _ in range(num)]
+    for d, p in factors[:split]:
+        lvl = rng.randrange(max(1, num - 1))
+        if rng.random() < 0.25 and arch.levels[lvl].fanout > 1:
+            lower_s[lvl][d] = lower_s[lvl].get(d, 1) * p
+        else:
+            lower_t[lvl][d] = lower_t[lvl].get(d, 1) * p
+    orders = [list(workload.dims) for _ in range(num)]
+    cohorts = []
+    for _ in range(n_cohorts):
+        cohort = []
+        for _ in range(cohort_size):
+            temporal = [dict(t) for t in lower_t]
+            spatial = [dict(s) for s in lower_s]
+            for d, p in factors[split:]:
+                lvl = num - 1 if rng.random() < 0.5 else num - 2
+                temporal[lvl][d] = temporal[lvl].get(d, 1) * p
+            cohort.append(
+                build_mapping(workload, arch, temporal, spatial, orders))
+        cohorts.append(cohort)
+    return cohorts
+
+
+def run_scalar(cohorts):
+    start = time.perf_counter()
+    out = []
+    for cohort in cohorts:
+        for mapping in cohort:
+            out.append(evaluate(mapping))
+    return out, time.perf_counter() - start
+
+
+def run_partial(cohorts):
+    cache = PartialEvalCache()
+    start = time.perf_counter()
+    out = []
+    for cohort in cohorts:
+        for mapping in cohort:
+            out.append(evaluate(mapping, partial_cache=cache))
+    return out, time.perf_counter() - start
+
+
+def run_batch(cohorts):
+    cache = PartialEvalCache()
+    start = time.perf_counter()
+    out = []
+    for cohort in cohorts:
+        out.extend(evaluate_batch(cohort, partial_cache=cache))
+    return out, time.perf_counter() - start
+
+
+_MODES = (("scalar", run_scalar), ("partial", run_partial),
+          ("batch", run_batch))
+
+
+def bench_workload(workload, arch, *, n_cohorts, cohort_size, repeats,
+                   check):
+    rng = random.Random(0)
+    cohorts = sweep_cohorts(workload, arch, rng, n_cohorts, cohort_size)
+    n_evals = sum(len(c) for c in cohorts)
+    evaluate(cohorts[0][0])  # warm the model-info / footprint memos
+
+    row = {"evaluations": n_evals}
+    results = {}
+    for name, runner in _MODES:
+        best = float("inf")
+        for _ in range(repeats):
+            # Time with the cyclic GC paused (pyperf-style) so allocation
+            # churn does not jitter the comparison; results are identical.
+            gc.collect()
+            gc.disable()
+            try:
+                out, elapsed = runner(cohorts)
+            finally:
+                gc.enable()
+            best = min(best, elapsed)
+        results[name] = out
+        row[f"{name}_evals_per_s"] = n_evals / best
+        row[f"{name}_time_s"] = best
+    row["speedup_partial_vs_scalar"] = (
+        row["partial_evals_per_s"] / row["scalar_evals_per_s"])
+    row["speedup_batch_vs_scalar"] = (
+        row["batch_evals_per_s"] / row["scalar_evals_per_s"])
+
+    if check:
+        for name in ("partial", "batch"):
+            for i, oracle in enumerate(results["scalar"]):
+                got = results[name][i]
+                for field in _FIELDS:
+                    assert getattr(oracle, field) == getattr(got, field), (
+                        f"{workload.name}: {name} result {i} diverges from "
+                        f"scalar on {field}")
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Cost-model evaluation throughput benchmark.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small cohorts (CI smoke, no JSON by default)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the three pipelines agree bitwise")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results to PATH (default: "
+                             "BENCH_model.json at the repo root unless "
+                             "--quick)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        shape = dict(n_cohorts=2, cohort_size=16, repeats=1)
+    else:
+        # The engine evaluates a whole sweep level per evaluate_many()
+        # call (scheduler._sweep) and the exhaustive baseline flushes
+        # batches of >= 256, so several-hundred-candidate cohorts are
+        # the real operating regime.
+        shape = dict(n_cohorts=4, cohort_size=512, repeats=5)
+    shape["check"] = args.check
+
+    cases = [
+        ("resnet18-conv2_x/diannao",
+         RESNET18_LAYERS[1].inference(batch=1), diannao_like()),
+        ("mttkrp/conventional",
+         mttkrp(I=32, K=16, L=16, J=32), conventional()),
+    ]
+
+    report = {
+        "numpy": HAVE_NUMPY,
+        "quick": bool(args.quick),
+        "workloads": {},
+    }
+    for label, workload, arch in cases:
+        row = bench_workload(workload, arch, **shape)
+        report["workloads"][label] = row
+        print(f"{label}: {row['evaluations']} evals | "
+              f"scalar {row['scalar_evals_per_s']:.0f}/s, "
+              f"partial {row['partial_evals_per_s']:.0f}/s "
+              f"({row['speedup_partial_vs_scalar']:.2f}x), "
+              f"batch {row['batch_evals_per_s']:.0f}/s "
+              f"({row['speedup_batch_vs_scalar']:.2f}x)")
+
+    headline = report["workloads"]["resnet18-conv2_x/diannao"][
+        "speedup_batch_vs_scalar"]
+    report["headline_speedup_batch_vs_scalar"] = headline
+    print(f"headline (ResNet-18 layer, DianNao-like): "
+          f"{headline:.2f}x batch vs scalar")
+
+    path = args.json
+    if path is None and not args.quick:
+        path = str(REPO_ROOT / "BENCH_model.json")
+    if path:
+        Path(path).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {path}")
+    if args.check:
+        print("check: scalar, partial-cache and batch agree bitwise")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,10 +89,13 @@ def resolve_engine(
     cache: bool,
     partial_reuse: bool,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> tuple[SearchEngine, bool]:
     """Return (engine, owns_it): reuse an injected engine or build one."""
     if engine is not None:
         return engine, False
     return SearchEngine(workers=workers, cache=cache,
                         partial_reuse=partial_reuse,
-                        sparsity=sparsity), True
+                        sparsity=sparsity, batch=batch,
+                        cache_size=cache_size), True

@@ -77,6 +77,8 @@ def cosa_search(
     partial_reuse: bool = True,
     engine: SearchEngine | None = None,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> SearchResult:
     """Run the CoSA-like one-shot mapper.
 
@@ -174,7 +176,8 @@ def cosa_search(
     )
     engine, _ = resolve_engine(engine, workers=1, cache=False,
                                partial_reuse=partial_reuse,
-                               sparsity=sparsity)
+                               sparsity=sparsity, batch=batch,
+                               cache_size=cache_size)
     cost = engine.evaluate(mapping)
     elapsed = time.perf_counter() - start
     return SearchResult(

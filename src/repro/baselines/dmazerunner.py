@@ -182,6 +182,8 @@ def dmazerunner_search(
     workers: int = 1,
     cache: bool = True,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> SearchResult:
     """Run the dMazeRunner-like search."""
     start = time.perf_counter()
@@ -205,6 +207,8 @@ def dmazerunner_search(
         workers=workers,
         cache=cache,
         sparsity=sparsity,
+        batch=batch,
+        cache_size=cache_size,
     )
     search = _DMazeSearch(workload, arch, config, options, engine=engine)
     result = search.schedule()

@@ -53,6 +53,8 @@ def exhaustive_search(
     workers: int = 1,
     cache: bool = True,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> SearchResult:
     """Enumerate the full mapping space and return the best valid mapping.
 
@@ -87,7 +89,8 @@ def exhaustive_search(
         )
 
     engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse, sparsity)
+                                         partial_reuse, sparsity,
+                                         batch, cache_size)
     best = None
     evaluations = 0
     buffer: list[Mapping] = []
@@ -98,7 +101,7 @@ def exhaustive_search(
 
     def flush() -> None:
         nonlocal best, evaluations
-        costs = engine.evaluate_batch(buffer)
+        costs = engine.evaluate_many(buffer)
         for mapping, cost in zip(buffer, costs):
             evaluations += 1
             if not cost.valid:

@@ -144,7 +144,7 @@ class _GammaSearch:
         for _ in range(self.config.generations):
             # One whole generation is a natural evaluation batch.
             mappings = [self.decode(genome) for genome in population]
-            costs = self.engine.evaluate_batch(mappings)
+            costs = self.engine.evaluate_many(mappings)
             self.evaluations += len(population)
             ranked = []
             for genome, mapping, cost in zip(population, mappings, costs):
@@ -178,10 +178,13 @@ def gamma_search(
     workers: int = 1,
     cache: bool = True,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> SearchResult:
     """Run the GAMMA-like genetic search."""
     engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse, sparsity)
+                                         partial_reuse, sparsity,
+                                         batch, cache_size)
     start = time.perf_counter()
     search = _GammaSearch(workload, arch, config, partial_reuse, engine)
     outcome = search.run()

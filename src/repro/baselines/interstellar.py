@@ -103,6 +103,8 @@ def interstellar_search(
     workers: int = 1,
     cache: bool = True,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> SearchResult:
     """Run the Interstellar-like search."""
     start = time.perf_counter()
@@ -114,6 +116,8 @@ def interstellar_search(
         workers=workers,
         cache=cache,
         sparsity=sparsity,
+        batch=batch,
+        cache_size=cache_size,
     )
     search = _InterstellarSearch(workload, arch, config, options,
                                  engine=engine)

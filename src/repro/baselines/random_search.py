@@ -115,6 +115,8 @@ def timeloop_search(
     workers: int = 1,
     cache: bool = True,
     sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
 ) -> SearchResult:
     """Run the Timeloop-like random search.
 
@@ -124,7 +126,8 @@ def timeloop_search(
     the victory/timeout point, so the outcome is identical.
     """
     engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse, sparsity)
+                                         partial_reuse, sparsity,
+                                         batch, cache_size)
     rng = random.Random(config.seed)
     start = time.perf_counter()
     best: tuple[float, Mapping, CostResult] | None = None
@@ -142,7 +145,7 @@ def timeloop_search(
             sample_random_mapping(workload, arch, rng, constraints)
             for _ in range(min(batch_size, config.timeout - sampled))
         ]
-        costs = engine.evaluate_batch(batch)
+        costs = engine.evaluate_many(batch)
         for mapping, cost in zip(batch, costs):
             sampled += 1
             if not cost.valid:

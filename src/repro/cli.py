@@ -157,7 +157,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     options = SchedulerOptions(objective=args.objective,
                                workers=args.workers,
                                cache=not args.no_cache,
-                               sparsity=sparsity)
+                               sparsity=sparsity,
+                               batch=not args.no_batch,
+                               cache_size=args.cache_size)
     result = schedule(workload, arch, options)
     if not result.found:
         print("no valid mapping found", file=sys.stderr)
@@ -174,6 +176,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     print(f"candidates evaluated: {result.stats.evaluations} in "
           f"{result.stats.wall_time_s:.2f}s")
     print(f"search engine: {result.stats.search.summary()}")
+    if args.profile:
+        print(result.stats.search.profile_summary())
     if args.output:
         save_mapping(result.mapping, args.output)
         print(f"mapping saved to {args.output}")
@@ -199,28 +203,37 @@ def cmd_compare(args: argparse.Namespace) -> int:
     arch = build_architecture(args.arch)
     sparsity = build_sparsity(args, workload)
     workers, cache = args.workers, not args.no_cache
+    batch, cache_size = not args.no_batch, args.cache_size
     options = SchedulerOptions(workers=workers, cache=cache,
-                               sparsity=sparsity)
+                               sparsity=sparsity, batch=batch,
+                               cache_size=cache_size)
     rows = [("sunstone", schedule(workload, arch, options))]
     searches = {
         "timeloop-like": lambda: timeloop_search(workload, arch,
                                                  TIMELOOP_FAST,
                                                  workers=workers,
                                                  cache=cache,
-                                                 sparsity=sparsity),
+                                                 sparsity=sparsity,
+                                                 batch=batch,
+                                                 cache_size=cache_size),
         "dmazerunner-like": lambda: dmazerunner_search(workload, arch,
                                                        workers=workers,
                                                        cache=cache,
-                                                       sparsity=sparsity),
-        "interstellar-like": lambda: interstellar_search(workload, arch,
-                                                         workers=workers,
-                                                         cache=cache,
-                                                         sparsity=sparsity),
+                                                       sparsity=sparsity,
+                                                       batch=batch,
+                                                       cache_size=cache_size),
+        "interstellar-like": lambda: interstellar_search(
+            workload, arch, workers=workers, cache=cache,
+            sparsity=sparsity, batch=batch, cache_size=cache_size),
         "cosa-like": lambda: cosa_search(workload, arch,
-                                         sparsity=sparsity),
+                                         sparsity=sparsity,
+                                         batch=batch,
+                                         cache_size=cache_size),
         "gamma-like": lambda: gamma_search(workload, arch,
                                            workers=workers, cache=cache,
-                                           sparsity=sparsity),
+                                           sparsity=sparsity,
+                                           batch=batch,
+                                           cache_size=cache_size),
     }
     selected = None
     if args.mappers:
@@ -234,6 +247,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
           f"{'hits':>8} {'status':>8}")
     mapper_docs = []
+    profiles: list[tuple[str, str]] = []
     for name, result in rows:
         time_s = getattr(result, "wall_time_s", None)
         if time_s is None:
@@ -250,6 +264,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         edp = result.edp if result.found else float("inf")
         print(f"{name:<18} {edp:>12.3e} {time_s:>8.2f} {evals:>8} "
               f"{hits:>8} {status:>8}")
+        if args.profile and search_stats is not None:
+            profiles.append((name, search_stats.profile_summary()))
         mapper_docs.append({
             "mapper": name,
             "found": result.found,
@@ -262,6 +278,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             "search": (search_stats.to_dict()
                        if search_stats is not None else None),
         })
+    for name, text in profiles:
+        print(f"{name}:")
+        print(text)
     if args.stats_json:
         _write_stats_json(args.stats_json, {
             "command": "compare",
@@ -281,11 +300,15 @@ def cmd_network(args: argparse.Namespace) -> int:
     model = load_model(args.model)
     arch = build_architecture(args.arch)
     options = SchedulerOptions(workers=args.workers,
-                               cache=not args.no_cache)
+                               cache=not args.no_cache,
+                               batch=not args.no_batch,
+                               cache_size=args.cache_size)
     network = schedule_network(model, arch, options,
                                processes=args.processes,
                                dedupe=not args.no_dedupe)
     print(network.summary())
+    if args.profile:
+        print(network.search_stats.profile_summary())
     if args.stats_json:
         _write_stats_json(args.stats_json, {
             "command": "network",
@@ -358,11 +381,29 @@ def make_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError("must be >= 1")
         return value
 
+    def nonnegative_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
     def add_engine_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=positive_int, default=1,
                        help="evaluation worker processes (1 = in-process)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable cost-result memoisation")
+        p.add_argument("--no-batch", action="store_true",
+                       help="disable vectorised cohort evaluation "
+                            "(repro.model.batch); results are identical")
+        p.add_argument("--cache-size", type=nonnegative_int, default=None,
+                       metavar="N",
+                       help="entry cap for the result and partial-term "
+                            "caches (0 = unbounded; default per-cache "
+                            "bound)")
+        p.add_argument("--profile", action="store_true",
+                       help="print the per-stage evaluation profile "
+                            "(model/generation/cache/pool time, "
+                            "partial-cache hit rate)")
 
     def add_sparsity_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--density", action="append", default=[],

@@ -168,7 +168,9 @@ def schedule_network(
                 shared_engine = SearchEngine(
                     workers=opts.workers, cache=opts.cache,
                     partial_reuse=opts.partial_reuse,
-                    sparsity=opts.sparsity)
+                    sparsity=opts.sparsity,
+                    batch=opts.batch,
+                    cache_size=opts.cache_size)
                 owns_engine = True
 
             def mapper(workload: Workload, arch: Architecture

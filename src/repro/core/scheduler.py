@@ -87,6 +87,12 @@ class SchedulerOptions:
     # for every (workers, cache) combination.
     workers: int = 1
     cache: bool = True
+    # Vectorised cohort evaluation (repro.model.batch) for cache-miss
+    # batches, and the entry cap shared by the result and partial-term
+    # caches (None = default bound, 0 = unbounded).  Both are
+    # behaviour-preserving knobs like workers/cache.
+    batch: bool = True
+    cache_size: int | None = None
     # Optional sparsity spec (repro.sparse) forwarded to every cost-model
     # evaluation.  None keeps the dense model bit-identical; the spec is
     # part of the evaluation-cache key, so dense and sparse searches never
@@ -116,6 +122,8 @@ class SchedulerOptions:
             )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.cache_size is not None and self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0 (0 = unbounded)")
 
 
 @dataclass
@@ -234,6 +242,8 @@ class SunstoneScheduler:
                 cache=self.options.cache,
                 partial_reuse=self.options.partial_reuse,
                 sparsity=self.options.sparsity,
+                batch=self.options.batch,
+                cache_size=self.options.cache_size,
             )
             self._owns_engine = True
         return self._engine
@@ -488,10 +498,13 @@ class SunstoneScheduler:
                 children.extend(
                     self._children(state, level, orderings, stats, bottom_up))
             # Batch the whole level: the engine dedupes equal fingerprints
-            # and fans misses out over its workers, returning results in
-            # candidate order so ranking matches the serial path exactly.
+            # and vectorises (or fans out) the misses, returning results
+            # in candidate order so ranking matches the serial path
+            # exactly.
             mappings = [self._materialize(child) for child in children]
-            costs = engine.evaluate_batch(mappings)
+            engine.stats.add_stage_time(
+                "generation", time.perf_counter() - level_start)
+            costs = engine.evaluate_many(mappings)
             stats.evaluations += len(children)
             scored: list[tuple[float, _State]] = []
             for child, mapping, cost in zip(children, mappings, costs):

@@ -57,6 +57,18 @@ class LevelMapping:
             self, "_spatial_size",
             math.prod(factor for _, factor in self.spatial) or 1,
         )
+        object.__setattr__(
+            self, "_nontrivial_temporal",
+            tuple((d, f) for d, f in self.temporal if f > 1),
+        )
+        object.__setattr__(
+            self, "_nontrivial_spatial",
+            tuple((d, f) for d, f in self.spatial if f > 1),
+        )
+        object.__setattr__(
+            self, "_temporal_product",
+            math.prod(factor for _, factor in self.temporal) or 1,
+        )
 
     @property
     def temporal_factors(self) -> dict[str, int]:
@@ -79,7 +91,7 @@ class LevelMapping:
 
     def nontrivial_temporal(self) -> tuple[tuple[str, int], ...]:
         """Temporal loops with bound > 1, in nest order."""
-        return tuple((d, f) for d, f in self.temporal if f > 1)
+        return self._nontrivial_temporal
 
 
 class Mapping:

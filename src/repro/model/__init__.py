@@ -1,8 +1,10 @@
 """Timeloop-style analytical cost model (accesses, energy, latency, EDP)."""
 
 from .accesses import AccessCounts, LevelAccesses, TensorTraffic, count_accesses
+from .batch import HAVE_NUMPY, evaluate_batch
 from .cost import INVALID_COST, CostResult, edp, evaluate, prefix_energy
 from .reference import ReferenceCounts, simulate_fills
+from .terms import ModelInfo, PartialEvalCache, model_info
 from .timing import TimingResult, analyze_timing
 
 __all__ = [
@@ -12,9 +14,14 @@ __all__ = [
     "count_accesses",
     "CostResult",
     "evaluate",
+    "evaluate_batch",
+    "HAVE_NUMPY",
     "edp",
     "prefix_energy",
     "INVALID_COST",
+    "ModelInfo",
+    "PartialEvalCache",
+    "model_info",
     "ReferenceCounts",
     "simulate_fills",
     "TimingResult",

@@ -42,6 +42,8 @@ from ..mapping.mapping import Mapping
 from ..sparse.saf import compute_scales, traffic_scale
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import IndexExpr, TensorRef
+from .terms import MappingView, ModelInfo, PartialEvalCache, model_info, \
+    pair_term
 
 
 @dataclass
@@ -194,7 +196,10 @@ def _partial_reuse_words(
 
 
 def count_accesses(mapping: Mapping, partial_reuse: bool = True,
-                   sparsity: SparsitySpec | None = None) -> AccessCounts:
+                   sparsity: SparsitySpec | None = None, *,
+                   info: ModelInfo | None = None,
+                   partial_cache: PartialEvalCache | None = None
+                   ) -> AccessCounts:
     """Count machine-wide reads/writes per level for ``mapping``.
 
     ``sparsity`` optionally scales the dense counts into expected sparse
@@ -205,61 +210,49 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True,
     spec whose densities are 1.0 — leaves every count bit-identical to
     the dense model.  Spec entries naming tensors this workload does not
     have are ignored.
+
+    ``info`` optionally supplies pre-hoisted per-(workload, arch)
+    invariants; ``partial_cache`` memoises the per-(tensor, storage-pair)
+    contribution terms across mappings (see :mod:`repro.model.terms`).
+    Both are pure accelerators: every count is bit-identical with or
+    without them.
     """
     arch = mapping.arch
     workload = mapping.workload
-    num = arch.num_levels
+    if info is None or info.workload is not workload or info.arch is not arch:
+        info = model_info(workload, arch)
+    if partial_cache is not None:
+        partial_cache.check_config(partial_reuse, sparsity)
+    view = MappingView(mapping, info)
+
+    num = info.num_levels
     levels = [LevelAccesses() for _ in range(num)]
-    per_tensor = {t.name: TensorTraffic(t.name) for t in workload.tensors}
-    noc_words: dict[int, float] = {
-        i: 0.0 for i in range(num) if arch.levels[i].fanout > 1
-    }
+    per_tensor = {name: TensorTraffic(name) for name in info.tensor_names}
+    noc_words: dict[int, float] = {i: 0.0 for i in info.fanout_levels}
 
-    # Spatial products per boundary, overall and per indexing set.
-    sp_all = [mapping.levels[i].spatial_size for i in range(num)]
-
-    def sp_indexing(level: int, indexing: frozenset[str]) -> int:
-        return math.prod(
-            f for d, f in mapping.levels[level].spatial if d in indexing
-        ) or 1
-
-    def instances_above(level: int) -> int:
-        """Used instances of ``level`` across the machine."""
-        return math.prod(sp_all[j] for j in range(level, num)) or 1
-
-    total_ops = workload.total_operations
+    total_ops = info.total_ops
     energy_ops: float = total_ops
     cycle_ops: float = total_ops
     op_scale = 1.0
     if sparsity is not None:
-        tensor_names = [t.name for t in workload.tensors]
-        op_scale, cycle_scale = compute_scales(sparsity, tensor_names)
+        op_scale, cycle_scale = compute_scales(sparsity, info.tensor_names)
         energy_ops = total_ops * op_scale
         cycle_ops = total_ops * cycle_scale
 
-    for tensor in workload.tensors:
-        traffic = per_tensor[tensor.name]
-        spec = sparsity.get(tensor.name) if sparsity is not None else None
-        storage = arch.storage_levels(tensor.role)
-        if not storage:
-            raise ValueError(
-                f"tensor {tensor.name} (role {tensor.role}) is stored nowhere"
-            )
-        indexing = tensor.indexing_dims
-        innermost = storage[0]
+    for tinfo in info.tensors:
+        traffic = per_tensor[tinfo.name]
+        spec = sparsity.get(tinfo.name) if sparsity is not None else None
+        innermost = tinfo.innermost
 
         # ---- compute-side accesses at the innermost storage level ----
         # Lanes below the innermost storage share a read when they differ
         # only in non-indexing dimensions (broadcast wire / adder tree).
-        share = math.prod(
-            sp_all[j] // sp_indexing(j, indexing) for j in range(innermost)
-        ) or 1
-        compute_accesses = total_ops / share
+        compute_accesses = float(total_ops) / float(view.share(tinfo))
         if sparsity is not None:
             # Elided (gated/skipped) MACs touch no operands and merge no
             # partial output: innermost accesses track effectual MACs.
             compute_accesses = compute_accesses * op_scale
-        if tensor.is_output:
+        if tinfo.is_output:
             # Read-modify-write accumulation at the innermost buffer.
             traffic.at(innermost).writes += compute_accesses
             traffic.at(innermost).reads += compute_accesses
@@ -270,36 +263,13 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True,
             levels[innermost].reads += compute_accesses
 
         # ---- transfers between adjacent storage levels ----
-        for child, parent in zip(storage, storage[1:]):
-            child_sizes = mapping.cumulative_sizes(child)
-            footprint = tensor.footprint(child_sizes)
-            loops = _flat_temporal_loops(mapping, child)
-            fills, distinct, inner_dim, inner_bound = _fill_multiplier(
-                loops, indexing
+        for child, parent in tinfo.pairs:
+            fills, distinct, fill_words, pair_words = pair_term(
+                info, tinfo, view, child, partial_reuse, spec,
+                partial_cache,
             )
-            if partial_reuse and not tensor.is_output and inner_dim:
-                fill_words = _partial_reuse_words(
-                    tensor, child_sizes, fills, inner_dim, inner_bound,
-                    footprint,
-                )
-            else:
-                fill_words = fills * footprint
-            # Sparse scaling: expected stored words of the child tile
-            # over its dense footprint (format payload + metadata,
-            # capped at dense; empty-tile skipping for uncompressed).
-            pair_words = footprint
-            if spec is not None:
-                pair_scale = traffic_scale(spec, footprint)
-                fill_words = fill_words * pair_scale
-                pair_words = footprint * pair_scale
-
-            between_idx = math.prod(
-                sp_indexing(j, indexing) for j in range(child, parent)
-            ) or 1
-            between_all = math.prod(
-                sp_all[j] for j in range(child, parent)
-            ) or 1
-            above = instances_above(parent)
+            between_idx, between_all = view.between(tinfo, child, parent)
+            above = view.inst_above[parent]
 
             child_side = fill_words * between_all * above
             parent_side = fill_words * between_idx * above
@@ -307,7 +277,7 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True,
             volume.child_side += child_side
             volume.parent_side += parent_side
 
-            if tensor.is_output:
+            if tinfo.is_output:
                 # Drain partial/final results up; reduce non-indexing
                 # spatial copies on the way.
                 traffic.at(child).reads += child_side
@@ -318,8 +288,10 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True,
                 # must restore partials from the parent.
                 revisit = fills - distinct
                 if revisit > 0:
-                    back_child = revisit * pair_words * between_all * above
-                    back_parent = revisit * pair_words * between_idx * above
+                    back_child = float(revisit) * pair_words \
+                        * between_all * above
+                    back_parent = float(revisit) * pair_words \
+                        * between_idx * above
                     volume.readback_child += back_child
                     volume.readback_parent += back_parent
                     traffic.at(child).writes += back_child
@@ -335,7 +307,7 @@ def count_accesses(mapping: Mapping, partial_reuse: bool = True,
             # NoC traffic: unique words crossing each fanout boundary
             # between the two storage levels.
             for j in range(child, parent):
-                if arch.levels[j].fanout > 1:
+                if j in info.fanout_set:
                     noc_words[j] += parent_side
 
     return AccessCounts(

@@ -16,6 +16,7 @@ from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
 from ..sparse.spec import SparsitySpec
 from .accesses import AccessCounts, count_accesses
+from .terms import ModelInfo, PartialEvalCache
 
 
 @dataclass
@@ -50,7 +51,9 @@ INVALID_COST = float("inf")
 
 def evaluate(mapping: Mapping, partial_reuse: bool = True,
              keep_accesses: bool = False,
-             sparsity: SparsitySpec | None = None) -> CostResult:
+             sparsity: SparsitySpec | None = None, *,
+             info: ModelInfo | None = None,
+             partial_cache: PartialEvalCache | None = None) -> CostResult:
     """Evaluate energy, latency and EDP for ``mapping``.
 
     Invalid mappings (capacity or fanout violations) still receive an
@@ -63,11 +66,16 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
     degenerate all-dense spec — yields output bit-identical to the dense
     model; sparsity never changes which mappings are *valid*, since
     buffer occupancy is provisioned for the dense tile (worst case).
+
+    ``info`` and ``partial_cache`` (see :mod:`repro.model.terms`) are
+    pure accelerators — every field of the result is bit-identical with
+    or without them; docs/PERF.md describes the pipeline.
     """
     arch = mapping.arch
     violations = mapping.validate()
     counts = count_accesses(mapping, partial_reuse=partial_reuse,
-                            sparsity=sparsity)
+                            sparsity=sparsity, info=info,
+                            partial_cache=partial_cache)
 
     level_energy: dict[str, float] = {}
     total = 0.0
@@ -89,7 +97,7 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
     # Latency: compute-bound vs per-level bandwidth-bound.  Skipping
     # (but not gating) shrinks the effective MAC issue count.
     used_lanes = mapping.used_lanes() * arch.mac_width
-    compute_cycles = counts.cycle_ops / max(used_lanes, 1)
+    compute_cycles = float(counts.cycle_ops) / float(max(used_lanes, 1))
     cycles = compute_cycles
     for i, arch_level in enumerate(arch.levels):
         instances = math.prod(

@@ -1,5 +1,6 @@
 """Parallel, memoized schedule-search engine shared by all mappers."""
 
+from ..model.terms import PartialEvalCache
 from .cache import EvalCache
 from .engine import SearchEngine
 from .fingerprint import (
@@ -11,6 +12,7 @@ from .stats import SearchStats
 
 __all__ = [
     "EvalCache",
+    "PartialEvalCache",
     "SearchEngine",
     "SearchStats",
     "architecture_fingerprint",

@@ -8,17 +8,25 @@ orthogonal accelerations, both provably behaviour-preserving:
   the canonical mapping fingerprint, so re-evaluating an
   identically-shaped candidate (within a level sweep, across the
   escalation retry, or across the layers of a network) is free;
-* **parallelism** — batches of cache misses fan out over a
-  ``ProcessPoolExecutor`` in deterministic chunks and merge back in
-  submission order, so the downstream argmin sees candidates in exactly
-  the order the serial path would.
+* **vectorisation** — cohorts of cache misses run through
+  :func:`repro.model.batch.evaluate_batch` (numpy array rollups sharing
+  the term-level :class:`~repro.model.terms.PartialEvalCache`), falling
+  back bit-identically to the scalar model when numpy is absent or
+  ``batch=False``;
+* **parallelism** — with vectorisation off, batches of cache misses fan
+  out over a ``ProcessPoolExecutor`` in deterministic chunks and merge
+  back in submission order, so the downstream argmin sees candidates in
+  exactly the order the serial path would.  Intra-sweep cohorts prefer
+  the vectorised path; the pool is for cross-layer fan-out
+  (:func:`repro.core.network.schedule_network`).
 
 ``workers=1`` (the default) never touches multiprocessing: every
 evaluation runs in-process, which keeps tests, coverage and debugging
 identical to a direct ``evaluate()`` call.  The determinism guarantee —
 same best mapping, same ``energy_pj``/``cycles`` for every
-(workers, cache) configuration — is pinned by
-``tests/test_search_engine.py``.
+(workers, cache, batch) configuration — is pinned by
+``tests/test_search_engine.py`` and ``tests/test_model_batch.py``;
+docs/PERF.md walks the full pipeline.
 """
 
 from __future__ import annotations
@@ -30,7 +38,10 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 from ..mapping.mapping import Mapping
+from ..model.batch import HAVE_NUMPY
+from ..model.batch import evaluate_batch as _batch_evaluate
 from ..model.cost import CostResult, evaluate
+from ..model.terms import PartialEvalCache
 from ..sparse.spec import SparsitySpec
 from .cache import EvalCache
 from .fingerprint import (
@@ -73,6 +84,23 @@ class SearchEngine:
         every evaluation.  Like ``partial_reuse`` it is part of the
         cache key: a dense engine and a sparse engine can share one
         cache object without ever exchanging results.
+    batch:
+        ``True`` (default) vectorises cache-miss cohorts through
+        :func:`repro.model.batch.evaluate_batch` when numpy is present.
+        ``False`` forces the scalar model (and re-enables the process
+        pool for ``workers > 1``).  Results are bit-identical either
+        way.
+    cache_size:
+        Entry cap shared by the result :class:`EvalCache` and the
+        term-level :class:`PartialEvalCache`.  ``None`` keeps each
+        cache's default bound; ``0`` means unbounded.  Ignored for the
+        result cache when an existing ``EvalCache`` object is passed.
+    partial_cache:
+        ``True`` (default) builds a term-level
+        :class:`~repro.model.terms.PartialEvalCache` bound to this
+        engine's ``(partial_reuse, sparsity)``; ``False``/``None``
+        disables term memoisation; or pass an instance to share one
+        (its configuration is verified).
     """
 
     def __init__(
@@ -82,24 +110,47 @@ class SearchEngine:
         partial_reuse: bool = True,
         chunk_size: int = 64,
         sparsity: SparsitySpec | None = None,
+        batch: bool = True,
+        cache_size: int | None = None,
+        partial_cache: PartialEvalCache | bool | None = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if cache_size is not None and cache_size < 0:
+            raise ValueError("cache_size must be >= 0 (0 = unbounded)")
         self.workers = workers
         # Evaluation is CPU-bound pure Python: a pool wider than the
         # physical core count only adds pickling overhead, so the pool
         # (and the serial-vs-parallel crossover) is sized by this clamp.
         self._effective_workers = min(workers, os.cpu_count() or 1)
         if cache is True:
-            cache = EvalCache()
+            if cache_size is None:
+                cache = EvalCache()
+            else:
+                cache = EvalCache(max_entries=cache_size or None)
         elif cache is False:
             cache = None
         self.cache: EvalCache | None = cache
         self.partial_reuse = partial_reuse
         self.sparsity = sparsity
         self.chunk_size = chunk_size
+        self.batch = bool(batch)
+        self._use_batch = self.batch and HAVE_NUMPY
+        if partial_cache is True:
+            if cache_size is None:
+                partial_cache = PartialEvalCache(
+                    partial_reuse=partial_reuse, sparsity=sparsity)
+            else:
+                partial_cache = PartialEvalCache(
+                    max_entries=cache_size or None,
+                    partial_reuse=partial_reuse, sparsity=sparsity)
+        elif partial_cache is False:
+            partial_cache = None
+        elif partial_cache is not None:
+            partial_cache.check_config(partial_reuse, sparsity)
+        self.partial_cache: PartialEvalCache | None = partial_cache
         self.stats = SearchStats(workers=self._effective_workers)
         self._pool: ProcessPoolExecutor | None = None
         # Workload/architecture fingerprints are invariant across the
@@ -156,35 +207,52 @@ class SearchEngine:
             mapping, self.partial_reuse, workload_fp=wl_fp, arch_fp=entry[1],
             sparsity=self.sparsity)
 
+    def _sync_partial_stats(self) -> None:
+        pc = self.partial_cache
+        if pc is not None:
+            self.stats.partial_hits = pc.hits
+            self.stats.partial_misses = pc.misses
+            self.stats.partial_evictions = pc.evictions
+
     def evaluate(self, mapping: Mapping) -> CostResult:
         """Evaluate one mapping, through the cache, in-process."""
         if self.cache is None:
             self.stats.evaluations += 1
-            return evaluate(mapping, partial_reuse=self.partial_reuse,
-                            sparsity=self.sparsity)
+            start = time.perf_counter()
+            result = evaluate(mapping, partial_reuse=self.partial_reuse,
+                              sparsity=self.sparsity,
+                              partial_cache=self.partial_cache)
+            self.stats.add_stage_time("model",
+                                      time.perf_counter() - start)
+            self._sync_partial_stats()
+            return result
         key = self.fingerprint(mapping)
         cached = self.cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
+        start = time.perf_counter()
         result = evaluate(mapping, partial_reuse=self.partial_reuse,
-                          sparsity=self.sparsity)
+                          sparsity=self.sparsity,
+                          partial_cache=self.partial_cache)
+        self.stats.add_stage_time("model", time.perf_counter() - start)
         self.stats.evaluations += 1
         self.stats.cache_misses += 1
         self.cache.put(key, result)
         self.stats.cache_evictions = self.cache.evictions
+        self._sync_partial_stats()
         return result
 
-    def evaluate_batch(
+    def evaluate_many(
         self, mappings: Sequence[Mapping],
     ) -> list[CostResult]:
-        """Evaluate a batch; results align with ``mappings`` by index.
+        """Evaluate a cohort; results align with ``mappings`` by index.
 
         Cache hits are served directly; the remaining distinct
-        fingerprints are evaluated (in parallel when ``workers > 1``)
-        and merged back in input order, so the returned list is
-        bit-identical to what ``[evaluate(m) for m in mappings]`` would
-        produce.
+        fingerprints are evaluated (vectorised, or in parallel when
+        ``workers > 1`` with ``batch=False``) and merged back in input
+        order, so the returned list is bit-identical to what
+        ``[evaluate(m) for m in mappings]`` would produce.
         """
         start = time.perf_counter()
         self.stats.batches += 1
@@ -198,6 +266,7 @@ class SearchEngine:
         todo: list[Mapping] = []
         todo_keys: list[Fingerprint] = []
         waiters: dict[Fingerprint, list[int]] = {}
+        cache_start = time.perf_counter()
         for i, mapping in enumerate(mappings):
             key = self.fingerprint(mapping)
             pending = waiters.get(key)
@@ -212,10 +281,13 @@ class SearchEngine:
             waiters[key] = [i]
             todo.append(mapping)
             todo_keys.append(key)
+        self.stats.add_stage_time("cache",
+                                  time.perf_counter() - cache_start)
 
         fresh = self._run(todo)
         self.stats.evaluations += len(todo)
         self.stats.cache_misses += len(todo)
+        cache_start = time.perf_counter()
         for key, result in zip(todo_keys, fresh):
             self.cache.put(key, result)
             indices = waiters[key]
@@ -225,23 +297,52 @@ class SearchEngine:
             # fresh evaluation: count them as hits.
             self.stats.cache_hits += len(indices) - 1
         self.stats.cache_evictions = self.cache.evictions
+        self.stats.add_stage_time("cache",
+                                  time.perf_counter() - cache_start)
         self.stats.wall_time_s += time.perf_counter() - start
         return results  # type: ignore[return-value]
 
+    # Established name from PR 1; several call sites and tests use it.
+    evaluate_batch = evaluate_many
+
     def _run(self, mappings: list[Mapping]) -> list[CostResult]:
-        """Evaluate ``mappings`` preserving order; parallel on misses."""
+        """Evaluate ``mappings`` preserving order; vectorised cohorts
+        first, process pool only with vectorisation unavailable."""
         if not mappings:
             return []
+        if self._use_batch and len(mappings) >= 2:
+            start = time.perf_counter()
+            results = _batch_evaluate(
+                mappings, partial_reuse=self.partial_reuse,
+                sparsity=self.sparsity, partial_cache=self.partial_cache)
+            self.stats.add_stage_time("model",
+                                      time.perf_counter() - start)
+            self.stats.batched_evaluations += len(mappings)
+            self._sync_partial_stats()
+            return results
         workers = self._effective_workers
         if workers == 1 or len(mappings) < 2 * workers:
-            return [evaluate(m, partial_reuse=self.partial_reuse,
-                             sparsity=self.sparsity)
-                    for m in mappings]
+            start = time.perf_counter()
+            results = [evaluate(m, partial_reuse=self.partial_reuse,
+                                sparsity=self.sparsity,
+                                partial_cache=self.partial_cache)
+                       for m in mappings]
+            self.stats.add_stage_time("model",
+                                      time.perf_counter() - start)
+            self._sync_partial_stats()
+            return results
         pool = self._ensure_pool()
         if pool is None:  # pool creation failed; workers reset to 1
-            return [evaluate(m, partial_reuse=self.partial_reuse,
-                             sparsity=self.sparsity)
-                    for m in mappings]
+            start = time.perf_counter()
+            results = [evaluate(m, partial_reuse=self.partial_reuse,
+                                sparsity=self.sparsity,
+                                partial_cache=self.partial_cache)
+                       for m in mappings]
+            self.stats.add_stage_time("model",
+                                      time.perf_counter() - start)
+            self._sync_partial_stats()
+            return results
+        start = time.perf_counter()
         chunk = min(self.chunk_size,
                     math.ceil(len(mappings) / self._effective_workers))
         chunks = [mappings[i:i + chunk]
@@ -251,4 +352,5 @@ class SearchEngine:
                              [(c, self.partial_reuse, self.sparsity)
                               for c in chunks]):
             results.extend(part)
+        self.stats.add_stage_time("pool", time.perf_counter() - start)
         return results

@@ -14,6 +14,17 @@ class SearchStats:
     is one or the other, never both).  ``prunes`` aggregates candidates
     discarded before evaluation (alpha-beta + beam for Sunstone).
     ``level_wall_time_s`` buckets sweep time per memory-level step.
+
+    The per-stage profile (``--profile`` on the CLI, docs/PERF.md):
+    ``stage_time_s`` buckets wall time by pipeline stage — ``"model"``
+    (cost-model execution, scalar or vectorised), ``"generation"``
+    (candidate enumeration + materialisation), ``"cache"`` (fingerprint
+    + memo lookup/merge) and ``"pool"`` (process-pool dispatch including
+    pickling).  ``batched_evaluations`` counts how many of
+    ``evaluations`` went through the vectorised
+    :func:`repro.model.batch.evaluate_batch` path, and the ``partial_*``
+    counters mirror the term-level
+    :class:`~repro.model.terms.PartialEvalCache`.
     """
 
     workers: int = 1
@@ -25,6 +36,11 @@ class SearchStats:
     prunes: int = 0
     wall_time_s: float = 0.0
     level_wall_time_s: dict[str, float] = field(default_factory=dict)
+    batched_evaluations: int = 0
+    partial_hits: int = 0
+    partial_misses: int = 0
+    partial_evictions: int = 0
+    stage_time_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def requests(self) -> int:
@@ -36,9 +52,24 @@ class SearchStats:
         total = self.requests
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def partial_requests(self) -> int:
+        """Term-level partial-cache lookups issued."""
+        return self.partial_hits + self.partial_misses
+
+    @property
+    def partial_hit_rate(self) -> float:
+        total = self.partial_requests
+        return self.partial_hits / total if total else 0.0
+
     def add_level_time(self, level_name: str, seconds: float) -> None:
         self.level_wall_time_s[level_name] = (
             self.level_wall_time_s.get(level_name, 0.0) + seconds
+        )
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        self.stage_time_s[stage] = (
+            self.stage_time_s.get(stage, 0.0) + seconds
         )
 
     def merge(self, other: "SearchStats") -> None:
@@ -53,6 +84,12 @@ class SearchStats:
         self.wall_time_s += other.wall_time_s
         for name, seconds in other.level_wall_time_s.items():
             self.add_level_time(name, seconds)
+        self.batched_evaluations += other.batched_evaluations
+        self.partial_hits += other.partial_hits
+        self.partial_misses += other.partial_misses
+        self.partial_evictions += other.partial_evictions
+        for name, seconds in other.stage_time_s.items():
+            self.add_stage_time(name, seconds)
 
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot (used by the CLI's ``--stats-json``)."""
@@ -68,6 +105,13 @@ class SearchStats:
             "hit_rate": self.hit_rate,
             "wall_time_s": self.wall_time_s,
             "level_wall_time_s": dict(self.level_wall_time_s),
+            "batched_evaluations": self.batched_evaluations,
+            "partial_hits": self.partial_hits,
+            "partial_misses": self.partial_misses,
+            "partial_evictions": self.partial_evictions,
+            "partial_requests": self.partial_requests,
+            "partial_hit_rate": self.partial_hit_rate,
+            "stage_time_s": dict(self.stage_time_s),
         }
 
     def summary(self) -> str:
@@ -77,3 +121,26 @@ class SearchStats:
             f"prunes {self.prunes}, workers {self.workers}, "
             f"wall {self.wall_time_s:.2f}s"
         )
+
+    def profile_summary(self) -> str:
+        """Multi-line per-stage breakdown for the CLI's ``--profile``."""
+        stages = ("model", "generation", "cache", "pool")
+        known = {s: self.stage_time_s.get(s, 0.0) for s in stages}
+        extra = {s: t for s, t in self.stage_time_s.items()
+                 if s not in known}
+        parts = [f"{s} {t:.3f}s" for s, t in known.items()]
+        parts += [f"{s} {t:.3f}s" for s, t in sorted(extra.items())]
+        lines = [
+            "profile:",
+            "  stage time: " + ", ".join(parts),
+            (f"  evaluations {self.evaluations} "
+             f"({self.batched_evaluations} vectorised), "
+             f"batches {self.batches}"),
+            (f"  eval cache: hits {self.cache_hits} "
+             f"({self.hit_rate:.0%} of {self.requests} requests), "
+             f"evictions {self.cache_evictions}"),
+            (f"  partial-term cache: hits {self.partial_hits} "
+             f"({self.partial_hit_rate:.0%} of {self.partial_requests} "
+             f"requests), evictions {self.partial_evictions}"),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,340 @@
+"""Bit-identity and regression harness for ``repro.model.batch``.
+
+Pins the PR's determinism contract: the vectorised cohort evaluator and
+the term-level partial cache produce results bit-identical to the plain
+scalar ``evaluate()`` — every float field, the validity verdict and the
+violation strings — across window/halo workloads, bypass configurations
+and sparsity specs; and a level sweep with the partial cache recomputes
+strictly fewer terms than a cold one.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import conventional, diannao_like, tiny
+from repro.baselines.common import prime_factors
+from repro.cli import main
+from repro.core import SchedulerOptions, schedule
+from repro.mapping import build_mapping
+from repro.mapping.serialize import mapping_to_dict
+from repro.model import (
+    HAVE_NUMPY,
+    PartialEvalCache,
+    evaluate,
+    evaluate_batch,
+    model_info,
+)
+from repro.model import batch as batch_mod
+from repro.search import SearchEngine
+from repro.sparse import SparsitySpec
+from repro.workloads import conv1d, conv2d, make_workload, mttkrp
+
+
+def _matmul(i=8, j=8, k=8):
+    return make_workload(
+        "mm", {"I": i, "J": j, "K": k},
+        {"A": ["I", "K"], "B": ["K", "J"], "out": ["I", "J"]},
+        outputs=["out"],
+    )
+
+
+# Window/halo (conv), unified capacities (tiny/conventional), per-role
+# capacities + storage bypass (diannao on non-CNN roles), plain matmul.
+_CASES = [
+    (conv1d(K=4, C=8, P=16, R=3), tiny()),
+    (conv2d(N=1, K=8, C=8, P=6, Q=6, R=3, S=3), conventional()),
+    (mttkrp(I=8, K=6, L=4, J=5), diannao_like()),
+    (_matmul(8, 6, 8), tiny(l1_words=32, l2_words=256, pes=4)),
+]
+
+# Unknown tensor names are ignored per workload, so one spec serves all
+# cases (conv tensors I/W/O, mttkrp A/B/C/D, matmul A/B/out).
+_SPARSE = SparsitySpec.from_densities(
+    {"I": 0.3, "W": 0.5, "A": 0.2, "B": 0.6})
+
+_FIELDS = ("energy_pj", "cycles", "valid", "violations", "level_energy",
+           "compute_energy", "noc_energy", "utilization")
+
+
+def _random_mappings(workload, arch, rng, n):
+    """Deterministic random prime-split mappings (valid and invalid)."""
+    num = arch.num_levels
+    out = []
+    for _ in range(n):
+        temporal = [dict() for _ in range(num)]
+        spatial = [dict() for _ in range(num)]
+        for d, size in workload.dims.items():
+            for p in prime_factors(size):
+                lvl = rng.randrange(num)
+                if rng.random() < 0.25 and arch.levels[lvl].fanout > 1:
+                    spatial[lvl][d] = spatial[lvl].get(d, 1) * p
+                else:
+                    temporal[lvl][d] = temporal[lvl].get(d, 1) * p
+        orders = []
+        for _level in range(num):
+            dims = list(workload.dims)
+            rng.shuffle(dims)
+            orders.append(dims)
+        out.append(build_mapping(workload, arch, temporal, spatial, orders))
+    return out
+
+
+def _assert_same(a, b, context):
+    for name in _FIELDS:
+        assert getattr(a, name) == getattr(b, name), (context, name)
+
+
+# ---------------------------------------------------------------------------
+# Satellite (c): seeded-hypothesis bit-identity property
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_batch_and_partial_cache_bitwise_identical(seed):
+    """Scalar, scalar+partial-cache and vectorised paths agree exactly."""
+    rng = random.Random(seed)
+    workload, arch = _CASES[rng.randrange(len(_CASES))]
+    sparsity = rng.choice([None, _SPARSE])
+    partial_reuse = rng.random() < 0.75
+    mappings = _random_mappings(workload, arch, rng, 8)
+
+    scalar = [evaluate(m, partial_reuse=partial_reuse, sparsity=sparsity)
+              for m in mappings]
+    cache = PartialEvalCache(partial_reuse=partial_reuse, sparsity=sparsity)
+    cached = [evaluate(m, partial_reuse=partial_reuse, sparsity=sparsity,
+                       partial_cache=cache)
+              for m in mappings]
+    # Second pass replays every term from the cache.
+    replayed = [evaluate(m, partial_reuse=partial_reuse, sparsity=sparsity,
+                         partial_cache=cache)
+                for m in mappings]
+    batched = evaluate_batch(mappings, partial_reuse=partial_reuse,
+                             sparsity=sparsity)
+    fresh_cache = PartialEvalCache(partial_reuse=partial_reuse,
+                                   sparsity=sparsity)
+    batched_cached = evaluate_batch(mappings, partial_reuse=partial_reuse,
+                                    sparsity=sparsity,
+                                    partial_cache=fresh_cache)
+    context = (workload.name, arch.name, sparsity is not None,
+               partial_reuse)
+    for i, oracle in enumerate(scalar):
+        _assert_same(oracle, cached[i], context + ("partial-cache", i))
+        _assert_same(oracle, replayed[i], context + ("replay", i))
+        _assert_same(oracle, batched[i], context + ("batch", i))
+        _assert_same(oracle, batched_cached[i],
+                     context + ("batch+cache", i))
+    assert cache.hits > 0  # the replay pass must actually reuse terms
+
+
+def test_violation_messages_match_mapping_validate():
+    """The batch path's fast validity check mirrors Mapping.validate()."""
+    rng = random.Random(7)
+    saw_invalid = 0
+    for workload, arch in _CASES:
+        for mapping in _random_mappings(workload, arch, rng, 16):
+            expected = mapping.validate()
+            (result,) = evaluate_batch([mapping] * 4)[:1]
+            assert result.violations == expected
+            saw_invalid += bool(expected)
+    assert saw_invalid > 0  # the sample must exercise the invalid branch
+
+
+# ---------------------------------------------------------------------------
+# Satellite (c): partial-cache reuse regression
+# ---------------------------------------------------------------------------
+
+
+def test_level_perturbation_reuses_untouched_terms():
+    """Perturbing only outer levels recomputes strictly fewer terms.
+
+    The base mapping keeps innermost *relevant* loops (Q, S) at L2, so
+    every tensor's L1-side fill suffix terminates there; moving a C
+    factor between L2's outer portion and DRAM — a sweep/polish move on
+    the outer levels — must replay all L1-side terms from the cache and
+    recompute only the pairs the move actually touches.
+    """
+    workload, arch = _CASES[1]  # conv2d on conventional (L1, L2, DRAM)
+    num = arch.num_levels
+    orders = [list(workload.dims) for _ in range(num)]
+
+    def mapping_with(l1_temporal):
+        temporal = [dict() for _ in range(num)]
+        temporal[1] = dict(l1_temporal)  # residual completes at the top
+        return build_mapping(workload, arch,
+                             temporal=temporal,
+                             spatial=[dict() for _ in range(num)],
+                             orders=orders)
+
+    base = mapping_with({"Q": 6, "S": 3})
+    perturbed = mapping_with({"Q": 6, "S": 3, "C": 2})
+
+    cache = PartialEvalCache()
+    evaluate(base, partial_cache=cache)
+    cold_misses = cache.misses
+    assert cache.hits == 0 and cold_misses > 0
+    evaluate(perturbed, partial_cache=cache)
+    delta = cache.misses - cold_misses
+    assert delta < cold_misses  # strictly fewer recomputations
+    assert cache.hits > 0  # untouched levels replayed verbatim
+
+
+def test_partial_cache_is_config_bound():
+    cache = PartialEvalCache(partial_reuse=True, sparsity=None)
+    with pytest.raises(ValueError):
+        cache.check_config(False, None)
+    with pytest.raises(ValueError):
+        cache.check_config(True, _SPARSE)
+    mapping = _random_mappings(*_CASES[0], random.Random(0), 1)[0]
+    with pytest.raises(ValueError):
+        evaluate(mapping, partial_reuse=False, partial_cache=cache)
+
+
+def test_partial_cache_lru_bound_evicts():
+    cache = PartialEvalCache(max_entries=4)
+    rng = random.Random(3)
+    for mapping in _random_mappings(*_CASES[0], rng, 8):
+        evaluate(mapping, partial_cache=cache)
+    assert len(cache) <= 4
+    assert cache.evictions > 0
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: engine routing determinism (workers x cache x batch)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sparsity", [None, _SPARSE])
+def test_scheduler_equivalence_across_batch_configs(sparsity):
+    workload, arch = _CASES[0]
+    oracle = schedule(workload, arch,
+                      SchedulerOptions(workers=1, cache=False, batch=False,
+                                       sparsity=sparsity))
+    assert oracle.found
+    oracle_map = mapping_to_dict(oracle.mapping)
+    oracle_cost = (oracle.cost.energy_pj, oracle.cost.cycles)
+    configs = [
+        dict(workers=1, cache=True, batch=False),
+        dict(workers=1, cache=False, batch=True),
+        dict(workers=1, cache=True, batch=True),
+        dict(workers=2, cache=True, batch=True),
+        dict(workers=1, cache=True, batch=True, cache_size=64),
+    ]
+    for config in configs:
+        result = schedule(workload, arch,
+                          SchedulerOptions(sparsity=sparsity, **config))
+        assert result.found, config
+        assert mapping_to_dict(result.mapping) == oracle_map, config
+        assert (result.cost.energy_pj, result.cost.cycles) == oracle_cost, \
+            config
+
+
+def test_engine_evaluate_many_routes_through_batch():
+    workload, arch = _CASES[3]
+    mappings = _random_mappings(workload, arch, random.Random(5), 12)
+    engine = SearchEngine(workers=1, cache=True, batch=True)
+    results = engine.evaluate_many(mappings)
+    oracle = [evaluate(m) for m in mappings]
+    for got, want in zip(results, oracle):
+        _assert_same(want, got, "engine")
+    if HAVE_NUMPY:
+        assert engine.stats.batched_evaluations > 0
+    assert engine.stats.partial_requests > 0
+    assert "model" in engine.stats.stage_time_s
+    assert "cache" in engine.stats.stage_time_s
+    # The established alias keeps working.
+    assert engine.evaluate_batch(mappings) == results
+
+
+def test_no_numpy_fallback_is_bitwise_scalar(monkeypatch):
+    workload, arch = _CASES[2]
+    mappings = _random_mappings(workload, arch, random.Random(11), 8)
+    oracle = [evaluate(m) for m in mappings]
+    monkeypatch.setattr(batch_mod, "_np", None)
+    fallback = evaluate_batch(mappings)
+    for got, want in zip(fallback, oracle):
+        _assert_same(want, got, "no-numpy")
+    engine = SearchEngine(workers=1, cache=False, batch=True)
+    for got, want in zip(engine.evaluate_many(mappings), oracle):
+        _assert_same(want, got, "no-numpy-engine")
+    assert engine.stats.batched_evaluations in (0, len(mappings))
+
+
+# ---------------------------------------------------------------------------
+# Satellite (b): bounded caches via the engine's cache_size knob
+# ---------------------------------------------------------------------------
+
+
+def test_engine_cache_size_bounds_both_caches():
+    workload, arch = _CASES[3]
+    mappings = _random_mappings(workload, arch, random.Random(13), 24)
+    engine = SearchEngine(workers=1, cache=True, cache_size=4)
+    engine.evaluate_many(mappings)
+    assert engine.cache.max_entries == 4
+    assert len(engine.cache) <= 4
+    assert engine.stats.cache_evictions > 0
+    assert engine.partial_cache.max_entries == 4
+    assert engine.stats.partial_evictions > 0
+    unbounded = SearchEngine(workers=1, cache=True, cache_size=0)
+    assert unbounded.cache.max_entries is None
+    assert unbounded.partial_cache.max_entries is None
+    with pytest.raises(ValueError):
+        SearchEngine(cache_size=-1)
+
+
+def test_stats_profile_fields_merge_and_serialise():
+    engine = SearchEngine(workers=1)
+    workload, arch = _CASES[0]
+    engine.evaluate_many(_random_mappings(workload, arch,
+                                          random.Random(1), 6))
+    snapshot = engine.stats.to_dict()
+    for key in ("stage_time_s", "batched_evaluations", "partial_hits",
+                "partial_misses", "partial_evictions",
+                "partial_hit_rate"):
+        assert key in snapshot
+    text = engine.stats.profile_summary()
+    assert "partial-term cache" in text and "stage time" in text
+    merged = type(engine.stats)()
+    merged.merge(engine.stats)
+    merged.merge(engine.stats)
+    assert merged.partial_hits == 2 * engine.stats.partial_hits
+    assert merged.batched_evaluations == 2 * engine.stats.batched_evaluations
+    for stage, seconds in engine.stats.stage_time_s.items():
+        assert merged.stage_time_s[stage] == pytest.approx(2 * seconds)
+
+
+# ---------------------------------------------------------------------------
+# CLI: --profile / --cache-size / --no-batch
+# ---------------------------------------------------------------------------
+
+_CLI_SCHEDULE = ["schedule", "--workload", "conv1d",
+                 "K=4", "C=4", "P=8", "R=3", "--arch", "tiny"]
+
+
+def test_cli_profile_and_stats_json(tmp_path, capsys):
+    stats_path = tmp_path / "stats.json"
+    code = main(_CLI_SCHEDULE + ["--profile", "--cache-size", "1000",
+                                 "--stats-json", str(stats_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out and "partial-term cache" in out
+    document = json.loads(stats_path.read_text())
+    search = document["search"]
+    assert "stage_time_s" in search and "partial_hits" in search
+    assert search["batched_evaluations"] >= 0
+
+
+def test_cli_no_batch_is_bit_identical(tmp_path):
+    default_path = tmp_path / "default.json"
+    scalar_path = tmp_path / "scalar.json"
+    assert main(_CLI_SCHEDULE + ["--stats-json", str(default_path)]) == 0
+    assert main(_CLI_SCHEDULE + ["--no-batch",
+                                 "--stats-json", str(scalar_path)]) == 0
+    lhs = json.loads(default_path.read_text())
+    rhs = json.loads(scalar_path.read_text())
+    assert lhs["mapping"] == rhs["mapping"]
+    assert lhs["cost"] == rhs["cost"]
