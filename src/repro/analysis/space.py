@@ -9,13 +9,17 @@ what these estimators reproduce — is the *ordering*:
 
 Counting model
 --------------
-* A **tiling** choice distributes each dimension's prime factors over the
-  temporal levels considered by the tool.  The count of ordered
-  factorisations of ``n`` over ``s`` slots is multiplicative:
-  ``prod_over_primes C(e_p + s - 1, s - 1)``.
-* An **ordering** choice permutes the dimensions of one level's nest.
-* An **unrolling** choice assigns factors of the allowed dimensions to each
-  fanout boundary (bounded by the fanout).
+Every count is the ``size()`` of a declarative :mod:`repro.mapspace`
+object, so Table I reports exactly the spaces the mappers enumerate:
+
+* A **tiling** choice is a :class:`~repro.mapspace.FactorLattice` per
+  dimension — ordered factorisations over the temporal slots the tool
+  considers (``prod_over_primes C(e_p + s - 1, s - 1)``, closed form).
+* An **ordering** choice is a :class:`~repro.mapspace.PermutationSpace`
+  (unpruned tools) or :class:`~repro.mapspace.OrderSpace` (the pruned
+  order-trie candidates) per level.
+* An **unrolling** choice is a :class:`~repro.mapspace.DivisorSpace` of
+  the allowed dimensions per fanout boundary (bounded by the fanout).
 
 Sunstone's entry is *measured*, not estimated: the scheduler counts every
 candidate it actually evaluates.
@@ -27,56 +31,57 @@ import math
 from dataclasses import dataclass
 
 from ..arch.spec import Architecture
-from ..baselines.common import prime_factors
-from ..core.order_trie import TrieStats, enumerate_orderings
+from ..mapspace.factor import (
+    DivisorSpace,
+    FactorLattice,
+    ordered_factorizations,
+)
+from ..mapspace.order import OrderSpace, PermutationSpace
 from ..workloads.expression import Workload
 
-
-def ordered_factorizations(n: int, slots: int) -> int:
-    """Number of ways to write ``n`` as an ordered product of ``slots``
-    positive integers."""
-    if slots < 1:
-        raise ValueError("slots must be >= 1")
-    count = 1
-    exponents: dict[int, int] = {}
-    for p in prime_factors(n):
-        exponents[p] = exponents.get(p, 0) + 1
-    for e in exponents.values():
-        count *= math.comb(e + slots - 1, slots - 1)
-    return count
+__all__ = [
+    "SpaceEstimate",
+    "dmazerunner_space",
+    "interstellar_space",
+    "marvel_space",
+    "ordered_factorizations",
+    "sunstone_space",
+    "table1",
+    "timeloop_space",
+]
 
 
 def _tiling_space(workload: Workload, slots: int,
                   dims: tuple[str, ...] | None = None) -> int:
+    """Product over dims of the per-dimension factor-lattice size."""
     dims = dims if dims is not None else workload.dim_names
     space = 1
     for d in dims:
-        space *= ordered_factorizations(workload.dims[d], slots)
+        lattice = FactorLattice(d, workload.dims[d],
+                                [("t", s) for s in range(slots)])
+        space *= lattice.size()
     return space
 
 
 def _unroll_space(workload: Workload, arch: Architecture,
                   dims: tuple[str, ...] | None = None) -> int:
     """Loose count of per-boundary unroll choices: divisors of each allowed
-    dimension, independently per boundary."""
+    dimension (bounded by the fanout), independently per boundary."""
     dims = dims if dims is not None else workload.dim_names
     space = 1
-    for i, level in enumerate(arch.levels):
+    for level in arch.levels:
         if level.fanout <= 1:
             continue
         boundary = 1
         for d in dims:
-            choices = sum(
-                1 for k in range(1, workload.dims[d] + 1)
-                if workload.dims[d] % k == 0 and k <= level.fanout
-            )
-            boundary *= choices
+            boundary *= DivisorSpace(workload.dims[d],
+                                     bound=level.fanout).size()
         space *= boundary
     return space
 
 
 def _ordering_space(workload: Workload, levels: int) -> int:
-    return math.factorial(len(workload.dim_names)) ** levels
+    return PermutationSpace(workload.dim_names).size() ** levels
 
 
 @dataclass(frozen=True)
@@ -131,7 +136,7 @@ def interstellar_space(workload: Workload, arch: Architecture
     return SpaceEstimate(
         tool="interstellar",
         tiling=_tiling_space(workload, bounded + 1),
-        ordering=len(enumerate_orderings(workload)),
+        ordering=OrderSpace(workload).size(),
         unrolling=_unroll_space(workload, arch, ck or None),
         notes="CK-preset unrolling, heuristic orders",
     )
@@ -154,7 +159,7 @@ def dmazerunner_space(workload: Workload, arch: Architecture,
     return SpaceEstimate(
         tool="dmazerunner",
         tiling=max(1, _tiling_space(workload, bounded + 1) // reduction),
-        ordering=len(enumerate_orderings(workload)),
+        ordering=OrderSpace(workload).size(),
         unrolling=_unroll_space(
             workload, arch, tuple(sorted(output_dims)) or None,
         ),

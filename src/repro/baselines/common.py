@@ -2,27 +2,39 @@
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from ..arch.spec import Architecture
-from ..mapping.mapping import Mapping
-from ..model.cost import CostResult
-from ..search import SearchEngine, SearchStats
-from ..sparse.spec import SparsitySpec
-from ..workloads.expression import Workload
+from ..mapspace.factor import prime_factors
+from ..mapspace.mapspace import spatial_boundaries
+from ..search import (
+    MappingOutcome,
+    SearchStats,
+    engine_scope,
+    resolve_engine,
+)
+
+__all__ = [
+    "SearchResult",
+    "engine_scope",
+    "prime_factors",
+    "random_factor_split",
+    "resolve_engine",
+    "spatial_slots",
+]
 
 
 @dataclass
-class SearchResult:
+class SearchResult(MappingOutcome):
     """Outcome of a baseline search, comparable to
-    :class:`repro.core.scheduler.ScheduleResult`."""
+    :class:`repro.core.scheduler.ScheduleResult`.
 
-    mapper: str
-    mapping: Mapping | None
-    cost: CostResult | None
+    The ``mapping``/``cost`` fields and the derived accessors live on the
+    shared :class:`~repro.search.result.MappingOutcome` base.
+    """
+
+    mapper: str = ""
     evaluations: int = 0
     wall_time_s: float = 0.0
     invalid_reason: str = ""
@@ -30,40 +42,6 @@ class SearchResult:
     # notion of candidates considered (cache hits included), matching the
     # paper's search-size accounting.
     search_stats: SearchStats | None = None
-
-    @property
-    def found(self) -> bool:
-        return self.mapping is not None
-
-    @property
-    def valid(self) -> bool:
-        return self.cost is not None and self.cost.valid
-
-    @property
-    def edp(self) -> float:
-        if self.cost is None:
-            return float("inf")
-        return self.cost.edp
-
-    @property
-    def energy_pj(self) -> float:
-        if self.cost is None:
-            return float("inf")
-        return self.cost.energy_pj
-
-
-def prime_factors(n: int) -> list[int]:
-    """Prime factorisation of ``n`` with multiplicity, ascending."""
-    factors: list[int] = []
-    d = 2
-    while d * d <= n:
-        while n % d == 0:
-            factors.append(d)
-            n //= d
-        d += 1
-    if n > 1:
-        factors.append(n)
-    return factors
 
 
 def random_factor_split(
@@ -80,22 +58,6 @@ def random_factor_split(
 
 def spatial_slots(arch: Architecture) -> list[int]:
     """Level indices that have a usable fanout boundary."""
-    return [i for i, level in enumerate(arch.levels) if level.fanout > 1]
+    return spatial_boundaries(arch)
 
 
-def resolve_engine(
-    engine: SearchEngine | None,
-    workers: int,
-    cache: bool,
-    partial_reuse: bool,
-    sparsity: SparsitySpec | None = None,
-    batch: bool = True,
-    cache_size: int | None = None,
-) -> tuple[SearchEngine, bool]:
-    """Return (engine, owns_it): reuse an injected engine or build one."""
-    if engine is not None:
-        return engine, False
-    return SearchEngine(workers=workers, cache=cache,
-                        partial_reuse=partial_reuse,
-                        sparsity=sparsity, batch=batch,
-                        cache_size=cache_size), True

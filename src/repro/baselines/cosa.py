@@ -27,10 +27,12 @@ from dataclasses import dataclass
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import build_mapping
+from ..mapspace.factor import prime_factors
+from ..mapspace.spaces import PointSpace
 from ..search import SearchEngine
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
+from .common import SearchResult, engine_scope, spatial_slots
 
 
 @dataclass(frozen=True)
@@ -174,11 +176,15 @@ def cosa_search(
         spatial=spatial,
         orders=orders,
     )
-    engine, _ = resolve_engine(engine, workers=1, cache=False,
-                               partial_reuse=partial_reuse,
-                               sparsity=sparsity, batch=batch,
-                               cache_size=cache_size)
-    cost = engine.evaluate(mapping)
+    # CoSA's mapspace is a single point — the solver's one-shot emission —
+    # streamed through the engine like every other composed space.
+    space = PointSpace(mapping)
+    with engine_scope(engine, workers=1, cache=False,
+                      partial_reuse=partial_reuse,
+                      sparsity=sparsity, batch=batch,
+                      cache_size=cache_size) as eng:
+        (cost,) = eng.evaluate_many(list(space.enumerate()))
+        stats = eng.stats
     elapsed = time.perf_counter() - start
     return SearchResult(
         mapper="cosa-like",
@@ -187,5 +193,5 @@ def cosa_search(
         evaluations=1,
         wall_time_s=elapsed,
         invalid_reason="" if cost.valid else "; ".join(cost.violations),
-        search_stats=engine.stats,
+        search_stats=stats,
     )

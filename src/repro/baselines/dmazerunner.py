@@ -17,7 +17,6 @@ Two documented limitations are reproduced:
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -25,8 +24,10 @@ from typing import Iterator, Sequence
 from ..arch.spec import Architecture
 from ..core.order_trie import enumerate_orderings
 from ..core.scheduler import SchedulerStats, SunstoneScheduler, _State
-from ..core.tiling_tree import divisors
-from ..core.unrolling import enumerate_unrollings
+from ..mapspace.constraints import utilization_band, utilization_floor
+from ..mapspace.spaces import DependentSpace, ListSpace, Space
+from ..mapspace.tile import DivisorGridSpace
+from ..mapspace.unroll import UnrollSpace
 from ..mapping.mapping import Mapping
 from ..model.cost import CostResult, evaluate
 from ..sparse.spec import SparsitySpec
@@ -126,9 +127,6 @@ class _DMazeSearch(SunstoneScheduler):
         fanout = self.arch.levels[level].fanout
         threshold = self._threshold_for(level)
 
-        dims = [d for d in self.workload.dim_names if remaining.get(d, 1) > 1]
-        choice_lists = [divisors(remaining[d]) for d in dims]
-
         if self.config.spatial_reduction_allowed:
             unroll_dims = self.workload.dim_names
         else:
@@ -138,39 +136,53 @@ class _DMazeSearch(SunstoneScheduler):
             unroll_dims = tuple(d for d in self.workload.dim_names
                                 if d in output_dims)
 
-        emitted_tilings = 0
-        for combo in itertools.product(*choice_lists):
-            if emitted_tilings >= self.config.max_tilings_per_state:
-                break
-            tiling = {d: f for d, f in zip(dims, combo) if f > 1}
+        def count_node(tiling: dict[str, int]) -> dict[str, int]:
+            stats.tiling.nodes_visited += 1
+            return tiling
+
+        def buffer_fill(tiling: dict[str, int]) -> float:
             sizes = {
                 d: base.get(d, 1) * tiling.get(d, 1)
                 for d in self.workload.dims
             }
-            stats.tiling.nodes_visited += 1
-            utilization = self._utilization(level, sizes)
-            if utilization > 1.0 or utilization < threshold:
-                continue
-            emitted_tilings += 1
-            rem_after = {d: remaining[d] // tiling.get(d, 1) for d in remaining}
-            unrolls = enumerate_unrollings(
+            return self._utilization(level, sizes)
+
+        # The raw divisor grid, counted, filtered by the buffer-utilisation
+        # band, and capped: the head() quota never pulls past the last
+        # admitted tile, so node accounting matches the historical break.
+        tilings = (
+            DivisorGridSpace(remaining, self.workload.dim_names)
+            .map(count_node)
+            .filter(utilization_band(threshold, 1.0, buffer_fill),
+                    "buffer-utilization", stats.prune)
+            .head(self.config.max_tilings_per_state)
+        )
+
+        def unrolls_for(tiling: dict[str, int]) -> Space:
+            rem_after = {
+                d: remaining[d] // tiling.get(d, 1) for d in remaining
+            }
+            return UnrollSpace(
                 self.workload, fanout, rem_after, unroll_dims,
-                stats=stats.unrolling,
                 utilization_threshold=self.config.pe_utilization,
                 max_unrolled_dims=2,
-            )
-            for unroll in unrolls:
-                used = 1
-                for f in unroll.values():
-                    used *= f
-                if fanout > 1 and used < self.config.pe_utilization * fanout:
-                    continue
-                for order in orderings:
-                    child = self._extend_bottom_up(
-                        state, level, order.order, tiling, unroll,
-                    )
-                    if child is not None:
-                        yield child
+                stats=stats.unrolling,
+            ).filter(utilization_floor(fanout, self.config.pe_utilization),
+                     "pe-utilization", stats.prune)
+
+        decisions = DependentSpace(
+            tilings,
+            lambda tiling: DependentSpace(
+                unrolls_for(tiling),
+                lambda unroll: ListSpace(list(orderings)),
+            ),
+            combine=lambda tiling, pair: (pair[1], tiling, pair[0]),
+        )
+        children = decisions.map(
+            lambda triple: self._extend_bottom_up(
+                state, level, triple[0].order, triple[1], triple[2]),
+        ).filter(lambda child: child is not None, "capacity", stats.prune)
+        return children.enumerate(shard=self.options.shard)
 
 
 def dmazerunner_search(
@@ -184,6 +196,7 @@ def dmazerunner_search(
     sparsity: SparsitySpec | None = None,
     batch: bool = True,
     cache_size: int | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> SearchResult:
     """Run the dMazeRunner-like search."""
     start = time.perf_counter()
@@ -209,6 +222,7 @@ def dmazerunner_search(
         sparsity=sparsity,
         batch=batch,
         cache_size=cache_size,
+        shard=shard,
     )
     search = _DMazeSearch(workload, arch, config, options, engine=engine)
     result = search.schedule()

@@ -1,45 +1,30 @@
 """Exhaustive oracle mapper for small problems.
 
-Enumerates *every* mapping — all prime-factor distributions across temporal
-and spatial slots and all loop permutations per level — and returns the best
-valid one.  Exponential; guarded by an explicit budget so tests cannot hang.
-Used to verify that Sunstone's pruning never rejects all optimal mappings.
+Enumerates *every* mapping — the composed
+:func:`~repro.mapspace.mapspace.full_mapping_space` of all prime-factor
+distributions across temporal and spatial slots and all loop
+permutations per level — and returns the best valid one.  Exponential;
+guarded by an explicit budget (checked analytically via
+``Mapspace.size()`` before anything is enumerated) so tests cannot
+hang.  Used to verify that Sunstone's pruning never rejects all optimal
+mappings.
 """
 
 from __future__ import annotations
 
-import itertools
-import math
 import time
-from typing import Iterator
 
 from ..arch.spec import Architecture
-from ..mapping.mapping import LevelMapping, Mapping
+from ..mapping.mapping import Mapping
+from ..mapspace.mapspace import full_mapping_space
 from ..search import SearchEngine
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
+from .common import SearchResult, engine_scope
 
 
 class SearchBudgetExceeded(RuntimeError):
     """The exhaustive space is larger than the configured budget."""
-
-
-def _factor_assignments(size: int, slots: int) -> Iterator[tuple[int, ...]]:
-    """All ways to split ``size`` into an ordered product over ``slots``."""
-    primes = prime_factors(size)
-    if not primes:
-        yield (1,) * slots
-        return
-    seen: set[tuple[int, ...]] = set()
-    for placement in itertools.product(range(slots), repeat=len(primes)):
-        split = [1] * slots
-        for prime, slot in zip(primes, placement):
-            split[slot] *= prime
-        key = tuple(split)
-        if key not in seen:
-            seen.add(key)
-            yield key
 
 
 def exhaustive_search(
@@ -55,89 +40,55 @@ def exhaustive_search(
     sparsity: SparsitySpec | None = None,
     batch: bool = True,
     cache_size: int | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> SearchResult:
     """Enumerate the full mapping space and return the best valid mapping.
 
     ``orders_per_level`` caps the loop permutations tried per level (None =
-    all).  Raises :class:`SearchBudgetExceeded` when the space exceeds
+    all).  ``shard=(i, n)`` walks only the ``i``-th of ``n`` disjoint
+    deterministic shards of the space.  Raises
+    :class:`SearchBudgetExceeded` when the space exceeds
     ``max_evaluations``.
     """
     start = time.perf_counter()
-    num = arch.num_levels
-    boundaries = set(spatial_slots(arch))
-    dims = workload.dim_names
+    space = full_mapping_space(workload, arch, orders_per_level)
 
-    # Slots per dimension: temporal at every level, spatial at boundaries.
-    slots: list[tuple[str, int]] = []
-    for level in range(num):
-        slots.append(("t", level))
-        if level in boundaries:
-            slots.append(("s", level))
-
-    per_dim_assignments = [
-        list(_factor_assignments(workload.dims[d], len(slots))) for d in dims
-    ]
-    orderings = list(itertools.permutations(dims))
-    if orders_per_level is not None:
-        orderings = orderings[:orders_per_level]
-
-    space = math.prod(len(a) for a in per_dim_assignments)
-    space *= len(orderings) ** num
-    if space > max_evaluations:
+    size = space.size()
+    if size > max_evaluations:
         raise SearchBudgetExceeded(
-            f"exhaustive space {space} exceeds budget {max_evaluations}"
+            f"exhaustive space {size} exceeds budget {max_evaluations}"
         )
 
-    engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse, sparsity,
-                                         batch, cache_size)
     best = None
     evaluations = 0
-    buffer: list[Mapping] = []
-    # Chunk size for batched evaluation; results are scanned in
-    # enumeration order with a strict < so the winner matches the
-    # one-at-a-time scan exactly.
-    flush_at = max(256, engine.workers * engine.chunk_size)
+    with engine_scope(engine, workers, cache, partial_reuse, sparsity,
+                      batch, cache_size) as eng:
+        buffer: list[Mapping] = []
+        # Chunk size for batched evaluation; results are scanned in
+        # enumeration order with a strict < so the winner matches the
+        # one-at-a-time scan exactly.
+        flush_at = max(256, eng.workers * eng.chunk_size)
 
-    def flush() -> None:
-        nonlocal best, evaluations
-        costs = engine.evaluate_many(buffer)
-        for mapping, cost in zip(buffer, costs):
-            evaluations += 1
-            if not cost.valid:
-                continue
-            value = cost.edp if objective == "edp" else cost.energy_pj
-            if best is None or value < best[0]:
-                best = (value, mapping, cost)
-        buffer.clear()
-
-    for combo in itertools.product(*per_dim_assignments):
-        temporal = [dict[str, int]() for _ in range(num)]
-        spatial = [dict[str, int]() for _ in range(num)]
-        for dim, split in zip(dims, combo):
-            for (kind, level), factor in zip(slots, split):
-                if factor == 1:
+        def flush() -> None:
+            nonlocal best, evaluations
+            costs = eng.evaluate_many(buffer)
+            for mapping, cost in zip(buffer, costs):
+                evaluations += 1
+                if not cost.valid:
                     continue
-                store = temporal if kind == "t" else spatial
-                store[level][dim] = factor
-        for level_orders in itertools.product(orderings, repeat=num):
-            levels = []
-            for i in range(num):
-                nest = tuple(
-                    (d, temporal[i].get(d, 1)) for d in level_orders[i]
-                )
-                levels.append(LevelMapping(
-                    temporal=nest,
-                    spatial=tuple(sorted(spatial[i].items())),
-                ))
-            buffer.append(Mapping(workload, arch, levels))
+                value = cost.edp if objective == "edp" else cost.energy_pj
+                if best is None or value < best[0]:
+                    best = (value, mapping, cost)
+            buffer.clear()
+
+        for mapping in space.enumerate(shard=shard):
+            buffer.append(mapping)
             if len(buffer) >= flush_at:
                 flush()
-    flush()
+        flush()
+        stats = eng.stats
 
     elapsed = time.perf_counter() - start
-    if owns_engine:
-        engine.close()
     if best is None:
         return SearchResult(
             mapper="exhaustive",
@@ -146,7 +97,7 @@ def exhaustive_search(
             evaluations=evaluations,
             wall_time_s=elapsed,
             invalid_reason="no valid mapping exists",
-            search_stats=engine.stats,
+            search_stats=stats,
         )
     return SearchResult(
         mapper="exhaustive",
@@ -154,5 +105,5 @@ def exhaustive_search(
         cost=best[2],
         evaluations=evaluations,
         wall_time_s=elapsed,
-        search_stats=engine.stats,
+        search_stats=stats,
     )

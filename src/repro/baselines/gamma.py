@@ -19,12 +19,14 @@ import time
 from dataclasses import dataclass
 
 from ..arch.spec import Architecture
-from ..mapping.mapping import LevelMapping, Mapping
+from ..mapping.mapping import Mapping
+from ..mapspace.factor import prime_factors
+from ..mapspace.mapspace import assemble_mapping, assignment_slots
 from ..model.cost import CostResult
 from ..search import SearchEngine
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
+from .common import SearchResult, engine_scope
 
 
 @dataclass(frozen=True)
@@ -56,15 +58,12 @@ class _GammaSearch:
         self.partial_reuse = partial_reuse
         self.engine = engine
         self.rng = random.Random(config.seed)
-        self.boundaries = set(spatial_slots(arch))
         self.primes = {
             dim: prime_factors(size) for dim, size in workload.dims.items()
         }
-        self.slots: list[tuple[str, int]] = []
-        for level in range(arch.num_levels):
-            self.slots.append(("t", level))
-            if level in self.boundaries:
-                self.slots.append(("s", level))
+        # Chromosome slots are the canonical mapspace assignment slots
+        # (temporal per level, spatial at fanout boundaries).
+        self.slots = assignment_slots(arch)
         self.evaluations = 0
 
     # -- genome operations -------------------------------------------------
@@ -115,13 +114,8 @@ class _GammaSearch:
             for prime, (kind, level) in zip(self.primes[dim], placement):
                 store = temporal if kind == "t" else spatial
                 store[level][dim] = store[level].get(dim, 1) * prime
-        levels = []
-        for i in range(num):
-            nest = tuple((d, temporal[i].get(d, 1)) for d in genome.orders[i])
-            levels.append(LevelMapping(
-                temporal=nest, spatial=tuple(sorted(spatial[i].items())),
-            ))
-        return Mapping(self.workload, self.arch, levels)
+        return assemble_mapping(self.workload, self.arch, temporal, spatial,
+                                genome.orders)
 
     def _value(self, cost: CostResult) -> float:
         value = cost.edp if self.config.objective == "edp" \
@@ -182,15 +176,12 @@ def gamma_search(
     cache_size: int | None = None,
 ) -> SearchResult:
     """Run the GAMMA-like genetic search."""
-    engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse, sparsity,
-                                         batch, cache_size)
     start = time.perf_counter()
-    search = _GammaSearch(workload, arch, config, partial_reuse, engine)
-    outcome = search.run()
-    elapsed = time.perf_counter() - start
-    if owns_engine:
-        engine.close()
+    with engine_scope(engine, workers, cache, partial_reuse, sparsity,
+                      batch, cache_size) as engine:
+        search = _GammaSearch(workload, arch, config, partial_reuse, engine)
+        outcome = search.run()
+        elapsed = time.perf_counter() - start
     if outcome is None:
         return SearchResult(
             mapper="gamma-like",

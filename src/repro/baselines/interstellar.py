@@ -17,8 +17,9 @@ from typing import Iterator
 
 from ..arch.spec import Architecture
 from ..core.scheduler import SchedulerOptions, SchedulerStats, SunstoneScheduler, _State
-from ..core.tiling_tree import enumerate_tilings
-from ..core.unrolling import enumerate_unrollings
+from ..mapspace.spaces import DependentSpace, ListSpace, Space
+from ..mapspace.tile import TileSpace
+from ..mapspace.unroll import UnrollSpace
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .common import SearchResult
@@ -53,45 +54,35 @@ class _InterstellarSearch(SunstoneScheduler):
             d for d in self.config.preferred_spatial_dims
             if d in self.workload.dims
         )
-        for order in orderings:
-            # Interstellar tiles over every dimension (no Tiling Principle).
-            tilings = enumerate_tilings(
-                self.workload, self.arch, level, base, remaining,
-                self.workload.dim_names, stats=stats.tiling,
-            )
-            for tiling in tilings:
-                rem_after = {
-                    d: remaining[d] // tiling.get(d, 1) for d in remaining
-                }
-                unrolls = enumerate_unrollings(
-                    self.workload, fanout, rem_after, preferred,
-                    stats=stats.unrolling,
-                    utilization_threshold=1.0,
-                )
-                best_pref = max(
-                    (self._unroll_size(u) for u in unrolls), default=1,
-                )
-                if fanout > 1 and best_pref < fanout:
-                    # CK cannot fill the grid: allow the other dimensions.
-                    unrolls = enumerate_unrollings(
-                        self.workload, fanout, rem_after,
-                        self.workload.dim_names,
-                        stats=stats.unrolling,
-                        utilization_threshold=1.0,
-                    )
-                for unroll in unrolls:
-                    child = self._extend_bottom_up(
-                        state, level, order.order, tiling, unroll,
-                    )
-                    if child is not None:
-                        yield child
 
-    @staticmethod
-    def _unroll_size(unroll: dict[str, int]) -> int:
-        size = 1
-        for f in unroll.values():
-            size *= f
-        return size
+        def unrolls_for(tiling: dict[str, int]) -> Space:
+            rem_after = {
+                d: remaining[d] // tiling.get(d, 1) for d in remaining
+            }
+            # Preset CK unrolling with the "replace" fallback: when CK
+            # cannot fill the grid, allow the other dimensions.
+            return UnrollSpace(
+                self.workload, fanout, rem_after, preferred,
+                utilization_threshold=1.0,
+                fallback="replace",
+                stats=stats.unrolling,
+            )
+
+        decisions = DependentSpace(
+            ListSpace(list(orderings)),
+            # Interstellar tiles over every dimension (no Tiling Principle).
+            lambda order: DependentSpace(
+                TileSpace(self.workload, self.arch, level, base, remaining,
+                          self.workload.dim_names, stats=stats.tiling),
+                unrolls_for,
+            ),
+            combine=lambda order, pair: (order, pair[0], pair[1]),
+        )
+        children = decisions.map(
+            lambda triple: self._extend_bottom_up(
+                state, level, triple[0].order, triple[1], triple[2]),
+        ).filter(lambda child: child is not None, "capacity", stats.prune)
+        return children.enumerate(shard=self.options.shard)
 
 
 def interstellar_search(
@@ -105,6 +96,7 @@ def interstellar_search(
     sparsity: SparsitySpec | None = None,
     batch: bool = True,
     cache_size: int | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> SearchResult:
     """Run the Interstellar-like search."""
     start = time.perf_counter()
@@ -118,6 +110,7 @@ def interstellar_search(
         sparsity=sparsity,
         batch=batch,
         cache_size=cache_size,
+        shard=shard,
     )
     search = _InterstellarSearch(workload, arch, config, options,
                                  engine=engine)

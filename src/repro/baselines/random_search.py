@@ -20,12 +20,14 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..arch.spec import Architecture
-from ..mapping.mapping import LevelMapping, Mapping
+from ..mapping.mapping import Mapping
+from ..mapspace.factor import FactorLattice
+from ..mapspace.mapspace import assemble_mapping, assignment_slots
 from ..model.cost import CostResult
 from ..search import SearchEngine
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
-from .common import SearchResult, prime_factors, resolve_engine, spatial_slots
+from .common import SearchResult, engine_scope
 
 
 @dataclass(frozen=True)
@@ -71,38 +73,32 @@ def sample_random_mapping(
     rng: random.Random,
     constraints: MappingConstraints | None = None,
 ) -> Mapping:
-    """Draw one uniformly random mapping (possibly invalid)."""
+    """Draw one uniformly random mapping (possibly invalid).
+
+    Each dimension's prime factors land on its (possibly constrained)
+    :func:`~repro.mapspace.mapspace.assignment_slots` via
+    :meth:`FactorLattice.sample`, whose RNG consumption (one ``choice``
+    per prime) is contractually identical to the historical sampler, so
+    seeded runs reproduce the exact same candidate stream."""
     num = arch.num_levels
-    boundaries = set(spatial_slots(arch))
     temporal = [dict[str, int]() for _ in range(num)]
     spatial = [dict[str, int]() for _ in range(num)]
 
     for dim, size in workload.dims.items():
-        slots: list[tuple[str, int]] = []
-        for level in range(num):
-            if constraints is None or constraints.allows_temporal(level, dim):
-                slots.append(("t", level))
-            if level in boundaries and (
-                constraints is None or constraints.allows_spatial(level, dim)
-            ):
-                slots.append(("s", level))
-        if not slots:
-            slots = [("t", num - 1)]
-        for p in prime_factors(size):
-            kind, level = rng.choice(slots)
+        slots = assignment_slots(arch, constraints, dim)
+        split = FactorLattice(dim, size, slots).sample(rng)
+        for (kind, level), factor in split.items():
+            if factor == 1:
+                continue
             store = temporal if kind == "t" else spatial
-            store[level][dim] = store[level].get(dim, 1) * p
+            store[level][dim] = store[level].get(dim, 1) * factor
 
-    levels = []
-    for i in range(num):
+    orders = []
+    for _ in range(num):
         order = list(workload.dim_names)
         rng.shuffle(order)
-        nest = tuple((d, temporal[i].get(d, 1)) for d in order)
-        levels.append(LevelMapping(
-            temporal=nest,
-            spatial=tuple(sorted(spatial[i].items())),
-        ))
-    return Mapping(workload, arch, levels)
+        orders.append(order)
+    return assemble_mapping(workload, arch, temporal, spatial, orders)
 
 
 def timeloop_search(
@@ -125,44 +121,44 @@ def timeloop_search(
     batches, and the stopping scan discards any surplus candidates past
     the victory/timeout point, so the outcome is identical.
     """
-    engine, owns_engine = resolve_engine(engine, workers, cache,
-                                         partial_reuse, sparsity,
-                                         batch, cache_size)
     rng = random.Random(config.seed)
     start = time.perf_counter()
     best: tuple[float, Mapping, CostResult] | None = None
     since_improvement = 0
     sampled = 0
-    batch_size = max(1, engine.workers * engine.chunk_size // 8) \
-        if engine.workers > 1 else 1
 
-    stopped = False
-    while sampled < config.timeout and not stopped:
-        if (config.wall_clock_limit_s is not None
-                and time.perf_counter() - start > config.wall_clock_limit_s):
-            break
-        batch = [
-            sample_random_mapping(workload, arch, rng, constraints)
-            for _ in range(min(batch_size, config.timeout - sampled))
-        ]
-        costs = engine.evaluate_many(batch)
-        for mapping, cost in zip(batch, costs):
-            sampled += 1
-            if not cost.valid:
-                continue
-            value = cost.edp if config.objective == "edp" else cost.energy_pj
-            if best is None or value < best[0]:
-                best = (value, mapping, cost)
-                since_improvement = 0
-            else:
-                since_improvement += 1
-                if since_improvement >= config.victory_condition:
-                    stopped = True
-                    break
+    with engine_scope(engine, workers, cache, partial_reuse, sparsity,
+                      batch, cache_size) as eng:
+        batch_size = max(1, eng.workers * eng.chunk_size // 8) \
+            if eng.workers > 1 else 1
+        stopped = False
+        while sampled < config.timeout and not stopped:
+            if (config.wall_clock_limit_s is not None
+                    and time.perf_counter() - start
+                    > config.wall_clock_limit_s):
+                break
+            drawn = [
+                sample_random_mapping(workload, arch, rng, constraints)
+                for _ in range(min(batch_size, config.timeout - sampled))
+            ]
+            costs = eng.evaluate_many(drawn)
+            for mapping, cost in zip(drawn, costs):
+                sampled += 1
+                if not cost.valid:
+                    continue
+                value = (cost.edp if config.objective == "edp"
+                         else cost.energy_pj)
+                if best is None or value < best[0]:
+                    best = (value, mapping, cost)
+                    since_improvement = 0
+                else:
+                    since_improvement += 1
+                    if since_improvement >= config.victory_condition:
+                        stopped = True
+                        break
 
-    elapsed = time.perf_counter() - start
-    if owns_engine:
-        engine.close()
+        elapsed = time.perf_counter() - start
+        stats = eng.stats
     if best is None:
         return SearchResult(
             mapper="timeloop-like",
@@ -171,7 +167,7 @@ def timeloop_search(
             evaluations=sampled,
             wall_time_s=elapsed,
             invalid_reason="no valid mapping sampled",
-            search_stats=engine.stats,
+            search_stats=stats,
         )
     return SearchResult(
         mapper="timeloop-like",
@@ -179,7 +175,7 @@ def timeloop_search(
         cost=best[2],
         evaluations=sampled,
         wall_time_s=elapsed,
-        search_stats=engine.stats,
+        search_stats=stats,
     )
 
 

@@ -117,6 +117,23 @@ def build_architecture(name: str) -> Architecture:
                      f"{sorted(ARCHITECTURES)} or pass a .json config")
 
 
+def _parse_shard(text: str | None) -> tuple[int, int] | None:
+    """Parse an ``I/N`` shard descriptor (e.g. ``0/4``)."""
+    if text is None:
+        return None
+    from .mapspace import check_shard
+    index, sep, count = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        shard = (int(index), int(count))
+        return check_shard(shard)
+    except ValueError as error:
+        detail = f": {error}" if str(error) else ""
+        raise SystemExit(f"expected --shard I/N with 0 <= I < N, "
+                         f"got {text!r}{detail}")
+
+
 def build_sparsity(args: argparse.Namespace,
                    workload: Workload) -> SparsitySpec | None:
     """Assemble the sparsity spec from --density/--format/--saf flags."""
@@ -159,7 +176,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                                cache=not args.no_cache,
                                sparsity=sparsity,
                                batch=not args.no_batch,
-                               cache_size=args.cache_size)
+                               cache_size=args.cache_size,
+                               shard=_parse_shard(args.shard))
     result = schedule(workload, arch, options)
     if not result.found:
         print("no valid mapping found", file=sys.stderr)
@@ -204,9 +222,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     sparsity = build_sparsity(args, workload)
     workers, cache = args.workers, not args.no_cache
     batch, cache_size = not args.no_batch, args.cache_size
+    shard = _parse_shard(args.shard)
     options = SchedulerOptions(workers=workers, cache=cache,
                                sparsity=sparsity, batch=batch,
-                               cache_size=cache_size)
+                               cache_size=cache_size, shard=shard)
     rows = [("sunstone", schedule(workload, arch, options))]
     searches = {
         "timeloop-like": lambda: timeloop_search(workload, arch,
@@ -221,10 +240,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                                        cache=cache,
                                                        sparsity=sparsity,
                                                        batch=batch,
-                                                       cache_size=cache_size),
+                                                       cache_size=cache_size,
+                                                       shard=shard),
         "interstellar-like": lambda: interstellar_search(
             workload, arch, workers=workers, cache=cache,
-            sparsity=sparsity, batch=batch, cache_size=cache_size),
+            sparsity=sparsity, batch=batch, cache_size=cache_size,
+            shard=shard),
         "cosa-like": lambda: cosa_search(workload, arch,
                                          sparsity=sparsity,
                                          batch=batch,
@@ -405,6 +426,14 @@ def make_parser() -> argparse.ArgumentParser:
                             "(model/generation/cache/pool time, "
                             "partial-cache hit rate)")
 
+    def add_shard_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shard", metavar="I/N", default=None,
+                       help="walk only the I-th of N disjoint deterministic "
+                            "shards of each candidate stream (0 <= I < N); "
+                            "run all N shards to cover the whole space. "
+                            "Applies to the mapspace-enumerating mappers "
+                            "(sunstone, dmazerunner, interstellar)")
+
     def add_sparsity_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--density", action="append", default=[],
                        metavar="TENSOR=P",
@@ -432,6 +461,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true",
                    help="print the occupancy/energy/spatial dashboard")
     add_engine_flags(p)
+    add_shard_flag(p)
     add_sparsity_flags(p)
     add_stats_json(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
@@ -455,6 +485,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset of "
                         "timeloop,dmazerunner,interstellar,cosa,gamma")
     add_engine_flags(p)
+    add_shard_flag(p)
     add_sparsity_flags(p)
     add_stats_json(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")

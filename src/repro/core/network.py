@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 
 from ..arch.spec import Architecture
 from ..core.scheduler import ScheduleResult, SchedulerOptions, SunstoneScheduler
-from ..search import SearchEngine, SearchStats
+from ..search import SearchEngine, SearchStats, engine_scope
 from ..workloads.expression import Workload
 
 Mapper = Callable[[Workload, Architecture], ScheduleResult]
@@ -160,31 +160,24 @@ def schedule_network(
                                  pool.map(_schedule_one, jobs)):
                 results[i] = result
                 totals.merge(result.stats.search)
-    else:
-        shared_engine = engine
-        owns_engine = False
-        if mapper is None:
-            if shared_engine is None:
-                shared_engine = SearchEngine(
-                    workers=opts.workers, cache=opts.cache,
-                    partial_reuse=opts.partial_reuse,
-                    sparsity=opts.sparsity,
-                    batch=opts.batch,
-                    cache_size=opts.cache_size)
-                owns_engine = True
-
-            def mapper(workload: Workload, arch: Architecture
-                       ) -> ScheduleResult:
-                return SunstoneScheduler(workload, arch, options,
-                                         engine=shared_engine).schedule()
-        try:
+    elif mapper is None:
+        # Sunstone path: one shared engine (and result cache) spans every
+        # layer search; ``engine_scope`` reuses an injected engine or owns
+        # a fresh one, closing it even if a layer search raises.
+        with engine_scope(engine, workers=opts.workers, cache=opts.cache,
+                          partial_reuse=opts.partial_reuse,
+                          sparsity=opts.sparsity, batch=opts.batch,
+                          cache_size=opts.cache_size) as shared_engine:
             for i in unique_indices:
-                results[i] = mapper(workloads[i], arch)
-        finally:
-            if owns_engine:
-                shared_engine.close()
-        if shared_engine is not None:
+                results[i] = SunstoneScheduler(
+                    workloads[i], arch, options,
+                    engine=shared_engine).schedule()
             totals = shared_engine.stats
+    else:
+        for i in unique_indices:
+            results[i] = mapper(workloads[i], arch)
+        if engine is not None:
+            totals = engine.stats
         else:
             for result in results.values():
                 sub = (getattr(getattr(result, "stats", None), "search", None)

@@ -25,25 +25,29 @@ Table VI.
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping, build_mapping
+from ..mapspace.factor import prime_factors
+from ..mapspace.spaces import (
+    DependentSpace,
+    ListSpace,
+    PruneStats,
+    Space,
+    check_shard,
+)
+from ..mapspace.tile import ExhaustiveTileSpace, TileSpace
+from ..mapspace.unroll import UnrollSpace
 from ..model.cost import CostResult
-from ..search import SearchEngine, SearchStats
+from ..search import MappingOutcome, SearchEngine, SearchStats, engine_scope
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .order_trie import OrderingCandidate, TrieStats, enumerate_orderings
-from .tiling_tree import (
-    TilingStats,
-    enumerate_all_tilings,
-    enumerate_tilings,
-    placement_fits,
-)
-from .unrolling import UnrollingStats, allowed_unroll_dims, enumerate_unrollings
+from .tiling_tree import TilingStats, placement_fits
+from .unrolling import UnrollingStats, allowed_unroll_dims
 
 INTRA_LEVEL_ORDERS = (
     "ordering-tiling-unrolling",
@@ -98,6 +102,12 @@ class SchedulerOptions:
     # part of the evaluation-cache key, so dense and sparse searches never
     # exchange results.
     sparsity: SparsitySpec | None = None
+    # Deterministic shard of the per-step candidate stream: ``(i, n)``
+    # keeps only the candidates whose enumeration index is congruent to
+    # ``i`` modulo ``n``.  The ``n`` shards are pairwise disjoint and
+    # their union is the full stream, so cooperating processes can split
+    # one search without coordination.  None = the whole space.
+    shard: tuple[int, int] | None = None
     # Where a top-down partial parks its residual factors for estimation:
     # "innermost" (paper-faithful: the estimate is far from the final
     # energy, so alpha-beta prunes poorly — the Table VI effect) or
@@ -124,6 +134,7 @@ class SchedulerOptions:
             raise ValueError("workers must be >= 1")
         if self.cache_size is not None and self.cache_size < 0:
             raise ValueError("cache_size must be >= 0 (0 = unbounded)")
+        check_shard(self.shard)
 
 
 @dataclass
@@ -137,6 +148,9 @@ class SchedulerStats:
     trie: TrieStats = field(default_factory=TrieStats)
     tiling: TilingStats = field(default_factory=TilingStats)
     unrolling: UnrollingStats = field(default_factory=UnrollingStats)
+    # Per-pass candidate drop counters from the mapspace pruning passes
+    # (e.g. the bottom-up capacity filter).
+    prune: PruneStats = field(default_factory=PruneStats)
     # Engine-side telemetry (shared with the engine, which may itself be
     # shared across searches — e.g. the layers of one network).
     search: SearchStats = field(default_factory=SearchStats)
@@ -148,29 +162,16 @@ class SchedulerStats:
 
 
 @dataclass
-class ScheduleResult:
-    """Outcome of a scheduling run."""
+class ScheduleResult(MappingOutcome):
+    """Outcome of a scheduling run.
 
-    mapping: Mapping | None
-    cost: CostResult | None
+    ``mapping``/``cost`` and the ``found``/``valid``/``edp``/``energy_pj``
+    accessors live on the shared :class:`~repro.search.result.MappingOutcome`
+    base.
+    """
+
     stats: SchedulerStats
     options: SchedulerOptions
-
-    @property
-    def found(self) -> bool:
-        return self.mapping is not None
-
-    @property
-    def edp(self) -> float:
-        if self.cost is None:
-            return float("inf")
-        return self.cost.edp
-
-    @property
-    def energy_pj(self) -> float:
-        if self.cost is None:
-            return float("inf")
-        return self.cost.energy_pj
 
 
 @dataclass(frozen=True)
@@ -254,12 +255,17 @@ class SunstoneScheduler:
     def schedule(self) -> ScheduleResult:
         """Run the search and return the best mapping found."""
         start = time.perf_counter()
-        engine = self._get_engine()
-        try:
+        owned = self._engine is None
+        with engine_scope(self._engine,
+                          workers=self.options.workers,
+                          cache=self.options.cache,
+                          partial_reuse=self.options.partial_reuse,
+                          sparsity=self.options.sparsity,
+                          batch=self.options.batch,
+                          cache_size=self.options.cache_size) as engine:
+            self._engine = engine
+            self._owns_engine = owned
             result = self._run_with_escalation()
-        finally:
-            if self._owns_engine:
-                engine.close()
         result.stats.wall_time_s = time.perf_counter() - start
         return result
 
@@ -336,8 +342,6 @@ class SunstoneScheduler:
         that mix the growth dimensions of different orderings — a blind
         spot of the pure per-ordering tiling tree.
         """
-        from ..baselines.common import prime_factors
-
         def value_of(result: CostResult) -> float:
             return (result.edp if self.options.objective == "edp"
                     else result.energy_pj)
@@ -661,41 +665,26 @@ class SunstoneScheduler:
         remaining: dict[str, int],
         stats: SchedulerStats,
     ) -> list[dict[str, int]]:
-        """Unrollings per the Spatial Unrolling Principle, with a
-        full-utilisation fallback: when the principled dimension set cannot
-        fill the fanout, the remaining dimensions are admitted rather than
-        leaving lanes idle (throughput dominates EDP)."""
+        """Unrollings per the Spatial Unrolling Principle, as an
+        :class:`~repro.mapspace.unroll.UnrollSpace` with the ``augment``
+        fallback (when the principled dimension set cannot fill the
+        fanout, the remaining dimensions are admitted rather than leaving
+        lanes idle — throughput dominates EDP) and the per-step
+        utilisation cap."""
         allowed = self._allowed_unroll(order, level)
         cache_key = (level, fanout, tuple(sorted(remaining.items())), allowed)
         cached = self._unroll_cache.get(cache_key)
         if cached is not None:
             return cached
-        unrolls = enumerate_unrollings(
+        space = UnrollSpace(
             self.workload, fanout, remaining, allowed,
-            stats=stats.unrolling,
             utilization_threshold=self.options.utilization_threshold,
             max_unrolled_dims=self.options.max_unrolled_dims,
+            fallback="augment",
+            cap=self.options.max_unrolls_per_step,
+            stats=stats.unrolling,
         )
-        best = max(
-            (math.prod(u.values()) if u else 1 for u in unrolls), default=1,
-        )
-        if fanout > 1 and best < fanout and len(allowed) < len(
-                self.workload.dim_names):
-            fallback = enumerate_unrollings(
-                self.workload, fanout, remaining, self.workload.dim_names,
-                stats=stats.unrolling,
-                utilization_threshold=self.options.utilization_threshold,
-                max_unrolled_dims=self.options.max_unrolled_dims,
-            )
-            seen = {tuple(sorted(u.items())) for u in unrolls}
-            unrolls += [u for u in fallback
-                        if tuple(sorted(u.items())) not in seen]
-        cap = self.options.max_unrolls_per_step
-        if cap is not None and len(unrolls) > cap:
-            unrolls.sort(
-                key=lambda u: math.prod(u.values()) if u else 1, reverse=True,
-            )
-            unrolls = unrolls[:cap]
+        unrolls = space.materialize()
         self._unroll_cache[cache_key] = unrolls
         return unrolls
 
@@ -707,8 +696,10 @@ class SunstoneScheduler:
         growth: Sequence[str],
         stats: SchedulerStats,
     ) -> list[dict[str, int]]:
-        """Maximal tiles per the Tiling Principle, capped to the largest
-        footprints (the most temporal reuse) when the frontier is wide."""
+        """Maximal tiles per the Tiling Principle, as a
+        :class:`~repro.mapspace.tile.TileSpace` capped to the frontier's
+        corners plus the largest footprints (the most temporal reuse)
+        when the frontier is wide."""
         cache_key = (
             level,
             tuple(sorted(base.items())),
@@ -718,45 +709,12 @@ class SunstoneScheduler:
         cached = self._tiling_cache.get(cache_key)
         if cached is not None:
             return cached
-        tilings = enumerate_tilings(
+        space = TileSpace(
             self.workload, self.arch, level, base, remaining, growth,
+            cap=self.options.max_tilings_per_step,
             stats=stats.tiling,
         )
-        cap = self.options.max_tilings_per_step
-        if cap is not None and len(tilings) > cap:
-            def footprint(tiling: dict[str, int]) -> int:
-                sizes = {
-                    d: base.get(d, 1) * tiling.get(d, 1)
-                    for d in self.workload.dims
-                }
-                return sum(t.footprint(sizes) for t in self.workload.tensors)
-
-            # The maximal frontier is an antichain; keep its *corners* (the
-            # tile maximising each growth dimension — e.g. the P-heavy tile
-            # that best exploits sliding-window overlap) and fill the rest
-            # of the budget with the largest footprints.
-            chosen: list[dict[str, int]] = []
-            chosen_keys: set = set()
-
-            def admit(tiling: dict[str, int]) -> None:
-                key = tuple(sorted(tiling.items()))
-                if key not in chosen_keys:
-                    chosen_keys.add(key)
-                    chosen.append(tiling)
-
-            for dim in growth:
-                # Two corners per dimension: the fattest max-d tile (most
-                # co-located reuse) and the leanest (leaves the other
-                # dimensions free for the spatial-unrolling stage).
-                admit(max(tilings,
-                          key=lambda t: (t.get(dim, 1), footprint(t))))
-                admit(max(tilings,
-                          key=lambda t: (t.get(dim, 1), -footprint(t))))
-            for tiling in sorted(tilings, key=footprint, reverse=True):
-                if len(chosen) >= cap:
-                    break
-                admit(tiling)
-            tilings = chosen
+        tilings = space.materialize()
         self._tiling_cache[cache_key] = tilings
         return tilings
 
@@ -810,6 +768,94 @@ class SunstoneScheduler:
             sink_level=self.arch.num_levels - 1,
         )
 
+    def _step_space_bottom_up(
+        self,
+        state: _State,
+        level: int,
+        orderings: Sequence[OrderingCandidate],
+        stats: SchedulerStats,
+    ) -> Space:
+        """The composed (ordering, tiling, unrolling) decision space of one
+        bottom-up step, nested per the configured intra-level order.  Axes
+        are composed with :class:`~repro.mapspace.spaces.DependentSpace`
+        so each inner axis is generated lazily for its outer choice, in
+        the exact historical enumeration order."""
+        base = self._base_sizes(state, level)
+        remaining = dict(state.frontier)
+        fanout = self.arch.levels[level].fanout
+        mode = self.options.intra_level_order
+
+        def rem_after(tiling: dict[str, int]) -> dict[str, int]:
+            return {d: remaining[d] // tiling.get(d, 1) for d in remaining}
+
+        union_growth = tuple(dict.fromkeys(
+            d for order in orderings for d in self._growth_dims(order, level)
+        ))
+        if mode == "ordering-tiling-unrolling":
+            def tilings_for(order: OrderingCandidate) -> Space:
+                growth = self._growth_dims(order, level)
+                tilings = self._tiling_candidates(level, base, remaining,
+                                                  growth, stats)
+                if set(union_growth) - set(growth):
+                    # Mixed-growth tiles (union of all orderings' growth
+                    # dimensions) cover solution basins the per-ordering
+                    # tree cannot reach; include them as extra candidates.
+                    extra = self._tiling_candidates(
+                        level, base, remaining, union_growth, stats)
+                    seen = {tuple(sorted(t.items())) for t in tilings}
+                    tilings = tilings + [
+                        t for t in extra
+                        if tuple(sorted(t.items())) not in seen
+                    ]
+                return ListSpace(tilings)
+
+            return DependentSpace(
+                ListSpace(list(orderings)),
+                lambda order: DependentSpace(
+                    tilings_for(order),
+                    lambda tiling: ListSpace(self._unroll_candidates(
+                        order, level, fanout, rem_after(tiling), stats)),
+                ),
+                combine=lambda order, pair: (order, pair[0], pair[1]),
+            )
+
+        union_allowed = tuple(dict.fromkeys(
+            d for order in orderings for d in self._allowed_unroll(order, level)
+        ))
+
+        def union_unrolls(remaining_now: dict[str, int]) -> Space:
+            return UnrollSpace(
+                self.workload, fanout, remaining_now, union_allowed,
+                utilization_threshold=self.options.utilization_threshold,
+                max_unrolled_dims=self.options.max_unrolled_dims,
+                stats=stats.unrolling,
+            )
+
+        if mode == "tiling-unrolling-ordering":
+            tilings = self._tiling_candidates(level, base, remaining,
+                                              union_growth, stats)
+            return DependentSpace(
+                ListSpace(tilings),
+                lambda tiling: DependentSpace(
+                    union_unrolls(rem_after(tiling)),
+                    lambda unroll: ListSpace(list(orderings)),
+                ),
+                combine=lambda tiling, pair: (pair[1], tiling, pair[0]),
+            )
+
+        # unrolling-tiling-ordering
+        return DependentSpace(
+            union_unrolls(remaining),
+            lambda unroll: DependentSpace(
+                ListSpace(self._tiling_candidates(
+                    level, base,
+                    {d: remaining[d] // unroll.get(d, 1) for d in remaining},
+                    union_growth, stats)),
+                lambda tiling: ListSpace(list(orderings)),
+            ),
+            combine=lambda unroll, pair: (pair[1], pair[0], unroll),
+        )
+
     def _children_bottom_up(
         self,
         state: _State,
@@ -817,91 +863,15 @@ class SunstoneScheduler:
         orderings: Sequence[OrderingCandidate],
         stats: SchedulerStats,
     ) -> Iterator[_State]:
-        base = self._base_sizes(state, level)
-        remaining = dict(state.frontier)
-        fanout = self.arch.levels[level].fanout
-        mode = self.options.intra_level_order
-
-        def extend(order: OrderingCandidate, tiling: dict[str, int],
-                   unroll: dict[str, int]) -> _State | None:
-            return self._extend_bottom_up(state, level, order.order, tiling,
-                                          unroll)
-
-        union_growth_all = tuple(dict.fromkeys(
-            d for order in orderings for d in self._growth_dims(order, level)
-        ))
-        if mode == "ordering-tiling-unrolling":
-            for order in orderings:
-                growth = self._growth_dims(order, level)
-                tilings = self._tiling_candidates(level, base, remaining,
-                                                  growth, stats)
-                if set(union_growth_all) - set(growth):
-                    # Mixed-growth tiles (union of all orderings' growth
-                    # dimensions) cover solution basins the per-ordering
-                    # tree cannot reach; include them as extra candidates.
-                    extra = self._tiling_candidates(
-                        level, base, remaining, union_growth_all, stats)
-                    seen = {tuple(sorted(t.items())) for t in tilings}
-                    tilings = tilings + [
-                        t for t in extra
-                        if tuple(sorted(t.items())) not in seen
-                    ]
-                for tiling in tilings:
-                    rem_after = {
-                        d: remaining[d] // tiling.get(d, 1) for d in remaining
-                    }
-                    unrolls = self._unroll_candidates(
-                        order, level, fanout, rem_after, stats)
-                    for unroll in unrolls:
-                        child = extend(order, tiling, unroll)
-                        if child is not None:
-                            yield child
-            return
-
-        union_growth = tuple(dict.fromkeys(
-            d for order in orderings for d in self._growth_dims(order, level)
-        ))
-        union_allowed = tuple(dict.fromkeys(
-            d for order in orderings for d in self._allowed_unroll(order, level)
-        ))
-        if mode == "tiling-unrolling-ordering":
-            tilings = self._tiling_candidates(level, base, remaining,
-                                              union_growth, stats)
-            for tiling in tilings:
-                rem_after = {
-                    d: remaining[d] // tiling.get(d, 1) for d in remaining
-                }
-                unrolls = enumerate_unrollings(
-                    self.workload, fanout, rem_after, union_allowed,
-                    stats=stats.unrolling,
-                    utilization_threshold=self.options.utilization_threshold,
-                    max_unrolled_dims=self.options.max_unrolled_dims,
-                )
-                for unroll in unrolls:
-                    for order in orderings:
-                        child = extend(order, tiling, unroll)
-                        if child is not None:
-                            yield child
-            return
-
-        # unrolling-tiling-ordering
-        unrolls = enumerate_unrollings(
-            self.workload, fanout, remaining, union_allowed,
-            stats=stats.unrolling,
-            utilization_threshold=self.options.utilization_threshold,
-            max_unrolled_dims=self.options.max_unrolled_dims,
-        )
-        for unroll in unrolls:
-            rem_after = {
-                d: remaining[d] // unroll.get(d, 1) for d in remaining
-            }
-            tilings = self._tiling_candidates(level, base, rem_after,
-                                              union_growth, stats)
-            for tiling in tilings:
-                for order in orderings:
-                    child = extend(order, tiling, unroll)
-                    if child is not None:
-                        yield child
+        decisions = self._step_space_bottom_up(state, level, orderings, stats)
+        # Placement feasibility is the capacity pruning pass of the step
+        # space: children whose tile cannot fit its storage homes under
+        # the boundary's replication are dropped (and counted).
+        children = decisions.map(
+            lambda triple: self._extend_bottom_up(
+                state, level, triple[0].order, triple[1], triple[2]),
+        ).filter(lambda child: child is not None, "capacity", stats.prune)
+        return children.enumerate(shard=self.options.shard)
 
     def _children_top_down(
         self,
@@ -912,56 +882,66 @@ class SunstoneScheduler:
     ) -> Iterator[_State]:
         """Top-down step: split the frontier between the levels above
         ``level`` (parent temporal + boundary spatial) and the tile kept at
-        ``level`` and below."""
+        ``level`` and below.
+
+        The decision space composes, per ordering, an
+        :class:`~repro.mapspace.tile.ExhaustiveTileSpace` — maximality
+        pruning is unsound going down, since the lower levels are
+        undecided and a smaller tile here can enable a better lower-level
+        structure; this is why the top-down space is an order of
+        magnitude larger (Table VI) — with the unroll candidates of the
+        residual quotient."""
         remaining = dict(state.frontier)
         base = {d: 1 for d in self.workload.dims}
         fanout = self.arch.levels[level].fanout
-        arch_level = self.arch.levels[level]
 
-        for order in orderings:
-            growth = self._growth_dims(order, level)
-            # Maximality pruning is unsound going down: the lower levels
-            # are undecided, and a smaller tile here can enable a better
-            # lower-level structure.  Enumerate every fitting tiling —
-            # this is why the top-down space is an order of magnitude
-            # larger (Table VI).
-            tilings = enumerate_all_tilings(
-                self.workload, self.arch, level, base, remaining,
-                stats=stats.tiling, dims=growth,
+        def quotient(tiling: dict[str, int]) -> dict[str, int]:
+            return {d: remaining[d] // tiling.get(d, 1) for d in remaining}
+
+        decisions = DependentSpace(
+            ListSpace(list(orderings)),
+            lambda order: DependentSpace(
+                ExhaustiveTileSpace(
+                    self.workload, self.arch, level, base, remaining,
+                    dims=self._growth_dims(order, level), stats=stats.tiling,
+                ),
+                lambda tiling: ListSpace(self._unroll_candidates(
+                    order, level, fanout, quotient(tiling), stats)),
+            ),
+            combine=lambda order, pair: (order, pair[0], pair[1]),
+        )
+
+        def extend(triple) -> _State:
+            order, tiling, unroll = triple
+            quot = quotient(tiling)
+            parent_temporal = {
+                d: quot[d] // unroll.get(d, 1)
+                for d in quot
+                if quot[d] // unroll.get(d, 1) > 1
+            }
+            temporal = list(state.temporal)
+            spatial = list(state.spatial)
+            orders = list(state.orders)
+            temporal[level + 1] = {
+                **state.temporal[level + 1], **parent_temporal,
+            }
+            spatial[level] = dict(unroll)
+            orders[level + 1] = order.order
+            new_frontier = {
+                d: tiling.get(d, 1) for d in remaining
+            }
+            return _State(
+                temporal=tuple(temporal),
+                spatial=tuple(spatial),
+                orders=tuple(orders),
+                frontier=new_frontier,
+                sink_level=(
+                    0 if self.options.topdown_estimate == "innermost"
+                    else level
+                ),
             )
-            for tiling in tilings:
-                quotient = {
-                    d: remaining[d] // tiling.get(d, 1) for d in remaining
-                }
-                unrolls = self._unroll_candidates(
-                    order, level, fanout, quotient, stats)
-                for unroll in unrolls:
-                    parent_temporal = {
-                        d: quotient[d] // unroll.get(d, 1)
-                        for d in quotient
-                        if quotient[d] // unroll.get(d, 1) > 1
-                    }
-                    temporal = list(state.temporal)
-                    spatial = list(state.spatial)
-                    orders = list(state.orders)
-                    temporal[level + 1] = {
-                        **state.temporal[level + 1], **parent_temporal,
-                    }
-                    spatial[level] = dict(unroll)
-                    orders[level + 1] = order.order
-                    new_frontier = {
-                        d: tiling.get(d, 1) for d in remaining
-                    }
-                    yield _State(
-                        temporal=tuple(temporal),
-                        spatial=tuple(spatial),
-                        orders=tuple(orders),
-                        frontier=new_frontier,
-                        sink_level=(
-                            0 if self.options.topdown_estimate == "innermost"
-                            else level
-                        ),
-                    )
+
+        return decisions.map(extend).enumerate(shard=self.options.shard)
 
     # ------------------------------------------------------------------
     # estimation / materialisation

@@ -1,0 +1,96 @@
+"""repro.mapspace — declarative, deterministic mapping-space IR.
+
+The mapspace IR separates *what the candidate space is* from *how a
+strategy walks it*.  Axes (factor lattices, order tries, unroll and
+bypass choices) are :class:`Space` objects composed with products,
+dependent chains and named pruning passes; every composed space is
+deterministic, sized, and shardable.  See docs/MAPSPACE.md.
+"""
+
+from .bypass import BypassAssignment, BypassSpace, architecture_assignment
+from .constraints import (
+    capacity_fits,
+    divisibility,
+    tile_capacity_fits,
+    utilization_band,
+    utilization_floor,
+)
+from .factor import (
+    DivisorSpace,
+    FactorLattice,
+    ordered_factorizations,
+    prime_factors,
+)
+from .mapspace import (
+    Mapspace,
+    assemble_mapping,
+    assignment_slots,
+    full_mapping_space,
+    spatial_boundaries,
+    stores_from_splits,
+)
+from .order import OrderSpace, PermutationSpace
+from .spaces import (
+    ChainSpace,
+    DependentSpace,
+    FilteredSpace,
+    LazySpace,
+    ListSpace,
+    MappedSpace,
+    PointSpace,
+    ProductSpace,
+    PruneStats,
+    Space,
+    TruncatedSpace,
+    check_shard,
+)
+from .tile import (
+    DivisorGridSpace,
+    ExhaustiveTileSpace,
+    TileSpace,
+    cap_tilings_by_footprint,
+)
+from .unroll import UnrollSpace, unroll_size
+
+__all__ = [
+    "BypassAssignment",
+    "BypassSpace",
+    "ChainSpace",
+    "DependentSpace",
+    "DivisorGridSpace",
+    "DivisorSpace",
+    "ExhaustiveTileSpace",
+    "FactorLattice",
+    "FilteredSpace",
+    "LazySpace",
+    "ListSpace",
+    "MappedSpace",
+    "Mapspace",
+    "OrderSpace",
+    "PermutationSpace",
+    "PointSpace",
+    "ProductSpace",
+    "PruneStats",
+    "Space",
+    "TileSpace",
+    "TruncatedSpace",
+    "UnrollSpace",
+    "architecture_assignment",
+    "assemble_mapping",
+    "assignment_slots",
+    "cap_tilings_by_footprint",
+    "capacity_fits",
+    "check_shard",
+    "divisibility",
+    "full_mapping_space",
+    "ordered_factorizations",
+    "prime_factors",
+    "spatial_boundaries",
+    "stores_from_splits",
+    "tile_capacity_fits",
+    "unroll_size",
+    "utilization_band",
+    "utilization_floor",
+    "DivisorSpace",
+]
+__all__ = sorted(set(__all__))

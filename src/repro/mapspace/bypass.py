@@ -1,0 +1,76 @@
+"""Bypass spaces: which tensors each memory level buffers.
+
+In this reproduction the datatype-to-level assignment is fixed by the
+architecture description (each level declares the roles it stores; a
+tensor *bypasses* every level that does not store its role), so the
+bypass axis of the mapspace is a single point.  Making it an explicit
+:class:`BypassSpace` keeps the axis addressable: architectures that
+expose optional bypassing can enumerate alternative assignments without
+the search strategies changing shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..arch.spec import Architecture
+from ..workloads.expression import Workload
+from .spaces import Space
+
+
+@dataclass(frozen=True)
+class BypassAssignment:
+    """One datatype-to-level storage assignment.
+
+    ``stored[i]`` is the (sorted) tuple of tensor names level ``i``
+    buffers; every other tensor bypasses that level.  ``home[name]`` is
+    the tensor's innermost storage level at or above level 0.
+    """
+
+    stored: tuple[tuple[str, ...], ...]
+    home: tuple[tuple[str, int], ...]
+
+    def stored_at(self, level: int) -> tuple[str, ...]:
+        return self.stored[level]
+
+    def home_of(self, tensor: str) -> int | None:
+        return dict(self.home).get(tensor)
+
+
+def architecture_assignment(workload: Workload,
+                            arch: Architecture) -> BypassAssignment:
+    """The assignment induced by the architecture's role declarations."""
+    stored = tuple(
+        tuple(sorted(t.name for t in workload.tensors
+                     if level.stores(t.role)))
+        for level in arch.levels
+    )
+    home: list[tuple[str, int]] = []
+    for tensor in workload.tensors:
+        for j in range(arch.num_levels):
+            if arch.levels[j].stores(tensor.role):
+                home.append((tensor.name, j))
+                break
+    return BypassAssignment(stored=stored, home=tuple(sorted(home)))
+
+
+class BypassSpace(Space):
+    """The space of bypass assignments (a point space for the fixed
+    role-driven architectures in this repo)."""
+
+    def __init__(self, assignments: Sequence[BypassAssignment]) -> None:
+        if not assignments:
+            raise ValueError("at least one bypass assignment is required")
+        self._assignments = list(assignments)
+
+    @classmethod
+    def from_architecture(cls, workload: Workload,
+                          arch: Architecture) -> "BypassSpace":
+        return cls([architecture_assignment(workload, arch)])
+
+    def size(self) -> int:
+        return len(self._assignments)
+
+    def _generate(self) -> Iterator[BypassAssignment]:
+        return iter(self._assignments)

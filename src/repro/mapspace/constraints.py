@@ -1,0 +1,95 @@
+"""Constraint predicates applied to mapspaces as pruning passes.
+
+Each factory returns a named predicate suitable for
+``Space.filter(predicate, name, stats)``, so composed spaces report
+per-pass drop counters through :class:`~repro.mapspace.spaces.PruneStats`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+from ..arch.spec import Architecture
+from ..core.tiling_tree import placement_fits, tile_fits
+from ..workloads.expression import Workload
+
+
+def capacity_fits(
+    workload: Workload,
+    arch: Architecture,
+    level: int,
+) -> Callable[[tuple[Mapping[str, int], Mapping[str, int]]], bool]:
+    """Predicate over ``(sizes, spatial)`` pairs: the tile spanning
+    ``sizes`` with boundary unrolling ``spatial`` fits every tensor's
+    innermost storage home at or above ``level``."""
+
+    def predicate(candidate: tuple[Mapping[str, int], Mapping[str, int]],
+                  ) -> bool:
+        sizes, spatial = candidate
+        return placement_fits(workload, arch, level, sizes, spatial)
+
+    return predicate
+
+
+def tile_capacity_fits(
+    workload: Workload,
+    arch: Architecture,
+    level: int,
+    base: Mapping[str, int],
+) -> Callable[[Mapping[str, int]], bool]:
+    """Predicate over tile multiplier dicts: the implied tile fits."""
+
+    def predicate(tiling: Mapping[str, int]) -> bool:
+        sizes = {
+            d: base.get(d, 1) * tiling.get(d, 1) for d in workload.dims
+        }
+        return tile_fits(workload, arch, level, sizes)
+
+    return predicate
+
+
+def divisibility(
+    remaining: Mapping[str, int],
+) -> Callable[[Mapping[str, int]], bool]:
+    """Predicate over factor dicts: every factor divides the residual
+    extent of its dimension."""
+
+    def predicate(factors: Mapping[str, int]) -> bool:
+        for dim, factor in factors.items():
+            if factor < 1 or remaining.get(dim, 1) % factor != 0:
+                return False
+        return True
+
+    return predicate
+
+
+def utilization_floor(
+    fanout: int,
+    floor: float,
+) -> Callable[[Mapping[str, int]], bool]:
+    """Predicate over unroll dicts: occupied lanes reach at least
+    ``floor * fanout`` (always true for fanout <= 1)."""
+
+    def predicate(unroll: Mapping[str, int]) -> bool:
+        if fanout <= 1:
+            return True
+        used = math.prod(unroll.values()) if unroll else 1
+        return used >= floor * fanout
+
+    return predicate
+
+
+def utilization_band(
+    floor: float,
+    ceiling: float,
+    measure: Callable[[Mapping[str, int]], float],
+) -> Callable[[Mapping[str, int]], bool]:
+    """Predicate keeping candidates whose ``measure`` lies in
+    ``[floor, ceiling]`` — dMazeRunner's buffer-utilisation band."""
+
+    def predicate(candidate: Mapping[str, int]) -> bool:
+        utilization = measure(candidate)
+        return floor <= utilization <= ceiling
+
+    return predicate

@@ -1,0 +1,140 @@
+"""Per-dimension factor lattices: prime-factor tile splits over slots.
+
+A :class:`FactorLattice` is the declarative form of "distribute the prime
+factors of one dimension's extent across an ordered set of slots" — the
+decision every tiling strategy in this repo ultimately makes, whether the
+slots are the temporal levels of a hierarchy, the (temporal, spatial)
+assignment slots of the full mapping space, or two abstract halves of an
+off-chip/on-chip split.  Its ``size()`` is the closed-form count of
+ordered factorisations, its ``enumerate()`` a deterministic stream of
+splits, and ``sample(rng)`` a uniform prime-placement draw matching the
+sampling baselines' historical RNG consumption exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Iterator, Sequence
+
+from .spaces import Space
+
+
+def prime_factors(n: int) -> list[int]:
+    """Prime factorisation of ``n`` with multiplicity, ascending."""
+    factors: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def ordered_factorizations(n: int, slots: int) -> int:
+    """Number of ways to write ``n`` as an ordered product of ``slots``
+    positive integers: multiplicative over primes,
+    ``prod_p C(e_p + slots - 1, slots - 1)``."""
+    if slots < 1:
+        raise ValueError("slots must be >= 1")
+    count = 1
+    exponents: dict[int, int] = {}
+    for p in prime_factors(n):
+        exponents[p] = exponents.get(p, 0) + 1
+    for e in exponents.values():
+        count *= math.comb(e + slots - 1, slots - 1)
+    return count
+
+
+class FactorLattice(Space):
+    """All ordered splits of ``extent`` across ``slots``.
+
+    ``slots`` is an ordered sequence of opaque labels (e.g. ``("t", 0)``,
+    ``("s", 0)``, ``("t", 1)`` …).  Enumeration yields tuples of factors
+    aligned with ``slots`` whose product is ``extent``, deduplicated, in
+    the canonical prime-placement order; ``size()`` is the closed-form
+    ordered-factorisation count and always equals the stream length.
+    """
+
+    def __init__(self, dim: str, extent: int, slots: Sequence[Any]) -> None:
+        if extent < 1:
+            raise ValueError(f"extent of {dim!r} must be >= 1, got {extent}")
+        if not slots:
+            raise ValueError("at least one slot is required")
+        self.dim = dim
+        self.extent = extent
+        self.slots = tuple(slots)
+        self.primes = tuple(prime_factors(extent))
+
+    def size(self) -> int:
+        return ordered_factorizations(self.extent, len(self.slots))
+
+    def _generate(self) -> Iterator[tuple[int, ...]]:
+        slots = len(self.slots)
+        if not self.primes:
+            yield (1,) * slots
+            return
+        seen: set[tuple[int, ...]] = set()
+        for placement in itertools.product(range(slots),
+                                           repeat=len(self.primes)):
+            split = [1] * slots
+            for prime, slot in zip(self.primes, placement):
+                split[slot] *= prime
+            key = tuple(split)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+    def sample(self, rng) -> dict[Any, int]:
+        """One uniform prime-placement draw: each prime factor lands in
+        ``rng.choice(self.slots)``.  Returns slot label -> factor.
+
+        The RNG consumption (one ``choice`` over the slot sequence per
+        prime) is part of the contract: the sampling baselines'
+        reproducibility tests pin bit-identical candidate streams for a
+        given seed.
+        """
+        split: dict[Any, int] = {slot: 1 for slot in self.slots}
+        for p in self.primes:
+            slot = rng.choice(self.slots)
+            split[slot] *= p
+        return split
+
+    def divisibility_ok(self, split: Sequence[int]) -> bool:
+        """Constraint predicate: ``split`` is a lattice member (right
+        arity, positive factors, product equal to the extent)."""
+        if len(split) != len(self.slots):
+            return False
+        product = 1
+        for factor in split:
+            if factor < 1 or self.extent % factor != 0:
+                return False
+            product *= factor
+        return product == self.extent
+
+
+class DivisorSpace(Space):
+    """Divisors of ``extent`` not exceeding ``bound``, ascending.
+
+    The per-boundary unrolling choice set of Table I's counting model.
+    """
+
+    def __init__(self, extent: int, bound: int | None = None) -> None:
+        if extent < 1:
+            raise ValueError("extent must be >= 1")
+        self.extent = extent
+        self.bound = bound
+        from ..core.tiling_tree import divisors
+        choices = divisors(extent)
+        if bound is not None:
+            choices = tuple(d for d in choices if d <= bound)
+        self._choices = choices
+
+    def size(self) -> int:
+        return len(self._choices)
+
+    def _generate(self) -> Iterator[int]:
+        return iter(self._choices)

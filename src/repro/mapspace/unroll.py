@@ -1,0 +1,90 @@
+"""Unroll spaces: spatial slot assignments for one fanout boundary.
+
+:class:`UnrollSpace` wraps :func:`repro.core.unrolling.enumerate_unrollings`
+(the Spatial Unrolling Principle with high-throughput pruning) as a
+declarative space, folding in the two fallback policies the searches
+used to hand-roll:
+
+* ``fallback="augment"`` (Sunstone): when the principled dimension set
+  cannot fill the fanout, the remaining dimensions' candidates are
+  appended (deduplicated) rather than leaving lanes idle;
+* ``fallback="replace"`` (Interstellar): when the preset dimensions
+  cannot fill the grid, the candidate set is regenerated over all
+  dimensions;
+* ``fallback=None``: the principled set is final.
+
+An optional ``cap`` keeps the highest-utilisation candidates, matching
+Sunstone's per-step candidate budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..core.unrolling import UnrollingStats, enumerate_unrollings
+from ..workloads.expression import Workload
+from .spaces import LazySpace
+
+
+def unroll_size(unroll: Mapping[str, int]) -> int:
+    """Lanes occupied by an unrolling (1 for the empty unrolling)."""
+    return math.prod(unroll.values()) if unroll else 1
+
+
+class UnrollSpace(LazySpace):
+    """Spatial factor assignments for one fanout boundary."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        fanout: int,
+        remaining: Mapping[str, int],
+        allowed: Sequence[str] | None = None,
+        utilization_threshold: float = 1.0,
+        max_unrolled_dims: int = 2,
+        fallback: str | None = None,
+        cap: int | None = None,
+        stats: UnrollingStats | None = None,
+    ) -> None:
+        if fallback not in (None, "augment", "replace"):
+            raise ValueError(f"unknown fallback policy {fallback!r}")
+        allowed_dims = (tuple(allowed) if allowed is not None
+                        else workload.dim_names)
+        self.fanout = fanout
+        self.allowed = allowed_dims
+
+        def build() -> list[dict[str, int]]:
+            unrolls = enumerate_unrollings(
+                workload, fanout, remaining, allowed_dims,
+                stats=stats,
+                utilization_threshold=utilization_threshold,
+                max_unrolled_dims=max_unrolled_dims,
+            )
+            if fallback is not None and fanout > 1:
+                best = max((unroll_size(u) for u in unrolls), default=1)
+                short = best < fanout
+                if short and fallback == "replace":
+                    unrolls = enumerate_unrollings(
+                        workload, fanout, remaining, workload.dim_names,
+                        stats=stats,
+                        utilization_threshold=utilization_threshold,
+                        max_unrolled_dims=max_unrolled_dims,
+                    )
+                elif (short and fallback == "augment"
+                        and len(allowed_dims) < len(workload.dim_names)):
+                    extra = enumerate_unrollings(
+                        workload, fanout, remaining, workload.dim_names,
+                        stats=stats,
+                        utilization_threshold=utilization_threshold,
+                        max_unrolled_dims=max_unrolled_dims,
+                    )
+                    seen = {tuple(sorted(u.items())) for u in unrolls}
+                    unrolls += [u for u in extra
+                                if tuple(sorted(u.items())) not in seen]
+            if cap is not None and len(unrolls) > cap:
+                unrolls.sort(key=unroll_size, reverse=True)
+                unrolls = unrolls[:cap]
+            return unrolls
+
+        super().__init__(build)

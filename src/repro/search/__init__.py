@@ -2,7 +2,8 @@
 
 from ..model.terms import PartialEvalCache
 from .cache import EvalCache
-from .engine import SearchEngine
+from .engine import SearchEngine, engine_scope, resolve_engine
+from .result import MappingOutcome
 from .fingerprint import (
     architecture_fingerprint,
     mapping_fingerprint,
@@ -12,10 +13,13 @@ from .stats import SearchStats
 
 __all__ = [
     "EvalCache",
+    "MappingOutcome",
     "PartialEvalCache",
     "SearchEngine",
     "SearchStats",
     "architecture_fingerprint",
+    "engine_scope",
     "mapping_fingerprint",
+    "resolve_engine",
     "workload_fingerprint",
 ]

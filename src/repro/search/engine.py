@@ -35,7 +35,8 @@ import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from ..mapping.mapping import Mapping
 from ..model.batch import HAVE_NUMPY
@@ -354,3 +355,43 @@ class SearchEngine:
             results.extend(part)
         self.stats.add_stage_time("pool", time.perf_counter() - start)
         return results
+
+
+def resolve_engine(
+    engine: SearchEngine | None,
+    workers: int,
+    cache: bool,
+    partial_reuse: bool,
+    sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
+) -> tuple[SearchEngine, bool]:
+    """Return (engine, owns_it): reuse an injected engine or build one."""
+    if engine is not None:
+        return engine, False
+    return SearchEngine(workers=workers, cache=cache,
+                        partial_reuse=partial_reuse,
+                        sparsity=sparsity, batch=batch,
+                        cache_size=cache_size), True
+
+
+@contextmanager
+def engine_scope(
+    engine: SearchEngine | None,
+    workers: int = 1,
+    cache: bool = True,
+    partial_reuse: bool = True,
+    sparsity: SparsitySpec | None = None,
+    batch: bool = True,
+    cache_size: int | None = None,
+) -> Iterator[SearchEngine]:
+    """Engine lifecycle as a context manager: reuse an injected engine
+    (left open for its owner) or build one and close it on exit, even on
+    error.  ``engine.stats`` remains readable after close."""
+    resolved, owns = resolve_engine(engine, workers, cache, partial_reuse,
+                                    sparsity, batch, cache_size)
+    try:
+        yield resolved
+    finally:
+        if owns:
+            resolved.close()
