@@ -216,7 +216,10 @@ def main(argv=None):
     if path is None and not args.quick:
         path = str(REPO_ROOT / "BENCH_model.json")
     if path:
-        Path(path).write_text(json.dumps(report, indent=2) + "\n")
+        # Atomic write: an interrupted run must never leave a truncated
+        # BENCH_model.json for downstream tooling to choke on.
+        from repro.search import atomic_write_json
+        atomic_write_json(path, report)
         print(f"wrote {path}")
     if args.check:
         print("check: scalar, partial-cache and batch agree bitwise")

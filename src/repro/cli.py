@@ -32,8 +32,20 @@ from .baselines import (
 from .baselines.gamma import gamma_search
 from .core import SchedulerOptions, schedule
 from .mapping import render_nest
-from .mapping.serialize import load_mapping, mapping_to_dict, save_mapping
+from .mapping.serialize import (
+    architecture_to_dict,
+    load_mapping,
+    mapping_to_dict,
+    save_mapping,
+    workload_to_dict,
+)
 from .model import evaluate
+from .search import (
+    CheckpointJournal,
+    JournalError,
+    SearchEngine,
+    atomic_write_json,
+)
 from .sparse import SparsityError, SparsitySpec, spec_from_cli
 from .workloads import (
     Workload,
@@ -161,9 +173,28 @@ def _cost_dict(cost) -> dict:
 
 
 def _write_stats_json(path: str, document: dict) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2)
+    # Atomic (temp file + rename): a crash mid-dump must never leave a
+    # truncated, unparseable stats file behind.
+    atomic_write_json(path, document)
     print(f"stats saved to {path}")
+
+
+def _open_journal(args: argparse.Namespace, meta: dict
+                  ) -> CheckpointJournal | None:
+    """Open the crash-safe checkpoint journal requested by --checkpoint/
+    --resume (None when checkpointing is off)."""
+    path = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if path is None:
+        if resume:
+            raise SystemExit("--resume requires --checkpoint PATH")
+        return None
+    try:
+        return CheckpointJournal(
+            path, meta, resume=resume,
+            cache_snapshots=bool(getattr(args, "checkpoint_cache", False)))
+    except JournalError as error:
+        raise SystemExit(str(error))
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
@@ -178,7 +209,30 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                                batch=not args.no_batch,
                                cache_size=args.cache_size,
                                shard=_parse_shard(args.shard))
-    result = schedule(workload, arch, options)
+    journal = _open_journal(args, {
+        "kind": "schedule",
+        "workload": workload_to_dict(workload),
+        "arch": architecture_to_dict(arch),
+        "objective": args.objective,
+        "sparsity": sparsity.describe() if sparsity else None,
+        "shard": args.shard,
+    })
+    engine = None
+    if journal is not None and not args.no_cache:
+        warm = journal.load_cache_snapshot()
+        if warm is not None:
+            # Resume warm: seed the engine with the snapshotted result
+            # cache (a pure accelerator — results are bit-identical).
+            engine = SearchEngine(workers=args.workers, cache=warm,
+                                  sparsity=sparsity,
+                                  batch=not args.no_batch,
+                                  cache_size=args.cache_size)
+    if engine is not None:
+        with engine:
+            result = schedule(workload, arch, options, engine=engine,
+                              journal=journal)
+    else:
+        result = schedule(workload, arch, options, journal=journal)
     if not result.found:
         print("no valid mapping found", file=sys.stderr)
         return 1
@@ -226,8 +280,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
     options = SchedulerOptions(workers=workers, cache=cache,
                                sparsity=sparsity, batch=batch,
                                cache_size=cache_size, shard=shard)
-    rows = [("sunstone", schedule(workload, arch, options))]
+    journal = _open_journal(args, {
+        "kind": "compare",
+        "workload": workload_to_dict(workload),
+        "arch": architecture_to_dict(arch),
+        "sparsity": sparsity.describe() if sparsity else None,
+        "shard": args.shard,
+    })
     searches = {
+        "sunstone": lambda: schedule(workload, arch, options),
         "timeloop-like": lambda: timeloop_search(workload, arch,
                                                  TIMELOOP_FAST,
                                                  workers=workers,
@@ -259,17 +320,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
     selected = None
     if args.mappers:
         selected = {m.strip() for m in args.mappers.split(",") if m.strip()}
-    for name, runner in searches.items():
-        if selected is not None and name.split("-")[0] not in selected:
-            continue
-        rows.append((name, runner()))
-    if sparsity is not None:
-        print(f"sparsity: {sparsity.describe()}")
-    print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
-          f"{'hits':>8} {'status':>8}")
-    mapper_docs = []
+    mapper_docs: list[dict] = []
     profiles: list[tuple[str, str]] = []
-    for name, result in rows:
+    for name, runner in searches.items():
+        if (selected is not None and name != "sunstone"
+                and name.split("-")[0] not in selected):
+            continue
+        if journal is not None:
+            entry = journal.last("mapper", name=name)
+            if entry is not None:
+                # Completed before the interruption: reuse the journaled
+                # row instead of repeating the search.
+                mapper_docs.append(entry["doc"])
+                continue
+        result = runner()
         time_s = getattr(result, "wall_time_s", None)
         if time_s is None:
             time_s = result.stats.wall_time_s
@@ -279,15 +343,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         search_stats = getattr(result, "search_stats", None)
         if search_stats is None and hasattr(result, "stats"):
             search_stats = getattr(result.stats, "search", None)
-        hits = search_stats.cache_hits if search_stats is not None else 0
         status = "ok" if getattr(result, "valid", None) or (
             result.found and result.cost.valid) else "invalid"
-        edp = result.edp if result.found else float("inf")
-        print(f"{name:<18} {edp:>12.3e} {time_s:>8.2f} {evals:>8} "
-              f"{hits:>8} {status:>8}")
-        if args.profile and search_stats is not None:
-            profiles.append((name, search_stats.profile_summary()))
-        mapper_docs.append({
+        doc = {
             "mapper": name,
             "found": result.found,
             "status": status,
@@ -298,7 +356,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
                         if result.found else None),
             "search": (search_stats.to_dict()
                        if search_stats is not None else None),
-        })
+        }
+        mapper_docs.append(doc)
+        if args.profile and search_stats is not None:
+            profiles.append((name, search_stats.profile_summary()))
+        if journal is not None:
+            journal.append({"type": "mapper", "name": name, "doc": doc})
+    if sparsity is not None:
+        print(f"sparsity: {sparsity.describe()}")
+    print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
+          f"{'hits':>8} {'status':>8}")
+    for doc in mapper_docs:
+        edp = doc["cost"]["edp"] if doc["found"] else float("inf")
+        hits = doc["search"]["cache_hits"] if doc["search"] else 0
+        print(f"{doc['mapper']:<18} {edp:>12.3e} "
+              f"{doc['wall_time_s']:>8.2f} {doc['evaluations']:>8} "
+              f"{hits:>8} {doc['status']:>8}")
     for name, text in profiles:
         print(f"{name}:")
         print(text)
@@ -324,9 +397,16 @@ def cmd_network(args: argparse.Namespace) -> int:
                                cache=not args.no_cache,
                                batch=not args.no_batch,
                                cache_size=args.cache_size)
+    journal = _open_journal(args, {
+        "kind": "network",
+        "model": args.model,
+        "layers": [workload_to_dict(w) for w in model],
+        "arch": architecture_to_dict(arch),
+    })
     network = schedule_network(model, arch, options,
                                processes=args.processes,
-                               dedupe=not args.no_dedupe)
+                               dedupe=not args.no_dedupe,
+                               journal=journal)
     print(network.summary())
     if args.profile:
         print(network.search_stats.profile_summary())
@@ -453,6 +533,20 @@ def make_parser() -> argparse.ArgumentParser:
                        help="dump mapping, cost breakdown and search "
                             "statistics as JSON")
 
+    def add_checkpoint_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--checkpoint", metavar="PATH",
+                       help="crash-safe journal of search progress "
+                            "(JSON lines, fsync'd per step)")
+        p.add_argument("--resume", action="store_true",
+                       help="continue an interrupted run from the last "
+                            "completed step in --checkpoint; the final "
+                            "result is bit-identical to an uninterrupted "
+                            "run")
+        p.add_argument("--checkpoint-cache", action="store_true",
+                       help="also snapshot the evaluation cache beside "
+                            "the journal for a warm resume (a pure "
+                            "accelerator; never changes results)")
+
     p = sub.add_parser("schedule", help="map a workload onto an accelerator")
     p.add_argument("--workload", required=True)
     p.add_argument("--arch", default="conventional")
@@ -464,6 +558,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_shard_flag(p)
     add_sparsity_flags(p)
     add_stats_json(p)
+    add_checkpoint_flags(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_schedule)
 
@@ -476,6 +571,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="search every layer even when shapes repeat")
     add_engine_flags(p)
     add_stats_json(p)
+    add_checkpoint_flags(p)
     p.set_defaults(func=cmd_network)
 
     p = sub.add_parser("compare", help="compare Sunstone against baselines")
@@ -488,6 +584,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_shard_flag(p)
     add_sparsity_flags(p)
     add_stats_json(p)
+    add_checkpoint_flags(p)
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_compare)
 
@@ -509,7 +606,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Engines shut their pools down on the way out (engine_scope +
+        # cancel_futures), so a Ctrl-C exits promptly with the
+        # conventional 128+SIGINT code.  A --checkpoint journal keeps
+        # every completed step; rerun with --resume to continue.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

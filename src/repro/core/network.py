@@ -17,8 +17,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..arch.spec import Architecture
-from ..core.scheduler import ScheduleResult, SchedulerOptions, SunstoneScheduler
-from ..search import SearchEngine, SearchStats, engine_scope
+from ..core.scheduler import (
+    ScheduleResult,
+    SchedulerOptions,
+    SchedulerStats,
+    SunstoneScheduler,
+)
+from ..mapping.serialize import mapping_from_dict, mapping_to_dict
+from ..model.cost import evaluate as _model_evaluate
+from ..search import CheckpointJournal, SearchEngine, SearchStats, engine_scope
 from ..workloads.expression import Workload
 
 Mapper = Callable[[Workload, Architecture], ScheduleResult]
@@ -115,6 +122,30 @@ def _shape_key(workload: Workload) -> tuple:
     )
 
 
+def _restore_layer(
+    entry: dict,
+    opts: SchedulerOptions,
+    engine: SearchEngine | None = None,
+) -> ScheduleResult:
+    """Rebuild one journaled layer result.  The stored mapping is
+    re-evaluated with the live cost model (through the shared engine when
+    one exists), so the restored cost is bit-identical to a fresh search's."""
+    stats = SchedulerStats()
+    if engine is not None:
+        stats.search = engine.stats
+    stats.evaluations = entry["evaluations"]
+    doc = entry.get("mapping")
+    if doc is None:
+        return ScheduleResult(None, None, stats, opts)
+    mapping = mapping_from_dict(doc)
+    if engine is not None:
+        cost = engine.evaluate(mapping)
+    else:
+        cost = _model_evaluate(mapping, partial_reuse=opts.partial_reuse,
+                               sparsity=opts.sparsity)
+    return ScheduleResult(mapping, cost, stats, opts)
+
+
 def schedule_network(
     workloads: Sequence[Workload],
     arch: Architecture,
@@ -123,6 +154,7 @@ def schedule_network(
     processes: int | None = None,
     engine: SearchEngine | None = None,
     dedupe: bool = True,
+    journal: CheckpointJournal | None = None,
 ) -> NetworkSchedule:
     """Schedule every layer of a network, deduplicating identical shapes.
 
@@ -137,6 +169,13 @@ def schedule_network(
     dedupe at the evaluation level too.  ``dedupe=False`` disables the
     shape-level search sharing (every layer runs its own search; the
     shared cache then absorbs the repeats).
+
+    ``journal`` (a :class:`~repro.search.CheckpointJournal`) makes the
+    run crash-safe: each completed layer search is persisted, and a
+    journal opened with ``resume=True`` skips the already-finished layers
+    — their stored mappings are re-evaluated with the live cost model, so
+    the resumed network totals are bit-identical to an uninterrupted
+    run's.  Only the default Sunstone mapper is journaled.
     """
     start = time.perf_counter()
     opts = options or SchedulerOptions()
@@ -151,15 +190,45 @@ def schedule_network(
         first_index[key] = i
         unique_indices.append(i)
 
+    def restored(i: int, eng: SearchEngine | None = None
+                 ) -> ScheduleResult | None:
+        if journal is None:
+            return None
+        entry = journal.last("layer", index=i)
+        if entry is None:
+            return None
+        return _restore_layer(entry, opts, engine=eng)
+
+    def record(i: int, result: ScheduleResult) -> None:
+        if journal is None:
+            return
+        journal.append({
+            "type": "layer",
+            "index": i,
+            "name": workloads[i].name,
+            "mapping": (mapping_to_dict(result.mapping)
+                        if result.found else None),
+            "evaluations": result.stats.evaluations,
+        })
+
     totals = SearchStats()
     results: dict[int, ScheduleResult] = {}
     if processes and processes > 1 and mapper is None:
-        jobs = [(workloads[i], arch, options) for i in unique_indices]
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            for i, result in zip(unique_indices,
-                                 pool.map(_schedule_one, jobs)):
-                results[i] = result
-                totals.merge(result.stats.search)
+        pending = []
+        for i in unique_indices:
+            prior = restored(i)
+            if prior is not None:
+                results[i] = prior
+            else:
+                pending.append(i)
+        jobs = [(workloads[i], arch, options) for i in pending]
+        if jobs:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                for i, result in zip(pending,
+                                     pool.map(_schedule_one, jobs)):
+                    results[i] = result
+                    totals.merge(result.stats.search)
+                    record(i, result)
     elif mapper is None:
         # Sunstone path: one shared engine (and result cache) spans every
         # layer search; ``engine_scope`` reuses an injected engine or owns
@@ -168,10 +237,22 @@ def schedule_network(
                           partial_reuse=opts.partial_reuse,
                           sparsity=opts.sparsity, batch=opts.batch,
                           cache_size=opts.cache_size) as shared_engine:
+            if journal is not None:
+                warm = journal.load_cache_snapshot()
+                if warm is not None and shared_engine.cache is not None:
+                    for key, value in warm._entries.items():
+                        shared_engine.cache.put(key, value)
             for i in unique_indices:
+                prior = restored(i, shared_engine)
+                if prior is not None:
+                    results[i] = prior
+                    continue
                 results[i] = SunstoneScheduler(
                     workloads[i], arch, options,
                     engine=shared_engine).schedule()
+                record(i, results[i])
+                if journal is not None:
+                    journal.save_cache_snapshot(shared_engine.cache)
             totals = shared_engine.stats
     else:
         for i in unique_indices:

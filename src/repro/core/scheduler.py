@@ -41,8 +41,15 @@ from ..mapspace.spaces import (
 )
 from ..mapspace.tile import ExhaustiveTileSpace, TileSpace
 from ..mapspace.unroll import UnrollSpace
+from ..mapping.serialize import mapping_from_dict, mapping_to_dict
 from ..model.cost import CostResult
-from ..search import MappingOutcome, SearchEngine, SearchStats, engine_scope
+from ..search import (
+    CheckpointJournal,
+    MappingOutcome,
+    SearchEngine,
+    SearchStats,
+    engine_scope,
+)
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
 from .order_trie import OrderingCandidate, TrieStats, enumerate_orderings
@@ -223,6 +230,7 @@ class SunstoneScheduler:
         arch: Architecture,
         options: SchedulerOptions | None = None,
         engine: SearchEngine | None = None,
+        journal: CheckpointJournal | None = None,
     ) -> None:
         self.workload = workload
         self.arch = arch
@@ -235,6 +243,11 @@ class SunstoneScheduler:
         # across searches, or built lazily from the options.
         self._engine = engine
         self._owns_engine = False
+        # Optional crash-safe checkpoint journal (docs/SEARCH.md): after
+        # every completed sweep step the frontier and running best are
+        # persisted, and a journal opened with ``resume=True`` continues
+        # the search from the last completed step instead of restarting.
+        self._journal = journal
 
     def _get_engine(self) -> SearchEngine:
         if self._engine is None:
@@ -269,8 +282,40 @@ class SunstoneScheduler:
         result.stats.wall_time_s = time.perf_counter() - start
         return result
 
+    def _run_one_phase(self, phase: str) -> ScheduleResult:
+        """Run one search phase, or restore it from the journal when a
+        prior (interrupted) run already completed it.  The restored best
+        mapping is *re-evaluated* with the live cost model, so its cost is
+        bit-identical to what the uninterrupted run would report."""
+        if self._journal is not None:
+            done = self._journal.last("phase_done", phase=phase)
+            if done is not None:
+                return self._restore_phase_result(done)
+        result = self._schedule_once(phase=phase)
+        if self._journal is not None:
+            self._journal.append({
+                "type": "phase_done",
+                "phase": phase,
+                "mapping": (mapping_to_dict(result.mapping)
+                            if result.found else None),
+                "evaluations": result.stats.evaluations,
+            })
+            self._journal.save_cache_snapshot(self._get_engine().cache)
+        return result
+
+    def _restore_phase_result(self, entry: dict) -> ScheduleResult:
+        stats = SchedulerStats()
+        stats.search = self._get_engine().stats
+        stats.evaluations = entry["evaluations"]
+        doc = entry.get("mapping")
+        if doc is None:
+            return ScheduleResult(None, None, stats, self.options)
+        mapping = mapping_from_dict(doc)
+        cost = self._get_engine().evaluate(mapping)
+        return ScheduleResult(mapping, cost, stats, self.options)
+
     def _run_with_escalation(self) -> ScheduleResult:
-        result = self._schedule_once()
+        result = self._run_one_phase("base")
         if (self.options.auto_escalate
                 and self.options.beam_width is not None
                 and result.found
@@ -288,8 +333,9 @@ class SunstoneScheduler:
                 auto_escalate=False,
             )
             retry = SunstoneScheduler(self.workload, self.arch, wide,
-                                      engine=self._engine)
-            escalated = retry._schedule_once()
+                                      engine=self._engine,
+                                      journal=self._journal)
+            escalated = retry._run_one_phase("wide")
             escalated.stats.evaluations += result.stats.evaluations
             if escalated.found:
                 def value(r: ScheduleResult) -> float:
@@ -301,16 +347,16 @@ class SunstoneScheduler:
                     result.stats.evaluations = escalated.stats.evaluations
         return result
 
-    def _schedule_once(self) -> ScheduleResult:
+    def _schedule_once(self, phase: str = "base") -> ScheduleResult:
         start = time.perf_counter()
         stats = SchedulerStats()
         stats.search = self._get_engine().stats
         orderings = enumerate_orderings(self.workload, stats=stats.trie)
 
         if self.options.direction == "bottom-up":
-            best = self._sweep(orderings, stats, bottom_up=True)
+            best = self._sweep(orderings, stats, bottom_up=True, phase=phase)
         else:
-            best = self._sweep(orderings, stats, bottom_up=False)
+            best = self._sweep(orderings, stats, bottom_up=False, phase=phase)
 
         if best is not None and self.options.polish:
             best = self._polish(best[0], best[1], stats)
@@ -479,6 +525,7 @@ class SunstoneScheduler:
         orderings: Sequence[OrderingCandidate],
         stats: SchedulerStats,
         bottom_up: bool,
+        phase: str = "base",
     ) -> tuple[Mapping, CostResult] | None:
         num = self.arch.num_levels
         initial = _State(
@@ -489,13 +536,42 @@ class SunstoneScheduler:
             sink_level=num - 1 if bottom_up else num - 1,
         )
         frontier: list[tuple[float, _State]] = [(float("inf"), initial)]
-        steps = range(num - 1) if bottom_up else range(num - 2, -1, -1)
+        steps = list(range(num - 1) if bottom_up else range(num - 2, -1, -1))
 
         # Every estimated partial is a complete (if possibly suboptimal)
         # mapping, so the best valid one seen anywhere is the answer.
         engine = self._get_engine()
         best: tuple[float, Mapping, CostResult] | None = None
-        for level in steps:
+
+        # Crash recovery: pick the sweep up after the last journaled step.
+        # A frontier `_State` is all integers/strings, so it round-trips
+        # JSON exactly, and the restored best mapping is re-evaluated so
+        # its cost (and every later comparison) is bit-identical to an
+        # uninterrupted run.  The journaled *scores* are display-only:
+        # the sweep loop never reads a frontier value across steps.
+        start_ordinal = 0
+        if self._journal is not None:
+            restored = self._journal.last("level", phase=phase)
+            if restored is not None:
+                start_ordinal = restored["step"] + 1
+                frontier = [(value, self._state_from_doc(doc))
+                            for value, doc in restored["frontier"]]
+                stats.evaluations = restored["evaluations"]
+                stats.pruned_alpha_beta = restored["pruned_alpha_beta"]
+                stats.pruned_beam = restored["pruned_beam"]
+                if restored["best"] is not None:
+                    mapping = mapping_from_dict(restored["best"])
+                    cost = engine.evaluate(mapping)
+                    value = (cost.edp if self.options.objective == "edp"
+                             else cost.energy_pj)
+                    best = (value, mapping, cost)
+                if not frontier:
+                    # The sweep had already exhausted its frontier.
+                    start_ordinal = len(steps)
+
+        for ordinal, level in enumerate(steps):
+            if ordinal < start_ordinal:
+                continue
             level_start = time.perf_counter()
             children: list[_State] = []
             for _, state in frontier:
@@ -532,14 +608,70 @@ class SunstoneScheduler:
                 self.arch.levels[level].name,
                 time.perf_counter() - level_start)
             if not scored:
+                frontier = []
+                self._journal_level(phase, ordinal, level, frontier,
+                                    best, stats)
                 break
             remaining_steps = (num - 1 - level) if bottom_up else (level + 1)
             frontier = self._prune(scored, stats, remaining_steps)
+            self._journal_level(phase, ordinal, level, frontier, best, stats)
         engine.stats.prunes += stats.pruned_alpha_beta + stats.pruned_beam
 
         if best is not None:
             return best[1], best[2]
         return None
+
+    # ------------------------------------------------------------------
+    # checkpoint (de)serialisation
+    # ------------------------------------------------------------------
+    def _journal_level(
+        self,
+        phase: str,
+        ordinal: int,
+        level: int,
+        frontier: list[tuple[float, _State]],
+        best: tuple[float, Mapping, CostResult] | None,
+        stats: SchedulerStats,
+    ) -> None:
+        """Persist one completed sweep step: the pruned frontier, the
+        running best, and the counters a resume must restore."""
+        if self._journal is None:
+            return
+        self._journal.append({
+            "type": "level",
+            "phase": phase,
+            "step": ordinal,
+            "level": level,
+            "frontier": [[value, self._state_doc(state)]
+                         for value, state in frontier],
+            "best": mapping_to_dict(best[1]) if best is not None else None,
+            "evaluations": stats.evaluations,
+            "pruned_alpha_beta": stats.pruned_alpha_beta,
+            "pruned_beam": stats.pruned_beam,
+        })
+        self._journal.save_cache_snapshot(self._get_engine().cache)
+
+    @staticmethod
+    def _state_doc(state: _State) -> dict:
+        return {
+            "temporal": [dict(t) for t in state.temporal],
+            "spatial": [dict(s) for s in state.spatial],
+            "orders": [list(o) if o is not None else None
+                       for o in state.orders],
+            "frontier": dict(state.frontier),
+            "sink_level": state.sink_level,
+        }
+
+    @staticmethod
+    def _state_from_doc(doc: dict) -> _State:
+        return _State(
+            temporal=tuple(dict(t) for t in doc["temporal"]),
+            spatial=tuple(dict(s) for s in doc["spatial"]),
+            orders=tuple(tuple(o) if o is not None else None
+                         for o in doc["orders"]),
+            frontier=dict(doc["frontier"]),
+            sink_level=doc["sink_level"],
+        )
 
     def _prune(
         self,
@@ -982,6 +1114,8 @@ def schedule(
     arch: Architecture,
     options: SchedulerOptions | None = None,
     engine: SearchEngine | None = None,
+    journal: CheckpointJournal | None = None,
 ) -> ScheduleResult:
     """Convenience wrapper: ``SunstoneScheduler(workload, arch).schedule()``."""
-    return SunstoneScheduler(workload, arch, options, engine=engine).schedule()
+    return SunstoneScheduler(workload, arch, options, engine=engine,
+                             journal=journal).schedule()

@@ -351,16 +351,18 @@ class PartialEvalCache:
     configuration — both change term *values*, so sharing one cache across
     configurations would be unsound; :meth:`check_config` guards misuse.
     Keys embed the workload's interned structural token, so one cache can
-    serve every layer of a network safely.  ``max_entries=None`` disables
-    eviction.
+    serve every layer of a network safely.  ``max_entries=None`` or ``0``
+    disables eviction (matching the CLI's documented
+    ``--cache-size 0 = unbounded``).
     """
 
     def __init__(self, max_entries: int | None = 200_000,
                  partial_reuse: bool = True,
                  sparsity: "SparsitySpec | None" = None) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be >= 1 or None")
-        self.max_entries = max_entries
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(
+                "max_entries must be >= 0 or None (0 = unbounded)")
+        self.max_entries = max_entries or None
         self.partial_reuse = bool(partial_reuse)
         self.sparsity = sparsity
         self.hits = 0
@@ -395,6 +397,11 @@ class PartialEvalCache:
         return entry
 
     def put(self, key: tuple, value: tuple) -> None:
+        if key in self._entries:
+            # Refresh recency; replacing never evicts (size is unchanged).
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
         self._entries[key] = value
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:

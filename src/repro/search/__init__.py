@@ -2,24 +2,39 @@
 
 from ..model.terms import PartialEvalCache
 from .cache import EvalCache
+from .checkpoint import (
+    CheckpointJournal,
+    JournalError,
+    atomic_write_json,
+    read_journal_entries,
+)
 from .engine import SearchEngine, engine_scope, resolve_engine
+from .faults import FaultPlan, InjectedFault, plan_from_env
 from .result import MappingOutcome
 from .fingerprint import (
     architecture_fingerprint,
     mapping_fingerprint,
     workload_fingerprint,
 )
-from .stats import SearchStats
+from .stats import FaultStats, SearchStats
 
 __all__ = [
+    "CheckpointJournal",
     "EvalCache",
+    "FaultPlan",
+    "FaultStats",
+    "InjectedFault",
+    "JournalError",
     "MappingOutcome",
     "PartialEvalCache",
     "SearchEngine",
     "SearchStats",
     "architecture_fingerprint",
+    "atomic_write_json",
     "engine_scope",
     "mapping_fingerprint",
+    "plan_from_env",
+    "read_journal_entries",
     "resolve_engine",
     "workload_fingerprint",
 ]

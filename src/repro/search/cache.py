@@ -14,13 +14,15 @@ class EvalCache:
     Keys are canonical mapping fingerprints
     (:func:`repro.search.fingerprint.mapping_fingerprint`), so a hit is
     guaranteed to carry the exact result a fresh evaluation would
-    produce.  ``max_entries=None`` disables eviction.
+    produce.  ``max_entries=None`` or ``0`` disables eviction
+    (matching the CLI's documented ``--cache-size 0 = unbounded``).
     """
 
     def __init__(self, max_entries: int | None = 200_000) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be >= 1 or None")
-        self.max_entries = max_entries
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(
+                "max_entries must be >= 0 or None (0 = unbounded)")
+        self.max_entries = max_entries or None
         self.hits = 0
         self.misses = 0
         self.evictions = 0

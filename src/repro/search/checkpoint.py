@@ -1,0 +1,259 @@
+"""Crash-safe checkpointing for long-running searches (docs/SEARCH.md).
+
+Two primitives live here:
+
+:func:`atomic_write_json`
+    Write-to-temp + ``os.replace`` so a crash mid-write can never leave
+    a truncated, unparseable document at the destination (used by the
+    CLI's ``--stats-json`` and the benchmark ``BENCH_*.json`` writers).
+
+:class:`CheckpointJournal`
+    An append-only JSON-lines journal with a per-line CRC.  Writers
+    append one self-contained entry per unit of completed work (a
+    scheduler level step, a network layer, a compare mapper) and
+    ``fsync`` each line; readers recover every *complete* entry and
+    silently drop a truncated or corrupt tail — exactly what a
+    SIGKILL/OOM mid-append leaves behind.  On resume the file is first
+    compacted back to its complete prefix (atomically), so new appends
+    never chase garbage.
+
+The journal stores only deterministic *decisions* (integer tile
+factors, loop orders, mapping documents) — never floating-point state
+that downstream search steps would consume — so a resumed search
+replays the exact candidate stream of an uninterrupted one and
+provably converges to the same best mapping (pinned by
+``tests/test_checkpoint.py``).
+
+An optional sidecar (``<path>.cache.pkl``) snapshots the
+:class:`~repro.search.cache.EvalCache` so a resumed search also starts
+warm; it is a pure accelerator and never changes results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import zlib
+from typing import Any, Iterable
+
+from .cache import EvalCache
+from .faults import KILL_EXIT_CODE, checkpoint_kill_after
+
+
+class JournalError(RuntimeError):
+    """A checkpoint journal is unusable for this search (e.g. it was
+    written by a different workload/architecture/options combination)."""
+
+
+def _atomic_write_bytes(path: str, payload: bytes) -> None:
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, document: Any, indent: int | None = 2,
+                      ) -> None:
+    """Serialise ``document`` and move it into place atomically.
+
+    The temp file lives in the destination's directory so ``os.replace``
+    is a same-filesystem rename; a crash at any point leaves either the
+    previous file or the complete new one, never a truncated mix.
+    """
+    payload = (json.dumps(document, indent=indent) + "\n").encode("utf-8")
+    _atomic_write_bytes(path, payload)
+
+
+def _canonical(entry: Any) -> bytes:
+    return json.dumps(entry, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _encode_line(entry: Any) -> str:
+    return json.dumps({"crc": zlib.crc32(_canonical(entry)),
+                       "entry": entry}) + "\n"
+
+
+def read_journal_entries(path: str) -> list[dict]:
+    """Every complete entry of ``path``, in order.
+
+    Parsing stops at the first incomplete line — a missing trailing
+    newline, malformed JSON, or a CRC mismatch — which is what a kill
+    mid-append leaves; everything before it is trusted.
+    """
+    entries: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return entries
+    for line in lines:
+        if not line.endswith("\n"):
+            break
+        try:
+            doc = json.loads(line)
+            entry = doc["entry"]
+            crc = doc["crc"]
+        except (ValueError, KeyError, TypeError):
+            break
+        if not isinstance(crc, int) or zlib.crc32(_canonical(entry)) != crc:
+            break
+        entries.append(entry)
+    return entries
+
+
+class CheckpointJournal:
+    """Append-only, crash-tolerant journal keyed to one search setup.
+
+    Parameters
+    ----------
+    path:
+        Journal file (JSON lines).  A fresh journal truncates it; with
+        ``resume=True`` the complete prefix is recovered first and new
+        entries continue after it.
+    meta:
+        Configuration fingerprint of the search (workload, architecture,
+        objective, shard, ...).  Stored as the first entry; a resume
+        against a journal whose stored meta differs raises
+        :class:`JournalError` — resuming a *different* search from this
+        file would silently produce wrong results.
+    cache_snapshots:
+        Enable :meth:`save_cache_snapshot` / :meth:`load_cache_snapshot`
+        (the ``<path>.cache.pkl`` sidecar).
+    kill_after / kill_mode:
+        Deterministic fault injection: after ``kill_after`` successful
+        appends the journal either hard-exits the process
+        (``"exit"``, exit code ``faults.KILL_EXIT_CODE`` — the CI
+        kill-mid-search smoke) or raises ``KeyboardInterrupt``
+        (``"interrupt"`` — the in-process regression tests).  Defaults
+        to the ``REPRO_CHECKPOINT_KILL_AFTER`` environment hook.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: dict,
+        *,
+        resume: bool = False,
+        cache_snapshots: bool = False,
+        kill_after: int | None = None,
+        kill_mode: str = "exit",
+    ) -> None:
+        if kill_mode not in ("exit", "interrupt"):
+            raise ValueError("kill_mode must be 'exit' or 'interrupt'")
+        self.path = path
+        self.cache_path = path + ".cache.pkl"
+        self.cache_snapshots = cache_snapshots
+        self.meta = meta
+        self._appends = 0
+        self._kill_after = (kill_after if kill_after is not None
+                            else checkpoint_kill_after())
+        self._kill_mode = kill_mode
+        # Round-trip the meta through JSON so comparison on resume sees
+        # the same types the journal file stores (tuples -> lists, ...).
+        meta_rt = json.loads(_canonical(meta))
+        if resume:
+            recovered = read_journal_entries(path)
+            if recovered and recovered[0].get("type") == "meta":
+                stored = recovered[0].get("meta")
+                if stored != meta_rt:
+                    raise JournalError(
+                        f"checkpoint {path} was written by a different "
+                        f"search configuration; refusing to resume")
+                self.entries: list[dict] = recovered[1:]
+                # Compact away any truncated tail so appends continue
+                # after the last *complete* entry.
+                self._rewrite(recovered)
+                return
+            # Missing or unusable journal: resume degenerates to a
+            # fresh run (the caller simply has no prior entries).
+            self.entries = []
+            self._rewrite([{"type": "meta", "meta": meta_rt}])
+        else:
+            self.entries = []
+            self._rewrite([{"type": "meta", "meta": meta_rt}])
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _rewrite(self, entries: Iterable[dict]) -> None:
+        payload = "".join(_encode_line(e) for e in entries).encode("utf-8")
+        _atomic_write_bytes(self.path, payload)
+
+    def append(self, entry: dict) -> None:
+        """Durably append one complete entry (fsync'd), then honour the
+        injected kill hook if one is armed."""
+        line = _encode_line(entry)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.entries.append(json.loads(_canonical(entry)))
+        self._appends += 1
+        if self._kill_after is not None and self._appends >= self._kill_after:
+            if self._kill_mode == "interrupt":
+                self._kill_after = None
+                raise KeyboardInterrupt(
+                    f"injected kill after {self._appends} journal appends")
+            os._exit(KILL_EXIT_CODE)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def last(self, entry_type: str, **match: Any) -> dict | None:
+        """The most recent prior entry of ``entry_type`` whose fields
+        equal ``match`` (resume-time lookup)."""
+        for entry in reversed(self.entries):
+            if entry.get("type") != entry_type:
+                continue
+            if all(entry.get(k) == v for k, v in match.items()):
+                return entry
+        return None
+
+    def all(self, entry_type: str) -> list[dict]:
+        return [e for e in self.entries if e.get("type") == entry_type]
+
+    # ------------------------------------------------------------------
+    # optional EvalCache sidecar
+    # ------------------------------------------------------------------
+    def save_cache_snapshot(self, cache: EvalCache | None) -> None:
+        """Atomically snapshot the result cache (no-op unless enabled)."""
+        if not self.cache_snapshots or cache is None:
+            return
+        payload = pickle.dumps({
+            "max_entries": cache.max_entries,
+            "entries": list(cache._entries.items()),
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(self.cache_path, payload)
+
+    def load_cache_snapshot(self) -> EvalCache | None:
+        """Rebuild the snapshotted cache, or ``None`` when absent or
+        unreadable (a stale/corrupt sidecar only costs warm-up time,
+        never correctness, so it is dropped silently)."""
+        if not self.cache_snapshots:
+            return None
+        try:
+            with open(self.cache_path, "rb") as handle:
+                doc = pickle.load(handle)
+            cache = EvalCache(max_entries=doc["max_entries"])
+            for key, result in doc["entries"]:
+                cache.put(key, result)
+            return cache
+        except Exception:
+            # A corrupt/stale sidecar can fail in arbitrary pickle-layer
+            # ways; all of them just mean "start cold".
+            return None

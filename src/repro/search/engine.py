@@ -34,7 +34,8 @@ from __future__ import annotations
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
@@ -45,6 +46,7 @@ from ..model.cost import CostResult, evaluate
 from ..model.terms import PartialEvalCache
 from ..sparse.spec import SparsitySpec
 from .cache import EvalCache
+from .faults import FaultPlan, InjectedFault, plan_from_env, trip_chunk_fault
 from .fingerprint import (
     Fingerprint,
     architecture_fingerprint,
@@ -53,12 +55,20 @@ from .fingerprint import (
 )
 from .stats import SearchStats
 
+# A chunk gets at most this many pool attempts before its evaluation
+# falls back in-process (where injected faults no longer apply, so the
+# retry either succeeds or surfaces the genuine model error).
+_MAX_CHUNK_ATTEMPTS = 2
+# In-process evaluation retries after an injected fault before giving up.
+_MAX_EVAL_RETRIES = 3
+
 
 def _evaluate_chunk(
-    payload: tuple[list[Mapping], bool, SparsitySpec | None],
+    payload: tuple[list[Mapping], bool, SparsitySpec | None, str | None],
 ) -> list[CostResult]:
     """Top-level worker so process pools can pickle it."""
-    mappings, partial_reuse, sparsity = payload
+    mappings, partial_reuse, sparsity, fault = payload
+    trip_chunk_fault(fault)
     return [evaluate(m, partial_reuse=partial_reuse, sparsity=sparsity)
             for m in mappings]
 
@@ -102,6 +112,22 @@ class SearchEngine:
         engine's ``(partial_reuse, sparsity)``; ``False``/``None``
         disables term memoisation; or pass an instance to share one
         (its configuration is verified).
+    chunk_timeout:
+        Per-chunk wall-clock budget (seconds) for pooled evaluation.
+        A chunk that exceeds it is declared lost: the pool is rebuilt
+        (the stuck worker is abandoned) and the chunk re-submitted.
+        ``None`` (default) waits indefinitely.
+    fault_plan:
+        Optional :class:`~repro.search.faults.FaultPlan` injecting
+        deterministic worker crashes / chunk timeouts / evaluation
+        exceptions for the regression suite.  Defaults to the
+        ``REPRO_FAULTS`` environment hook (usually unset).
+    max_pool_rebuilds:
+        Pool rebuilds allowed per ``evaluate_many`` batch before the
+        engine degrades to in-process evaluation for the remaining
+        chunks (and permanently to ``workers=1``); results are
+        bit-identical either way, and every recovery event is counted
+        in ``stats.faults``.
     """
 
     def __init__(
@@ -114,6 +140,11 @@ class SearchEngine:
         batch: bool = True,
         cache_size: int | None = None,
         partial_cache: PartialEvalCache | bool | None = True,
+        chunk_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_pool_rebuilds: int = 1,
+        rebuild_backoff_s: float = 0.05,
+        clamp_workers: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -121,16 +152,26 @@ class SearchEngine:
             raise ValueError("chunk_size must be >= 1")
         if cache_size is not None and cache_size < 0:
             raise ValueError("cache_size must be >= 0 (0 = unbounded)")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be > 0 or None")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
         self.workers = workers
         # Evaluation is CPU-bound pure Python: a pool wider than the
         # physical core count only adds pickling overhead, so the pool
         # (and the serial-vs-parallel crossover) is sized by this clamp.
-        self._effective_workers = min(workers, os.cpu_count() or 1)
+        # ``clamp_workers=False`` keeps the requested width even on
+        # narrow machines — the fault-recovery tests need a real pool
+        # regardless of the host's core count.
+        if clamp_workers:
+            self._effective_workers = min(workers, os.cpu_count() or 1)
+        else:
+            self._effective_workers = workers
         if cache is True:
             if cache_size is None:
                 cache = EvalCache()
             else:
-                cache = EvalCache(max_entries=cache_size or None)
+                cache = EvalCache(max_entries=cache_size)
         elif cache is False:
             cache = None
         self.cache: EvalCache | None = cache
@@ -145,7 +186,7 @@ class SearchEngine:
                     partial_reuse=partial_reuse, sparsity=sparsity)
             else:
                 partial_cache = PartialEvalCache(
-                    max_entries=cache_size or None,
+                    max_entries=cache_size,
                     partial_reuse=partial_reuse, sparsity=sparsity)
         elif partial_cache is False:
             partial_cache = None
@@ -153,6 +194,17 @@ class SearchEngine:
             partial_cache.check_config(partial_reuse, sparsity)
         self.partial_cache: PartialEvalCache | None = partial_cache
         self.stats = SearchStats(workers=self._effective_workers)
+        self.chunk_timeout = chunk_timeout
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.rebuild_backoff_s = rebuild_backoff_s
+        # Capped exponential backoff between pool rebuilds.
+        self.rebuild_backoff_cap_s = 2.0
+        self._fault_plan = fault_plan if fault_plan is not None \
+            else plan_from_env()
+        # Deterministic dispatch-site counters for fault injection:
+        # pooled chunk dispatches and in-process evaluation calls.
+        self._chunk_site = 0
+        self._eval_site = 0
         self._pool: ProcessPoolExecutor | None = None
         # Workload/architecture fingerprints are invariant across the
         # thousands of candidates of one search; memoise them by object
@@ -163,9 +215,13 @@ class SearchEngine:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool (idempotent).
+
+        Pending chunks are cancelled so an interrupted search (Ctrl-C
+        mid-batch) never pins the interpreter waiting on queued work.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "SearchEngine":
@@ -173,6 +229,16 @@ class SearchEngine:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def _degrade_to_serial(self) -> None:
+        """Give up on process parallelism for the rest of this engine's
+        life; record the event so ``--stats-json`` consumers can tell a
+        requested-parallel-but-serial run from a genuine ``workers=1``
+        run."""
+        self.workers = 1
+        self._effective_workers = 1
+        self.stats.workers = 1
+        self.stats.faults.degraded_serial = True
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self._effective_workers == 1:
@@ -184,9 +250,34 @@ class SearchEngine:
             except (OSError, ValueError):
                 # Restricted environments (no /dev/shm, no fork) fall
                 # back to in-process evaluation; results are identical.
-                self.workers = 1
-                self._effective_workers = 1
-                self.stats.workers = 1
+                self._degrade_to_serial()
+        return self._pool
+
+    def _abort_pool(self) -> None:
+        """Tear down the pool without waiting on stuck/broken workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _rebuild_pool(self, rebuild_index: int) -> ProcessPoolExecutor | None:
+        """Replace a broken/stuck pool, or ``None`` once the per-batch
+        rebuild budget is exhausted (the engine then degrades to
+        in-process evaluation, bit-identically)."""
+        self._abort_pool()
+        if rebuild_index >= self.max_pool_rebuilds:
+            self._degrade_to_serial()
+            return None
+        delay = min(self.rebuild_backoff_s * (2 ** rebuild_index),
+                    self.rebuild_backoff_cap_s)
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._effective_workers)
+        except (OSError, ValueError):
+            self._degrade_to_serial()
+            return None
+        self.stats.faults.pool_rebuilds += 1
         return self._pool
 
     # ------------------------------------------------------------------
@@ -215,14 +306,40 @@ class SearchEngine:
             self.stats.partial_misses = pc.misses
             self.stats.partial_evictions = pc.evictions
 
+    def _model_eval(self, mapping: Mapping) -> CostResult:
+        """One in-process cost-model call, surviving injected faults.
+
+        An :class:`InjectedFault` from the fault plan is retried in
+        place (counted in ``stats.faults``); the model itself is pure,
+        so a retry is bit-identical to an undisturbed call.
+        """
+        plan = self._fault_plan
+        if plan is None:
+            return evaluate(mapping, partial_reuse=self.partial_reuse,
+                            sparsity=self.sparsity,
+                            partial_cache=self.partial_cache)
+        site = self._eval_site
+        self._eval_site += 1
+        attempt = 0
+        while True:
+            try:
+                plan.check_eval(site, attempt)
+                return evaluate(mapping, partial_reuse=self.partial_reuse,
+                                sparsity=self.sparsity,
+                                partial_cache=self.partial_cache)
+            except InjectedFault:
+                self.stats.faults.injected += 1
+                attempt += 1
+                if attempt > _MAX_EVAL_RETRIES:
+                    raise
+                self.stats.faults.retries += 1
+
     def evaluate(self, mapping: Mapping) -> CostResult:
         """Evaluate one mapping, through the cache, in-process."""
         if self.cache is None:
             self.stats.evaluations += 1
             start = time.perf_counter()
-            result = evaluate(mapping, partial_reuse=self.partial_reuse,
-                              sparsity=self.sparsity,
-                              partial_cache=self.partial_cache)
+            result = self._model_eval(mapping)
             self.stats.add_stage_time("model",
                                       time.perf_counter() - start)
             self._sync_partial_stats()
@@ -233,9 +350,7 @@ class SearchEngine:
             self.stats.cache_hits += 1
             return cached
         start = time.perf_counter()
-        result = evaluate(mapping, partial_reuse=self.partial_reuse,
-                          sparsity=self.sparsity,
-                          partial_cache=self.partial_cache)
+        result = self._model_eval(mapping)
         self.stats.add_stage_time("model", time.perf_counter() - start)
         self.stats.evaluations += 1
         self.stats.cache_misses += 1
@@ -324,10 +439,7 @@ class SearchEngine:
         workers = self._effective_workers
         if workers == 1 or len(mappings) < 2 * workers:
             start = time.perf_counter()
-            results = [evaluate(m, partial_reuse=self.partial_reuse,
-                                sparsity=self.sparsity,
-                                partial_cache=self.partial_cache)
-                       for m in mappings]
+            results = [self._model_eval(m) for m in mappings]
             self.stats.add_stage_time("model",
                                       time.perf_counter() - start)
             self._sync_partial_stats()
@@ -335,26 +447,121 @@ class SearchEngine:
         pool = self._ensure_pool()
         if pool is None:  # pool creation failed; workers reset to 1
             start = time.perf_counter()
-            results = [evaluate(m, partial_reuse=self.partial_reuse,
-                                sparsity=self.sparsity,
-                                partial_cache=self.partial_cache)
-                       for m in mappings]
+            results = [self._model_eval(m) for m in mappings]
             self.stats.add_stage_time("model",
                                       time.perf_counter() - start)
             self._sync_partial_stats()
             return results
         start = time.perf_counter()
+        try:
+            results = self._run_pooled(pool, mappings)
+        except KeyboardInterrupt:
+            # Don't let queued chunks pin the interpreter on Ctrl-C;
+            # engine_scope's cleanup will find the pool already gone.
+            self._abort_pool()
+            raise
+        self.stats.add_stage_time("pool", time.perf_counter() - start)
+        return results
+
+    def _eval_chunk_inline(self, chunk: list[Mapping]) -> list[CostResult]:
+        """In-process fallback for a chunk the pool lost; bit-identical
+        to what the worker would have returned (the model is pure and
+        the partial cache is a transparent accelerator)."""
+        return [evaluate(m, partial_reuse=self.partial_reuse,
+                         sparsity=self.sparsity,
+                         partial_cache=self.partial_cache)
+                for m in chunk]
+
+    def _run_pooled(
+        self, pool: ProcessPoolExecutor, mappings: list[Mapping],
+    ) -> list[CostResult]:
+        """Fan chunks over the pool, surviving worker crashes, chunk
+        timeouts and evaluation exceptions.
+
+        A ``BrokenProcessPool`` or a per-chunk timeout rebuilds the
+        pool (capped backoff, at most ``max_pool_rebuilds`` per batch)
+        and re-submits only the chunks that never completed; once the
+        budget is exhausted — or a chunk keeps failing — the remaining
+        chunks are evaluated in-process.  Results are merged by chunk
+        index, so the returned list is bit-identical to the serial
+        path no matter which recovery branches fired.
+        """
         chunk = min(self.chunk_size,
                     math.ceil(len(mappings) / self._effective_workers))
         chunks = [mappings[i:i + chunk]
                   for i in range(0, len(mappings), chunk)]
-        results: list[CostResult] = []
-        for part in pool.map(_evaluate_chunk,
-                             [(c, self.partial_reuse, self.sparsity)
-                              for c in chunks]):
-            results.extend(part)
-        self.stats.add_stage_time("pool", time.perf_counter() - start)
-        return results
+        sites = list(range(self._chunk_site, self._chunk_site + len(chunks)))
+        self._chunk_site += len(chunks)
+        results: list[list[CostResult] | None] = [None] * len(chunks)
+        attempts = [0] * len(chunks)
+        pending = list(range(len(chunks)))
+        faults = self.stats.faults
+        rebuilds = 0
+        while pending:
+            pool_batch = []
+            for i in pending:
+                if pool is None or attempts[i] >= _MAX_CHUNK_ATTEMPTS:
+                    results[i] = self._eval_chunk_inline(chunks[i])
+                    faults.degraded_chunks += 1
+                else:
+                    pool_batch.append(i)
+            if not pool_batch:
+                break
+            futures = {}
+            lost: list[int] = []
+            pool_broken = False
+            for i in pool_batch:
+                fault = None
+                if self._fault_plan is not None:
+                    fault = self._fault_plan.chunk_fault(sites[i],
+                                                         attempts[i])
+                if fault is not None:
+                    faults.injected += 1
+                if fault == "timeout":
+                    # Dispatch-layer stand-in for a hung worker: the
+                    # chunk is lost without waiting, and the pool must
+                    # be reclaimed just as for a wall-clock expiry.
+                    faults.chunk_timeouts += 1
+                    attempts[i] += 1
+                    lost.append(i)
+                    pool_broken = True
+                    continue
+                futures[i] = pool.submit(
+                    _evaluate_chunk,
+                    (chunks[i], self.partial_reuse, self.sparsity, fault))
+            for i, future in futures.items():
+                try:
+                    results[i] = future.result(timeout=self.chunk_timeout)
+                except InjectedFault:
+                    attempts[i] += 1
+                    lost.append(i)
+                except FuturesTimeout:
+                    faults.chunk_timeouts += 1
+                    attempts[i] += 1
+                    lost.append(i)
+                    pool_broken = True
+                except BrokenExecutor:
+                    # One crash breaks every outstanding future; count
+                    # the event once, not once per affected chunk.
+                    if not pool_broken:
+                        faults.crashes_recovered += 1
+                    attempts[i] += 1
+                    lost.append(i)
+                    pool_broken = True
+                except Exception:
+                    # A genuine evaluation error: skip straight to the
+                    # in-process retry, which surfaces it undisturbed.
+                    attempts[i] = _MAX_CHUNK_ATTEMPTS
+                    lost.append(i)
+            faults.retries += len(lost)
+            if pool_broken:
+                pool = self._rebuild_pool(rebuilds)
+                rebuilds += 1
+            pending = sorted(lost)
+        flat: list[CostResult] = []
+        for part in results:
+            flat.extend(part)  # type: ignore[arg-type]
+        return flat
 
 
 def resolve_engine(

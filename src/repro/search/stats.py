@@ -6,6 +6,68 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class FaultStats:
+    """Fault-recovery accounting (docs/SEARCH.md, "Fault recovery").
+
+    ``crashes_recovered`` counts ``BrokenProcessPool`` events survived;
+    ``chunk_timeouts`` counts chunks declared lost on a per-chunk
+    timeout (wall-clock or injected); ``retries`` counts chunk
+    re-submissions and in-process evaluation retries; ``pool_rebuilds``
+    counts worker pools torn down and rebuilt mid-batch; ``injected``
+    counts faults fired by a :class:`~repro.search.faults.FaultPlan`;
+    ``degraded_chunks`` counts chunks evaluated in-process after the
+    engine gave up on the pool (results stay bit-identical); and
+    ``degraded_serial`` is set when the engine permanently fell back to
+    in-process evaluation (pool construction failed, or rebuilds were
+    exhausted) — it distinguishes a requested-parallel-but-serial run
+    from a genuine ``workers=1`` run in ``--stats-json`` output.
+    """
+
+    crashes_recovered: int = 0
+    chunk_timeouts: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    injected: int = 0
+    degraded_chunks: int = 0
+    degraded_serial: bool = False
+
+    def any(self) -> bool:
+        """True when any fault-path counter moved."""
+        return bool(self.crashes_recovered or self.chunk_timeouts
+                    or self.retries or self.pool_rebuilds or self.injected
+                    or self.degraded_chunks or self.degraded_serial)
+
+    def merge(self, other: "FaultStats") -> None:
+        self.crashes_recovered += other.crashes_recovered
+        self.chunk_timeouts += other.chunk_timeouts
+        self.retries += other.retries
+        self.pool_rebuilds += other.pool_rebuilds
+        self.injected += other.injected
+        self.degraded_chunks += other.degraded_chunks
+        self.degraded_serial = self.degraded_serial or other.degraded_serial
+
+    def to_dict(self) -> dict:
+        return {
+            "crashes_recovered": self.crashes_recovered,
+            "chunk_timeouts": self.chunk_timeouts,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "injected": self.injected,
+            "degraded_chunks": self.degraded_chunks,
+            "degraded_serial": self.degraded_serial,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"crashes recovered {self.crashes_recovered}, "
+            f"chunk timeouts {self.chunk_timeouts}, "
+            f"retries {self.retries}, pool rebuilds {self.pool_rebuilds}, "
+            f"degraded chunks {self.degraded_chunks}"
+            + (" [degraded to serial]" if self.degraded_serial else "")
+        )
+
+
+@dataclass
 class SearchStats:
     """Evaluation-engine accounting (Fig. 9 overhead study).
 
@@ -41,6 +103,7 @@ class SearchStats:
     partial_misses: int = 0
     partial_evictions: int = 0
     stage_time_s: dict[str, float] = field(default_factory=dict)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def requests(self) -> int:
@@ -90,6 +153,7 @@ class SearchStats:
         self.partial_evictions += other.partial_evictions
         for name, seconds in other.stage_time_s.items():
             self.add_stage_time(name, seconds)
+        self.faults.merge(other.faults)
 
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot (used by the CLI's ``--stats-json``)."""
@@ -112,6 +176,7 @@ class SearchStats:
             "partial_requests": self.partial_requests,
             "partial_hit_rate": self.partial_hit_rate,
             "stage_time_s": dict(self.stage_time_s),
+            "faults": self.faults.to_dict(),
         }
 
     def summary(self) -> str:
@@ -143,4 +208,6 @@ class SearchStats:
              f"({self.partial_hit_rate:.0%} of {self.partial_requests} "
              f"requests), evictions {self.partial_evictions}"),
         ]
+        if self.faults.any():
+            lines.append(f"  faults: {self.faults.summary()}")
         return "\n".join(lines)

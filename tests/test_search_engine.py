@@ -178,6 +178,19 @@ class TestEvalCache:
         assert cache.evictions == 0
         assert cache.get("a") == 10
 
+    def test_overwrite_at_capacity_refreshes_recency(self):
+        # Re-putting an existing key at capacity must neither evict nor
+        # bump the eviction counter, and must refresh the key's recency.
+        cache = EvalCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # "b" is now the LRU entry
+        assert cache.evictions == 0 and len(cache) == 2
+        cache.put("c", 3)
+        assert cache.evictions == 1
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
     def test_clear_keeps_counters(self):
         cache = EvalCache()
         cache.put("a", 1)
@@ -186,9 +199,35 @@ class TestEvalCache:
         assert len(cache) == 0
         assert cache.hits == 1
 
+    def test_hit_rate_after_clear(self):
+        # clear() keeps the hit/miss history, so hit_rate keeps
+        # describing the whole lifetime — including post-clear misses
+        # for keys the cache used to hold.
+        cache = EvalCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_zero_means_unbounded(self):
+        # 0 = unbounded, matching the CLI's --cache-size contract; only
+        # negative capacities are rejected.
+        cache = EvalCache(max_entries=0)
+        assert cache.max_entries is None
+        for i in range(1000):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 1000 and cache.evictions == 0
+
     def test_rejects_bad_capacity(self):
-        with pytest.raises(ValueError):
-            EvalCache(max_entries=0)
+        with pytest.raises(ValueError, match="0 = unbounded"):
+            EvalCache(max_entries=-1)
+        from repro.model.terms import PartialEvalCache
+        with pytest.raises(ValueError, match="0 = unbounded"):
+            PartialEvalCache(max_entries=-1)
+        assert PartialEvalCache(max_entries=0).max_entries is None
 
 
 # ---------------------------------------------------------------------------
