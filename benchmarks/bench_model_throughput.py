@@ -1,6 +1,6 @@
-"""Model-evaluation throughput: scalar vs partial-cache vs batch.
+"""Model-evaluation and candidate-generation throughput.
 
-Times the three cost-model pipelines from ``docs/PERF.md`` on sweep-like
+Times the cost-model pipelines from ``docs/PERF.md`` on sweep-like
 cohorts (candidates sharing their inner levels, as the level sweep emits
 them) and reports evaluations/second:
 
@@ -10,6 +10,17 @@ them) and reports evaluations/second:
 * ``batch``   — ``evaluate_batch()`` per cohort with the shared cache
   (the numpy-vectorised path the search engine uses).
 
+It also times the *generation* stage on the same candidate streams
+(candidates/second), and the two stages end to end:
+
+* ``gen scalar``  — ``build_mapping()`` per candidate (one ``Mapping``
+  dataclass each, the historical producer);
+* ``gen batch``   — one :class:`~repro.mapspace.batch.NestCohort` per
+  cohort, staged straight to int64 factor matrices;
+* ``e2e scalar`` / ``e2e batch`` — generation + evaluation through the
+  respective pipeline, which is what a mapper actually pays per
+  candidate.
+
 Workloads: a ResNet-18 layer on the DianNao-like machine (the paper's
 Fig. 9 setting) and an MTTKRP on the conventional machine.  Run it from
 the repo root::
@@ -18,7 +29,8 @@ the repo root::
 
 which writes ``BENCH_model.json`` next to this repo's README.  CI runs
 ``--quick --check`` as a smoke test: small cohorts, plus a bit-identity
-assertion between the three pipelines.
+assertion between the pipelines (including generation: same
+fingerprints, same costs).
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ import random
 from repro.arch import conventional, diannao_like
 from repro.baselines.common import prime_factors
 from repro.mapping import build_mapping
+from repro.mapspace.batch import NestCohort
 from repro.model import (
     HAVE_NUMPY,
     PartialEvalCache,
@@ -51,14 +64,18 @@ _FIELDS = ("energy_pj", "cycles", "valid", "violations", "level_energy",
            "compute_energy", "noc_energy", "utilization")
 
 
-def sweep_cohorts(workload, arch, rng, n_cohorts, cohort_size):
-    """Cohorts of mappings from one level sweep over the outer levels.
+def sweep_specs(workload, arch, rng, n_cohorts, cohort_size):
+    """Cohorts of raw factor specs from one level sweep over the outer
+    levels.
 
     The inner levels are decided once — exactly the state ``_sweep()``
     carries between steps — and every candidate redistributes the
     remaining prime factors over the two outermost levels.  Terms whose
     child level sits below the perturbed levels repeat across candidates
-    and cohorts, which is the reuse the partial cache exists for.
+    and cohorts, which is the reuse the partial cache exists for.  Each
+    spec is ``(temporal_dicts, spatial_dicts, orders)`` — what the
+    generation stage turns into a ``Mapping`` (scalar) or a cohort row
+    (batch).
     """
     num = arch.num_levels
     factors = [(d, p) for d, size in workload.dims.items()
@@ -83,10 +100,39 @@ def sweep_cohorts(workload, arch, rng, n_cohorts, cohort_size):
             for d, p in factors[split:]:
                 lvl = num - 1 if rng.random() < 0.5 else num - 2
                 temporal[lvl][d] = temporal[lvl].get(d, 1) * p
-            cohort.append(
-                build_mapping(workload, arch, temporal, spatial, orders))
+            cohort.append((temporal, spatial, orders))
         cohorts.append(cohort)
     return cohorts
+
+
+def build_spec(workload, arch, spec):
+    temporal, spatial, orders = spec
+    return build_mapping(workload, arch, temporal, spatial, orders)
+
+
+def spec_to_nests(spec):
+    """The ``NestCohort`` candidate equivalent to ``build_spec``'s
+    Mapping: full-order temporal nests (trivial factors included) and
+    sorted spatial factor tuples."""
+    temporal, spatial, orders = spec
+    nests = tuple(
+        tuple((d, temporal[lvl].get(d, 1)) for d in orders[lvl])
+        for lvl in range(len(temporal))
+    )
+    spatials = tuple(
+        tuple(sorted(spatial[lvl].items()))
+        for lvl in range(len(spatial))
+    )
+    return nests, spatials
+
+
+def sweep_cohorts(workload, arch, rng, n_cohorts, cohort_size):
+    """The spec cohorts materialised as mappings (evaluation modes)."""
+    return [
+        [build_spec(workload, arch, spec) for spec in cohort]
+        for cohort in sweep_specs(workload, arch, rng, n_cohorts,
+                                  cohort_size)
+    ]
 
 
 def run_scalar(cohorts):
@@ -119,6 +165,102 @@ def run_batch(cohorts):
 
 _MODES = (("scalar", run_scalar), ("partial", run_partial),
           ("batch", run_batch))
+
+
+# ---------------------------------------------------------------------------
+# generation stage and end-to-end (generation + evaluation)
+# ---------------------------------------------------------------------------
+
+def run_gen_scalar(workload, arch, spec_cohorts):
+    start = time.perf_counter()
+    out = []
+    for cohort in spec_cohorts:
+        out.append([build_spec(workload, arch, spec) for spec in cohort])
+    return out, time.perf_counter() - start
+
+
+def run_gen_batch(workload, arch, spec_cohorts):
+    start = time.perf_counter()
+    out = []
+    for cohort in spec_cohorts:
+        nest_cohort = NestCohort.from_nests(
+            workload, arch, [spec_to_nests(spec) for spec in cohort])
+        nest_cohort.geometry()  # stage the factor matrices
+        out.append(nest_cohort)
+    return out, time.perf_counter() - start
+
+
+def run_e2e_scalar(workload, arch, spec_cohorts):
+    start = time.perf_counter()
+    out = []
+    for cohort in spec_cohorts:
+        for spec in cohort:
+            out.append(evaluate(build_spec(workload, arch, spec)))
+    return out, time.perf_counter() - start
+
+
+def run_e2e_batch(workload, arch, spec_cohorts):
+    start = time.perf_counter()
+    out = []
+    for cohort in spec_cohorts:
+        nest_cohort = NestCohort.from_nests(
+            workload, arch, [spec_to_nests(spec) for spec in cohort])
+        costs = nest_cohort.evaluate_rows(
+            range(len(cohort)), True, None, None)
+        if costs is None:  # no numpy: per-row scalar fallback
+            costs = [evaluate(nest_cohort.materialize(i))
+                     for i in range(len(cohort))]
+        out.extend(costs)
+    return out, time.perf_counter() - start
+
+
+def bench_generation(workload, arch, *, n_cohorts, cohort_size, repeats,
+                     check):
+    rng = random.Random(0)
+    spec_cohorts = sweep_specs(workload, arch, rng, n_cohorts, cohort_size)
+    n_cands = sum(len(c) for c in spec_cohorts)
+    evaluate(build_spec(workload, arch, spec_cohorts[0][0]))  # warm memos
+
+    row = {"candidates": n_cands}
+    outputs = {}
+    modes = (("gen_scalar", run_gen_scalar), ("gen_batch", run_gen_batch),
+             ("e2e_scalar", run_e2e_scalar), ("e2e_batch", run_e2e_batch))
+    for name, runner in modes:
+        best = float("inf")
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            try:
+                out, elapsed = runner(workload, arch, spec_cohorts)
+            finally:
+                gc.enable()
+            best = min(best, elapsed)
+        outputs[name] = out
+        unit = "cands" if name.startswith("gen") else "evals"
+        row[f"{name}_{unit}_per_s"] = n_cands / best
+        row[f"{name}_time_s"] = best
+    row["speedup_gen_batch_vs_scalar"] = (
+        row["gen_batch_cands_per_s"] / row["gen_scalar_cands_per_s"])
+    row["speedup_e2e_batch_vs_scalar"] = (
+        row["e2e_batch_evals_per_s"] / row["e2e_scalar_evals_per_s"])
+
+    if check:
+        from repro.search import mapping_fingerprint
+        flat_mappings = [m for cohort in outputs["gen_scalar"]
+                         for m in cohort]
+        rebuilt = [cohort.materialize(i) for cohort in outputs["gen_batch"]
+                   for i in range(len(cohort))]
+        for i, (a, b) in enumerate(zip(flat_mappings, rebuilt)):
+            assert mapping_fingerprint(a) == mapping_fingerprint(b), (
+                f"{workload.name}: batch generation candidate {i} "
+                f"diverges from build_mapping")
+        for i, oracle in enumerate(outputs["e2e_scalar"]):
+            got = outputs["e2e_batch"][i]
+            for field in _FIELDS:
+                assert getattr(oracle, field) == getattr(got, field), (
+                    f"{workload.name}: e2e batch result {i} diverges "
+                    f"from scalar on {field}")
+    return row
 
 
 def bench_workload(workload, arch, *, n_cohorts, cohort_size, repeats,
@@ -198,6 +340,7 @@ def main(argv=None):
     }
     for label, workload, arch in cases:
         row = bench_workload(workload, arch, **shape)
+        row.update(bench_generation(workload, arch, **shape))
         report["workloads"][label] = row
         print(f"{label}: {row['evaluations']} evals | "
               f"scalar {row['scalar_evals_per_s']:.0f}/s, "
@@ -205,12 +348,24 @@ def main(argv=None):
               f"({row['speedup_partial_vs_scalar']:.2f}x), "
               f"batch {row['batch_evals_per_s']:.0f}/s "
               f"({row['speedup_batch_vs_scalar']:.2f}x)")
+        print(f"{label}: generation "
+              f"scalar {row['gen_scalar_cands_per_s']:.0f} cands/s, "
+              f"batch {row['gen_batch_cands_per_s']:.0f} cands/s "
+              f"({row['speedup_gen_batch_vs_scalar']:.2f}x) | "
+              f"end-to-end "
+              f"scalar {row['e2e_scalar_evals_per_s']:.0f}/s, "
+              f"batch {row['e2e_batch_evals_per_s']:.0f}/s "
+              f"({row['speedup_e2e_batch_vs_scalar']:.2f}x)")
 
-    headline = report["workloads"]["resnet18-conv2_x/diannao"][
-        "speedup_batch_vs_scalar"]
+    headline_row = report["workloads"]["resnet18-conv2_x/diannao"]
+    headline = headline_row["speedup_batch_vs_scalar"]
     report["headline_speedup_batch_vs_scalar"] = headline
+    report["headline_speedup_e2e_batch_vs_scalar"] = (
+        headline_row["speedup_e2e_batch_vs_scalar"])
     print(f"headline (ResNet-18 layer, DianNao-like): "
-          f"{headline:.2f}x batch vs scalar")
+          f"{headline:.2f}x batch vs scalar eval, "
+          f"{headline_row['speedup_e2e_batch_vs_scalar']:.2f}x "
+          f"end-to-end (generation + evaluation)")
 
     path = args.json
     if path is None and not args.quick:
@@ -222,7 +377,8 @@ def main(argv=None):
         atomic_write_json(path, report)
         print(f"wrote {path}")
     if args.check:
-        print("check: scalar, partial-cache and batch agree bitwise")
+        print("check: scalar, partial-cache and batch agree bitwise "
+              "(evaluation, generation and end-to-end)")
     return 0
 
 

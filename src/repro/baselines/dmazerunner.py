@@ -197,6 +197,7 @@ def dmazerunner_search(
     batch: bool = True,
     cache_size: int | None = None,
     shard: tuple[int, int] | None = None,
+    batch_gen: bool = True,
 ) -> SearchResult:
     """Run the dMazeRunner-like search."""
     start = time.perf_counter()
@@ -221,6 +222,7 @@ def dmazerunner_search(
         cache=cache,
         sparsity=sparsity,
         batch=batch,
+        batch_gen=batch_gen,
         cache_size=cache_size,
         shard=shard,
     )

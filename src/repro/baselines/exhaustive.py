@@ -16,6 +16,7 @@ import time
 
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
+from ..mapspace.batch import full_space_cohorts
 from ..mapspace.mapspace import full_mapping_space
 from ..search import SearchEngine
 from ..sparse.spec import SparsitySpec
@@ -41,14 +42,17 @@ def exhaustive_search(
     batch: bool = True,
     cache_size: int | None = None,
     shard: tuple[int, int] | None = None,
+    batch_gen: bool = True,
 ) -> SearchResult:
     """Enumerate the full mapping space and return the best valid mapping.
 
     ``orders_per_level`` caps the loop permutations tried per level (None =
     all).  ``shard=(i, n)`` walks only the ``i``-th of ``n`` disjoint
-    deterministic shards of the space.  Raises
-    :class:`SearchBudgetExceeded` when the space exceeds
-    ``max_evaluations``.
+    deterministic shards of the space.  ``batch_gen`` index-decodes the
+    space into matrix cohorts (same candidates, same order) instead of
+    materializing one ``Mapping`` per candidate; the winner is
+    bit-identical either way.  Raises :class:`SearchBudgetExceeded` when
+    the space exceeds ``max_evaluations``.
     """
     start = time.perf_counter()
     space = full_mapping_space(workload, arch, orders_per_level)
@@ -59,34 +63,62 @@ def exhaustive_search(
             f"exhaustive space {size} exceeds budget {max_evaluations}"
         )
 
+    cohorts = None
+    if batch_gen:
+        cohorts = full_space_cohorts(workload, arch, orders_per_level,
+                                     shard=shard)
+
     best = None
     evaluations = 0
     with engine_scope(engine, workers, cache, partial_reuse, sparsity,
                       batch, cache_size) as eng:
-        buffer: list[Mapping] = []
-        # Chunk size for batched evaluation; results are scanned in
-        # enumeration order with a strict < so the winner matches the
-        # one-at-a-time scan exactly.
-        flush_at = max(256, eng.workers * eng.chunk_size)
+        if cohorts is not None:
+            # Vectorized generation: the space is index-decoded straight
+            # into factor matrices in the exact enumeration order; only
+            # per-cohort winners are materialized as Mappings.
+            while True:
+                gen_start = time.perf_counter()
+                cohort = next(cohorts, None)
+                eng.stats.add_stage_time(
+                    "generation", time.perf_counter() - gen_start)
+                if cohort is None:
+                    break
+                costs = eng.evaluate_cohort(cohort)
+                for idx, cost in enumerate(costs):
+                    evaluations += 1
+                    if not cost.valid:
+                        continue
+                    value = (cost.edp if objective == "edp"
+                             else cost.energy_pj)
+                    if best is None or value < best[0]:
+                        best = (value, cohort.materialize(idx), cost)
+            stats = eng.stats
+        else:
+            buffer: list[Mapping] = []
+            # Chunk size for batched evaluation; results are scanned in
+            # enumeration order with a strict < so the winner matches the
+            # one-at-a-time scan exactly.
+            flush_at = max(256, eng.workers * eng.chunk_size)
 
-        def flush() -> None:
-            nonlocal best, evaluations
-            costs = eng.evaluate_many(buffer)
-            for mapping, cost in zip(buffer, costs):
-                evaluations += 1
-                if not cost.valid:
-                    continue
-                value = cost.edp if objective == "edp" else cost.energy_pj
-                if best is None or value < best[0]:
-                    best = (value, mapping, cost)
-            buffer.clear()
+            def flush() -> None:
+                nonlocal best, evaluations
+                costs = eng.evaluate_many(buffer)
+                for mapping, cost in zip(buffer, costs):
+                    evaluations += 1
+                    if not cost.valid:
+                        continue
+                    value = (cost.edp if objective == "edp"
+                             else cost.energy_pj)
+                    if best is None or value < best[0]:
+                        best = (value, mapping, cost)
+                buffer.clear()
 
-        for mapping in space.enumerate(shard=shard):
-            buffer.append(mapping)
-            if len(buffer) >= flush_at:
-                flush()
-        flush()
-        stats = eng.stats
+            for mapping in space.enumerate(shard=shard):
+                buffer.append(mapping)
+                if len(buffer) >= flush_at:
+                    flush()
+            flush()
+            stats = eng.stats
 
     elapsed = time.perf_counter() - start
     if best is None:

@@ -97,6 +97,7 @@ def interstellar_search(
     batch: bool = True,
     cache_size: int | None = None,
     shard: tuple[int, int] | None = None,
+    batch_gen: bool = True,
 ) -> SearchResult:
     """Run the Interstellar-like search."""
     start = time.perf_counter()
@@ -109,6 +110,7 @@ def interstellar_search(
         cache=cache,
         sparsity=sparsity,
         batch=batch,
+        batch_gen=batch_gen,
         cache_size=cache_size,
         shard=shard,
     )

@@ -207,6 +207,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                                cache=not args.no_cache,
                                sparsity=sparsity,
                                batch=not args.no_batch,
+                               batch_gen=not args.no_batch_gen,
                                cache_size=args.cache_size,
                                shard=_parse_shard(args.shard))
     journal = _open_journal(args, {
@@ -276,9 +277,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
     sparsity = build_sparsity(args, workload)
     workers, cache = args.workers, not args.no_cache
     batch, cache_size = not args.no_batch, args.cache_size
+    batch_gen = not args.no_batch_gen
     shard = _parse_shard(args.shard)
     options = SchedulerOptions(workers=workers, cache=cache,
                                sparsity=sparsity, batch=batch,
+                               batch_gen=batch_gen,
                                cache_size=cache_size, shard=shard)
     journal = _open_journal(args, {
         "kind": "compare",
@@ -301,12 +304,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                                        cache=cache,
                                                        sparsity=sparsity,
                                                        batch=batch,
+                                                       batch_gen=batch_gen,
                                                        cache_size=cache_size,
                                                        shard=shard),
         "interstellar-like": lambda: interstellar_search(
             workload, arch, workers=workers, cache=cache,
-            sparsity=sparsity, batch=batch, cache_size=cache_size,
-            shard=shard),
+            sparsity=sparsity, batch=batch, batch_gen=batch_gen,
+            cache_size=cache_size, shard=shard),
         "cosa-like": lambda: cosa_search(workload, arch,
                                          sparsity=sparsity,
                                          batch=batch,
@@ -396,6 +400,7 @@ def cmd_network(args: argparse.Namespace) -> int:
     options = SchedulerOptions(workers=args.workers,
                                cache=not args.no_cache,
                                batch=not args.no_batch,
+                               batch_gen=not args.no_batch_gen,
                                cache_size=args.cache_size)
     journal = _open_journal(args, {
         "kind": "network",
@@ -496,6 +501,10 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-batch", action="store_true",
                        help="disable vectorised cohort evaluation "
                             "(repro.model.batch); results are identical")
+        p.add_argument("--no-batch-gen", action="store_true",
+                       help="disable vectorised candidate generation "
+                            "(repro.mapspace.batch); results are "
+                            "identical")
         p.add_argument("--cache-size", type=nonnegative_int, default=None,
                        metavar="N",
                        help="entry cap for the result and partial-term "

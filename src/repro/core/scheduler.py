@@ -30,7 +30,8 @@ from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
 from ..arch.spec import Architecture
-from ..mapping.mapping import Mapping, build_mapping
+from ..mapping.mapping import Mapping, MappingError, build_mapping
+from ..mapspace.batch import NestCohort
 from ..mapspace.factor import prime_factors
 from ..mapspace.spaces import (
     DependentSpace,
@@ -103,6 +104,13 @@ class SchedulerOptions:
     # caches (None = default bound, 0 = unbounded).  Both are
     # behaviour-preserving knobs like workers/cache.
     batch: bool = True
+    # Vectorised cohort *generation* (repro.mapspace.batch): per-step
+    # candidates stream to the engine as geometry cohorts and Mapping
+    # objects are built only for per-step winners and journal entries.
+    # Behaviour-preserving like batch/workers/cache; the scalar
+    # materialization path is used when off, and cohorts degrade to
+    # per-row materialization when numpy is unavailable.
+    batch_gen: bool = True
     cache_size: int | None = None
     # Optional sparsity spec (repro.sparse) forwarded to every cost-model
     # evaluation.  None keeps the dense model bit-identical; the spec is
@@ -580,14 +588,26 @@ class SunstoneScheduler:
             # Batch the whole level: the engine dedupes equal fingerprints
             # and vectorises (or fans out) the misses, returning results
             # in candidate order so ranking matches the serial path
-            # exactly.
-            mappings = [self._materialize(child) for child in children]
-            engine.stats.add_stage_time(
-                "generation", time.perf_counter() - level_start)
-            costs = engine.evaluate_many(mappings)
+            # exactly.  With batch_gen, candidates stream as a geometry
+            # cohort and a Mapping is built only when a child improves
+            # the running best.
+            cohort: NestCohort | None = None
+            mappings: list[Mapping] | None = None
+            if self.options.batch_gen and len(children) >= 2:
+                cohort = NestCohort.from_nests(
+                    self.workload, self.arch,
+                    [self._completion_nests(child) for child in children])
+                engine.stats.add_stage_time(
+                    "generation", time.perf_counter() - level_start)
+                costs = engine.evaluate_cohort(cohort)
+            else:
+                mappings = [self._materialize(child) for child in children]
+                engine.stats.add_stage_time(
+                    "generation", time.perf_counter() - level_start)
+                costs = engine.evaluate_many(mappings)
             stats.evaluations += len(children)
             scored: list[tuple[float, _State]] = []
-            for child, mapping, cost in zip(children, mappings, costs):
+            for idx, (child, cost) in enumerate(zip(children, costs)):
                 value = (cost.edp if self.options.objective == "edp"
                          else cost.energy_pj)
                 if not cost.valid:
@@ -603,6 +623,8 @@ class SunstoneScheduler:
                     continue
                 scored.append((value, child))
                 if best is None or value < best[0]:
+                    mapping = (mappings[idx] if mappings is not None
+                               else cohort.materialize(idx))
                     best = (value, mapping, cost)
             engine.stats.add_level_time(
                 self.arch.levels[level].name,
@@ -1099,6 +1121,51 @@ class SunstoneScheduler:
             spatial=[dict(s) for s in state.spatial],
             orders=orders,
         )
+
+    def _completion_nests(self, state: _State) -> tuple[tuple, tuple]:
+        """The completed per-level nests ``_materialize`` would build,
+        without the ``Mapping``: ``(nests, spatials)`` where ``nests``
+        are temporal nest tuples (outermost first, trivial factors
+        included) and ``spatials`` sorted spatial factor tuples — the
+        exact ``LevelMapping`` contents of ``build_mapping``, so
+        ``NestCohort.materialize`` on this payload reproduces
+        ``self._materialize(state)`` bit-for-bit.
+        """
+        num = self.arch.num_levels
+        temporal = [dict(t) for t in state.temporal]
+        sink = state.sink_level
+        for d, extent in state.frontier.items():
+            if extent > 1:
+                temporal[sink][d] = temporal[sink].get(d, 1) * extent
+        spatial = [dict(s) for s in state.spatial]
+
+        # Residual push to the top level, mirroring build_mapping.
+        for dim, size in self.workload.dims.items():
+            covered = 1
+            for i in range(num):
+                covered *= temporal[i].get(dim, 1)
+                covered *= spatial[i].get(dim, 1)
+            if size % covered != 0:
+                raise MappingError(
+                    f"factors of {dim} ({covered}) do not divide size {size}"
+                )
+            residual = size // covered
+            if residual > 1:
+                top = temporal[num - 1]
+                top[dim] = top.get(dim, 1) * residual
+
+        dim_names = self.workload.dim_names
+        nests = []
+        spatials = []
+        for i in range(num):
+            factors = temporal[i]
+            order = (list(state.orders[i]) if state.orders[i] is not None
+                     else list(dim_names))
+            missing = [d for d in factors if d not in order]
+            nests.append(tuple((d, factors.get(d, 1))
+                               for d in order + missing))
+            spatials.append(tuple(sorted(spatial[i].items())))
+        return tuple(nests), tuple(spatials)
 
     def _estimate(self, state: _State, stats: SchedulerStats
                   ) -> tuple[float, Mapping, CostResult]:

@@ -7,6 +7,12 @@ dependent chains and named pruning passes; every composed space is
 deterministic, sized, and shardable.  See docs/MAPSPACE.md.
 """
 
+from .batch import (
+    Cohort,
+    MatrixCohort,
+    NestCohort,
+    full_space_cohorts,
+)
 from .bypass import BypassAssignment, BypassSpace, architecture_assignment
 from .constraints import (
     capacity_fits,
@@ -31,6 +37,7 @@ from .mapspace import (
 )
 from .order import OrderSpace, PermutationSpace
 from .spaces import (
+    DEFAULT_COHORT,
     ChainSpace,
     DependentSpace,
     FilteredSpace,
@@ -56,6 +63,11 @@ __all__ = [
     "BypassAssignment",
     "BypassSpace",
     "ChainSpace",
+    "Cohort",
+    "DEFAULT_COHORT",
+    "MatrixCohort",
+    "NestCohort",
+    "full_space_cohorts",
     "DependentSpace",
     "DivisorGridSpace",
     "DivisorSpace",

@@ -1,0 +1,327 @@
+"""Evaluation-ready candidate cohorts: geometry matrices, not Mappings.
+
+The scalar pipeline builds a :class:`~repro.mapping.mapping.Mapping`
+dataclass per candidate only for :mod:`repro.model.batch` to immediately
+re-stage it as int64 factor matrices.  A :class:`Cohort` skips the
+round-trip: it carries the per-candidate temporal/spatial factor
+matrices (``(n, levels, dims)``) plus per-level loop-order sequences —
+exactly the staging the vectorized cost model consumes — and can still
+``materialize(i)`` the *i*-th candidate as a bona-fide ``Mapping``
+(bit-identical to what the scalar path would have built) for winners and
+checkpoint journal entries.
+
+Two concrete cohorts cover the two producers:
+
+* :class:`NestCohort` — built by the beam schedulers from per-candidate
+  completed nests (:meth:`from_nests`);
+* :class:`MatrixCohort` — built by :func:`full_space_cohorts`, which
+  index-decodes the exhaustive full mapping space straight into
+  matrices, in the exact historical enumeration order, shardable.
+
+Everything degrades gracefully without numpy: ``geometry()`` and
+``evaluate_rows`` return ``None`` and callers fall back to
+``materialize`` + scalar evaluation, which the differential tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Sequence
+
+from ..arch.spec import Architecture
+from ..mapping.mapping import LevelMapping, Mapping
+from ..workloads.expression import Workload
+from .factor import FactorLattice
+from .spaces import DEFAULT_COHORT, check_shard
+
+try:  # numpy is optional everywhere in this repo
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+# Spaces larger than this never take the index-decoded path (the
+# exhaustive driver's evaluation budget rejects them long before, but
+# the decode math should not be asked to range over them either).
+_MAX_DECODED_SPACE = 1 << 40
+
+
+class Cohort:
+    """A batch of mapping candidates in evaluation-ready form."""
+
+    workload: Workload
+    arch: Architecture
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def fingerprint_levels(self, i: int) -> tuple:
+        """The per-level part of ``mapping_fingerprint`` for row ``i``:
+        ``tuple((nontrivial_temporal, sorted_nontrivial_spatial))`` per
+        level, with python ints — identical to what the scalar path
+        computes from the materialized ``Mapping``."""
+        raise NotImplementedError
+
+    def materialize(self, i: int) -> Mapping:
+        """The row-``i`` candidate as a ``Mapping``, bit-identical to
+        the one the scalar path would have built."""
+        raise NotImplementedError
+
+    def geometry(self):
+        """``(t_mat, s_mat, order_ids, order_table)`` or ``None``.
+
+        ``t_mat``/``s_mat`` are ``(n, levels, dims)`` int64 matrices in
+        ``workload.dim_names`` column order; ``order_table[order_ids[i]]``
+        is row ``i``'s tuple of per-level loop-order dim sequences.
+        ``None`` when numpy is unavailable.
+        """
+        raise NotImplementedError
+
+    def evaluate_rows(self, indices: Sequence[int], partial_reuse,
+                      sparsity, partial_cache):
+        """Vectorized evaluation of the selected rows (in order), or
+        ``None`` when the geometry path is unavailable."""
+        geom = self.geometry()
+        if geom is None:
+            return None
+        from ..model.batch import evaluate_geometry
+        t_mat, s_mat, order_ids, order_table = geom
+        idx = _np.asarray(list(indices), dtype=_np.int64)
+        return evaluate_geometry(
+            self.workload, self.arch,
+            t_mat[idx], s_mat[idx], order_ids[idx], order_table,
+            partial_reuse=partial_reuse, sparsity=sparsity,
+            partial_cache=partial_cache,
+        )
+
+
+def _nontrivial_temporal(nest: Sequence[tuple[str, int]]) -> tuple:
+    return tuple((d, f) for d, f in nest if f > 1)
+
+
+def _nontrivial_spatial(pairs: Sequence[tuple[str, int]]) -> tuple:
+    return tuple(sorted((d, f) for d, f in pairs if f > 1))
+
+
+class NestCohort(Cohort):
+    """Cohort over explicitly completed per-candidate nests.
+
+    ``candidates[i]`` is ``(nests, spatials)``: per-level temporal nest
+    tuples (outermost first, trivial factors included, exactly as
+    ``build_mapping`` would emit them) and per-level sorted spatial
+    factor tuples.
+    """
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 candidates: Sequence[tuple]) -> None:
+        self.workload = workload
+        self.arch = arch
+        self._candidates = list(candidates)
+        self._geometry = None
+        self._geometry_built = False
+
+    @classmethod
+    def from_nests(cls, workload: Workload, arch: Architecture,
+                   candidates: Sequence[tuple]) -> "NestCohort":
+        return cls(workload, arch, candidates)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def fingerprint_levels(self, i: int) -> tuple:
+        nests, spatials = self._candidates[i]
+        return tuple(
+            (_nontrivial_temporal(nest), _nontrivial_spatial(spatial))
+            for nest, spatial in zip(nests, spatials)
+        )
+
+    def materialize(self, i: int) -> Mapping:
+        nests, spatials = self._candidates[i]
+        levels = [
+            LevelMapping(temporal=tuple(nest), spatial=tuple(spatial))
+            for nest, spatial in zip(nests, spatials)
+        ]
+        return Mapping(self.workload, self.arch, levels)
+
+    def geometry(self):
+        if self._geometry_built:
+            return self._geometry
+        self._geometry_built = True
+        if _np is None or not self._candidates:
+            return None
+        dims = self.workload.dim_names
+        pos = {d: j for j, d in enumerate(dims)}
+        num = self.arch.num_levels
+        n = len(self._candidates)
+        t_mat = _np.ones((n, num, len(dims)), dtype=_np.int64)
+        s_mat = _np.ones((n, num, len(dims)), dtype=_np.int64)
+        order_ids = _np.empty(n, dtype=_np.int64)
+        combo_ids: dict[tuple, int] = {}
+        order_table: list[tuple] = []
+        for i, (nests, spatials) in enumerate(self._candidates):
+            seqs = tuple(tuple(d for d, _ in nest) for nest in nests)
+            combo = combo_ids.get(seqs)
+            if combo is None:
+                combo = combo_ids[seqs] = len(order_table)
+                order_table.append(seqs)
+            order_ids[i] = combo
+            for level, nest in enumerate(nests):
+                for d, f in nest:
+                    if f != 1:
+                        t_mat[i, level, pos[d]] = f
+            for level, spatial in enumerate(spatials):
+                for d, f in spatial:
+                    if f != 1:
+                        s_mat[i, level, pos[d]] = f
+        self._geometry = (t_mat, s_mat, order_ids, order_table)
+        return self._geometry
+
+
+class MatrixCohort(Cohort):
+    """Cohort backed directly by factor matrices (full-space decode)."""
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 t_mat, s_mat, order_ids, order_table) -> None:
+        self.workload = workload
+        self.arch = arch
+        self._t_mat = t_mat
+        self._s_mat = s_mat
+        self._order_ids = order_ids
+        self._order_table = order_table
+        # python-int row views for exact fingerprints / materialization
+        self._t_rows = t_mat.tolist()
+        self._s_rows = s_mat.tolist()
+        self._order_id_list = order_ids.tolist()
+
+    def __len__(self) -> int:
+        return len(self._t_rows)
+
+    def fingerprint_levels(self, i: int) -> tuple:
+        dims = self.workload.dim_names
+        pos = {d: j for j, d in enumerate(dims)}
+        sorted_dims = sorted(dims)
+        orders = self._order_table[self._order_id_list[i]]
+        t_row = self._t_rows[i]
+        s_row = self._s_rows[i]
+        out = []
+        for level in range(self.arch.num_levels):
+            t_level = t_row[level]
+            s_level = s_row[level]
+            nest = tuple((d, t_level[pos[d]]) for d in orders[level]
+                         if t_level[pos[d]] > 1)
+            spatial = tuple((d, s_level[pos[d]]) for d in sorted_dims
+                            if s_level[pos[d]] > 1)
+            out.append((nest, spatial))
+        return tuple(out)
+
+    def materialize(self, i: int) -> Mapping:
+        dims = self.workload.dim_names
+        pos = {d: j for j, d in enumerate(dims)}
+        sorted_dims = sorted(dims)
+        orders = self._order_table[self._order_id_list[i]]
+        t_row = self._t_rows[i]
+        s_row = self._s_rows[i]
+        levels = []
+        for level in range(self.arch.num_levels):
+            t_level = t_row[level]
+            s_level = s_row[level]
+            nest = tuple((d, t_level[pos[d]]) for d in orders[level])
+            spatial = tuple((d, s_level[pos[d]]) for d in sorted_dims
+                            if s_level[pos[d]] > 1)
+            levels.append(LevelMapping(temporal=nest, spatial=spatial))
+        return Mapping(self.workload, self.arch, levels)
+
+    def geometry(self):
+        return (self._t_mat, self._s_mat, self._order_ids,
+                self._order_table)
+
+
+def full_space_cohorts(
+    workload: Workload,
+    arch: Architecture,
+    orders_per_level: int | None = None,
+    shard: tuple[int, int] | None = None,
+    batch_size: int = DEFAULT_COHORT,
+) -> "Iterator[MatrixCohort] | None":
+    """Stream the full mapping space as :class:`MatrixCohort` batches.
+
+    Row order matches :func:`~repro.mapspace.mapspace.full_mapping_space`
+    enumeration (and hence the historical exhaustive stream) exactly;
+    ``shard=(i, n)`` selects the rows whose global enumeration index is
+    congruent to ``i`` mod ``n``.  Returns ``None`` when the vectorized
+    decode is unavailable (no numpy, a lattice too large to stage, or a
+    space beyond the decode guard) — callers then walk the scalar space.
+    """
+    if _np is None:
+        return None
+    # Imported here: mapspace.py reaches repro.core (via the order trie),
+    # which imports the scheduler, which imports this module — a cycle
+    # at package-load time but not at call time.
+    from .mapspace import assignment_slots
+
+    shard = check_shard(shard)
+    num = arch.num_levels
+    dims = workload.dim_names
+    slots = assignment_slots(arch)
+    lattices = [FactorLattice(d, workload.dims[d], slots) for d in dims]
+    matrices = [lattice.split_matrix() for lattice in lattices]
+    if any(m is None for m in matrices):
+        return None
+    order_items = list(itertools.permutations(dims))
+    if orders_per_level is not None:
+        order_items = order_items[:orders_per_level]
+    if not order_items:
+        return None
+    radices = [len(m) for m in matrices] + [len(order_items)] * num
+    total = 1
+    for radix in radices:
+        total *= radix
+    if total == 0 or total > _MAX_DECODED_SPACE:
+        return None
+    return _decode_cohorts(workload, arch, matrices, order_items, slots,
+                           radices, total, shard, batch_size)
+
+
+def _decode_cohorts(workload, arch, matrices, order_items, slots,
+                    radices, total, shard, batch_size):
+    num = arch.num_levels
+    dims = workload.dim_names
+    m = len(order_items)
+    start, step = (0, 1) if shard is None else shard
+    for block_start in range(start, total, step * batch_size):
+        block_end = min(total, block_start + step * batch_size)
+        ks = _np.arange(block_start, block_end, step, dtype=_np.int64)
+        n = len(ks)
+        digits = []
+        rem = ks
+        for radix in reversed(radices):
+            rem, digit = _np.divmod(rem, radix)
+            digits.append(digit)
+        digits.reverse()
+        t_mat = _np.ones((n, num, len(dims)), dtype=_np.int64)
+        s_mat = _np.ones((n, num, len(dims)), dtype=_np.int64)
+        for j, matrix in enumerate(matrices):
+            block = matrix[digits[j]]  # (n, num_slots)
+            for s_idx, (kind, level) in enumerate(slots):
+                col = block[:, s_idx]
+                if kind == "t":
+                    t_mat[:, level, j] = col
+                else:
+                    s_mat[:, level, j] = col
+        combo = _np.zeros(n, dtype=_np.int64)
+        for level in range(num):
+            combo = combo * m + digits[len(dims) + level]
+        uniq, inv = _np.unique(combo, return_inverse=True)
+        order_table = []
+        for value in uniq.tolist():
+            # least-significant digit is the innermost-listed order axis
+            # (level num-1); reverse to get level 0 first.
+            decoded = []
+            for _ in range(num):
+                value, digit = divmod(value, m)
+                decoded.append(digit)
+            decoded.reverse()
+            order_table.append(tuple(order_items[d] for d in decoded))
+        yield MatrixCohort(workload, arch, t_mat, s_mat,
+                           inv.astype(_np.int64), order_table)

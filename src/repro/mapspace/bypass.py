@@ -74,3 +74,6 @@ class BypassSpace(Space):
 
     def _generate(self) -> Iterator[BypassAssignment]:
         return iter(self._assignments)
+
+    def batch_axis_items(self) -> list[BypassAssignment]:
+        return self._assignments

@@ -3,6 +3,14 @@
 Each factory returns a named predicate suitable for
 ``Space.filter(predicate, name, stats)``, so composed spaces report
 per-pass drop counters through :class:`~repro.mapspace.spaces.PruneStats`.
+
+Every predicate also carries a ``.batch`` attribute — a bulk form
+``batch(items) -> sequence[bool]`` that the batch generation path
+(:meth:`FilteredSpace.enumerate_batch`) applies as one vectorized mask
+per cohort.  The bulk form must agree elementwise with the scalar
+predicate; where the check reduces to integer arithmetic over factor
+dicts (divisibility, utilization bands) it is computed with numpy when
+available, otherwise it degrades to a tight scalar sweep.
 """
 
 from __future__ import annotations
@@ -13,6 +21,17 @@ from typing import Callable, Mapping, Sequence
 from ..arch.spec import Architecture
 from ..core.tiling_tree import placement_fits, tile_fits
 from ..workloads.expression import Workload
+
+try:  # numpy is optional everywhere in this repo
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+
+def _with_batch(predicate, batch_fn):
+    """Attach the bulk mask form to a scalar predicate."""
+    predicate.batch = batch_fn
+    return predicate
 
 
 def capacity_fits(
@@ -29,7 +48,11 @@ def capacity_fits(
         sizes, spatial = candidate
         return placement_fits(workload, arch, level, sizes, spatial)
 
-    return predicate
+    def batch(candidates: Sequence) -> list[bool]:
+        return [placement_fits(workload, arch, level, sizes, spatial)
+                for sizes, spatial in candidates]
+
+    return _with_batch(predicate, batch)
 
 
 def tile_capacity_fits(
@@ -46,7 +69,10 @@ def tile_capacity_fits(
         }
         return tile_fits(workload, arch, level, sizes)
 
-    return predicate
+    def batch(tilings: Sequence[Mapping[str, int]]) -> list[bool]:
+        return [predicate(tiling) for tiling in tilings]
+
+    return _with_batch(predicate, batch)
 
 
 def divisibility(
@@ -61,7 +87,25 @@ def divisibility(
                 return False
         return True
 
-    return predicate
+    def batch(items: Sequence[Mapping[str, int]]) -> list[bool]:
+        if _np is None or len(items) < 8:
+            return [predicate(factors) for factors in items]
+        dims = sorted({dim for factors in items for dim in factors})
+        if not dims:
+            return [True] * len(items)
+        mat = _np.ones((len(items), len(dims)), dtype=_np.int64)
+        pos = {dim: j for j, dim in enumerate(dims)}
+        for i, factors in enumerate(items):
+            for dim, factor in factors.items():
+                mat[i, pos[dim]] = factor
+        rem = _np.array([remaining.get(dim, 1) for dim in dims],
+                        dtype=_np.int64)
+        ok = (mat >= 1) & (rem[None, :] % _np.maximum(mat, 1) == 0)
+        # A dim absent from an item's dict contributes factor 1, which
+        # always passes — the ones-initialised matrix encodes that.
+        return _np.all(ok, axis=1).tolist()
+
+    return _with_batch(predicate, batch)
 
 
 def utilization_floor(
@@ -77,7 +121,14 @@ def utilization_floor(
         used = math.prod(unroll.values()) if unroll else 1
         return used >= floor * fanout
 
-    return predicate
+    def batch(items: Sequence[Mapping[str, int]]) -> list[bool]:
+        if fanout <= 1:
+            return [True] * len(items)
+        threshold = floor * fanout
+        return [(math.prod(u.values()) if u else 1) >= threshold
+                for u in items]
+
+    return _with_batch(predicate, batch)
 
 
 def utilization_band(
@@ -92,4 +143,8 @@ def utilization_band(
         utilization = measure(candidate)
         return floor <= utilization <= ceiling
 
-    return predicate
+    def batch(items: Sequence[Mapping[str, int]]) -> list[bool]:
+        return [floor <= measure(candidate) <= ceiling
+                for candidate in items]
+
+    return _with_batch(predicate, batch)

@@ -17,7 +17,17 @@ import itertools
 import math
 from typing import Any, Iterator, Sequence
 
-from .spaces import Space
+from .spaces import DEFAULT_COHORT, Space, check_shard
+
+try:  # numpy is optional everywhere in this repo
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+# Above this many raw prime placements (slots ** num_primes) the
+# vectorized lattice would materialise an unreasonably large staging
+# matrix; fall back to the streaming scalar generator instead.
+_MAX_VECTOR_PLACEMENTS = 1 << 22
 
 
 def prime_factors(n: int) -> list[int]:
@@ -88,6 +98,62 @@ class FactorLattice(Space):
                 seen.add(key)
                 yield key
 
+    def split_matrix(self):
+        """The full dedup'd split list as an ``(n, slots)`` int64 matrix.
+
+        Row ``i`` equals the ``i``-th tuple of the scalar stream.  The
+        construction vectorises the prime-placement walk: placement
+        index ``k`` decodes to per-prime slot digits (first prime
+        slowest, matching ``itertools.product``), each prime multiplies
+        into its slot column, and ``np.unique`` keeps first occurrences
+        in stream order.  Returns ``None`` when numpy is unavailable or
+        the raw placement count exceeds the staging guard.
+        """
+        if _np is None:
+            return None
+        slots = len(self.slots)
+        num_primes = len(self.primes)
+        if not num_primes:
+            return _np.ones((1, slots), dtype=_np.int64)
+        placements = slots ** num_primes
+        if placements > _MAX_VECTOR_PLACEMENTS:
+            return None
+        idx = _np.arange(placements, dtype=_np.int64)
+        splits = _np.ones((placements, slots), dtype=_np.int64)
+        for j, prime in enumerate(self.primes):
+            digit = (idx // (slots ** (num_primes - 1 - j))) % slots
+            # scatter-multiply prime j into its chosen slot per placement
+            _np.multiply.at(splits, (idx, digit), prime)
+        _, first = _np.unique(splits, axis=0, return_index=True)
+        return splits[_np.sort(first)]
+
+    def enumerate_batch(
+        self,
+        seed: int | None = None,
+        shard: tuple[int, int] | None = None,
+        batch_size: int = DEFAULT_COHORT,
+    ) -> Iterator[list]:
+        if seed is not None:
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        matrix = self.split_matrix()
+        if matrix is None:
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        shard = check_shard(shard)
+        if shard is not None:
+            index, count = shard
+            matrix = matrix[index::count]
+        rows = matrix.tolist()  # python ints, bit-identical to scalar
+        for start in range(0, len(rows), batch_size):
+            yield [tuple(row) for row in rows[start:start + batch_size]]
+
+    def batch_axis_items(self) -> list:
+        matrix = self.split_matrix()
+        if matrix is None:
+            return list(self._generate())
+        return [tuple(row) for row in matrix.tolist()]
+
     def sample(self, rng) -> dict[Any, int]:
         """One uniform prime-placement draw: each prime factor lands in
         ``rng.choice(self.slots)``.  Returns slot label -> factor.
@@ -138,3 +204,6 @@ class DivisorSpace(Space):
 
     def _generate(self) -> Iterator[int]:
         return iter(self._choices)
+
+    def batch_axis_items(self) -> list:
+        return list(self._choices)

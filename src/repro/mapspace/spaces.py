@@ -29,6 +29,11 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 Shard = "tuple[int, int] | None"
 
+# Cohort size of the batch generation path: large enough to amortise the
+# numpy staging of repro.model.batch, small enough to keep peak memory
+# and the argmin scan granularity bounded.
+DEFAULT_COHORT = 1024
+
 
 def check_shard(shard: tuple[int, int] | None) -> tuple[int, int] | None:
     """Validate a ``(index, count)`` shard descriptor."""
@@ -69,6 +74,19 @@ class PruneStats:
         self.considered[name] = self.considered.get(name, 0) + 1
         if not kept:
             self.dropped[name] = self.dropped.get(name, 0) + 1
+
+    def record_many(self, name: str, considered: int, kept: int) -> None:
+        """Bulk-record a whole cohort through one pass.
+
+        Equivalent to ``considered`` calls to :meth:`record` of which
+        ``kept`` passed — the batch generation path uses this so its
+        counters stay bit-identical to the scalar stream's.
+        """
+        if considered:
+            self.considered[name] = self.considered.get(name, 0) + considered
+        if considered > kept:
+            self.dropped[name] = (self.dropped.get(name, 0)
+                                  + considered - kept)
 
     def kept(self, name: str) -> int:
         return self.considered.get(name, 0) - self.dropped.get(name, 0)
@@ -128,6 +146,47 @@ class Space:
         return list(self.enumerate())
 
     # ------------------------------------------------------------------
+    # batch generation
+    # ------------------------------------------------------------------
+    def enumerate_batch(
+        self,
+        seed: int | None = None,
+        shard: tuple[int, int] | None = None,
+        batch_size: int = DEFAULT_COHORT,
+    ) -> Iterator[list]:
+        """Yield the ``enumerate`` stream chunked into cohorts.
+
+        The contract is strict: concatenating the yielded lists must be
+        *bit-identical* to ``list(self.enumerate(seed, shard))`` — same
+        items, same order, same side effects on shared
+        :class:`PruneStats` counters.  The base implementation chunks
+        the scalar stream (the no-numpy fallback); subclasses override
+        it with vectorized producers that preserve the same contract.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        chunk: list = []
+        for item in self.enumerate(seed, shard):
+            chunk.append(item)
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def batch_axis_items(self) -> list | None:
+        """The full candidate list when enumeration is side-effect free.
+
+        :class:`ProductSpace` uses this to decide whether an axis can be
+        materialised once and indexed, instead of re-enumerated per
+        outer step.  Spaces whose enumeration mutates shared state per
+        pull (e.g. :class:`FilteredSpace` recording prune counters)
+        must return ``None`` so the product falls back to the scalar
+        recursion and the side effects replay exactly.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # combinators
     # ------------------------------------------------------------------
     def filter(self, predicate: Callable[[Any], bool], name: str,
@@ -157,6 +216,9 @@ class ListSpace(Space):
     def _generate(self) -> Iterator:
         return iter(self._items)
 
+    def batch_axis_items(self) -> list:
+        return self._items
+
 
 class PointSpace(ListSpace):
     """A single-candidate space (e.g. CoSA's one-shot emission)."""
@@ -183,6 +245,9 @@ class LazySpace(Space):
     def _generate(self) -> Iterator:
         return iter(self._ensure())
 
+    def batch_axis_items(self) -> list:
+        return self._ensure()
+
 
 class MappedSpace(Space):
     def __init__(self, inner: Space, fn: Callable[[Any], Any]) -> None:
@@ -194,6 +259,22 @@ class MappedSpace(Space):
 
     def _generate(self) -> Iterator:
         return (self._fn(item) for item in self._inner.enumerate())
+
+    def enumerate_batch(
+        self,
+        seed: int | None = None,
+        shard: tuple[int, int] | None = None,
+        batch_size: int = DEFAULT_COHORT,
+    ) -> Iterator[list]:
+        if seed is not None:
+            # Seeded order shuffles the *mapped* items; delegating would
+            # apply ``fn`` in shuffled order.  The items would match for
+            # pure fns, but the chunked scalar path is exact always.
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        fn = self._fn
+        for batch in self._inner.enumerate_batch(None, shard, batch_size):
+            yield [fn(item) for item in batch]
 
 
 class FilteredSpace(Space):
@@ -219,6 +300,44 @@ class FilteredSpace(Space):
             self.stats.record(self.name, kept)
             if kept:
                 yield item
+
+    def enumerate_batch(
+        self,
+        seed: int | None = None,
+        shard: tuple[int, int] | None = None,
+        batch_size: int = DEFAULT_COHORT,
+    ) -> Iterator[list]:
+        if seed is not None:
+            # The scalar path filters (recording every candidate) before
+            # shuffling; replicating that ordering-sensitive interleaving
+            # here buys nothing, so defer to the exact chunked stream.
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        shard = check_shard(shard)
+        predicate = self._predicate
+        batch_predicate = getattr(predicate, "batch", None)
+        kept_index = 0  # global index into the *filtered* stream
+        out: list = []
+        for batch in self._inner.enumerate_batch(None, None, batch_size):
+            if batch_predicate is not None:
+                mask = list(batch_predicate(batch))
+            else:
+                mask = [predicate(item) for item in batch]
+            survivors = [item for item, ok in zip(batch, mask) if ok]
+            self.stats.record_many(self.name, len(batch), len(survivors))
+            if shard is None:
+                out.extend(survivors)
+            else:
+                index, count = shard
+                for item in survivors:
+                    if kept_index % count == index:
+                        out.append(item)
+                    kept_index += 1
+            while len(out) >= batch_size:
+                yield out[:batch_size]
+                out = out[batch_size:]
+        if out:
+            yield out
 
 
 class TruncatedSpace(Space):
@@ -280,6 +399,49 @@ class ProductSpace(Space):
 
         return recurse(0, [])
 
+    def enumerate_batch(
+        self,
+        seed: int | None = None,
+        shard: tuple[int, int] | None = None,
+        batch_size: int = DEFAULT_COHORT,
+    ) -> Iterator[list]:
+        """Index-decoded product when every axis is side-effect pure.
+
+        The scalar recursion re-enumerates inner axes once per outer
+        step; an axis whose enumeration carries side effects (a
+        filtered axis recording prune counters per re-enumeration)
+        therefore cannot be materialised once without changing the
+        counters — such axes report ``batch_axis_items() is None`` and
+        the product falls back to chunking the recursion.
+        """
+        if seed is not None:
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        axis_items = [axis.batch_axis_items() for axis in self._axes]
+        if any(items is None for items in axis_items):
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        shard = check_shard(shard)
+        total = 1
+        for items in axis_items:
+            total *= len(items)
+        start, step = (0, 1) if shard is None else shard
+        combine = self._combine
+        chunk: list = []
+        for k in range(start, total, step):
+            rem = k
+            parts = []
+            for items in reversed(axis_items):
+                rem, digit = divmod(rem, len(items))
+                parts.append(items[digit])
+            parts.reverse()
+            chunk.append(combine(*parts))
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
 
 class DependentSpace(Space):
     """Sequential composition where the inner space depends on the outer
@@ -321,3 +483,18 @@ class ChainSpace(Space):
     def _generate(self) -> Iterator:
         for part in self._parts:
             yield from part.enumerate()
+
+    def enumerate_batch(
+        self,
+        seed: int | None = None,
+        shard: tuple[int, int] | None = None,
+        batch_size: int = DEFAULT_COHORT,
+    ) -> Iterator[list]:
+        if seed is not None or shard is not None:
+            # Sharding indexes the concatenated stream globally; routing
+            # it into per-part shards needs each part's size up front,
+            # which re-enumerates filtered parts.  Chunk scalar instead.
+            yield from super().enumerate_batch(seed, shard, batch_size)
+            return
+        for part in self._parts:
+            yield from part.enumerate_batch(None, None, batch_size)

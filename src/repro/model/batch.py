@@ -100,8 +100,9 @@ class _CohortGeometry:
     lazily per requested level.
     """
 
-    __slots__ = ("views", "info", "cum_t", "cum_s", "t_from", "_spans",
-                 "_runs")
+    __slots__ = ("views", "info", "n", "cum_t", "cum_s", "t_from",
+                 "_spans", "_runs", "_sp_cols", "_t_mat", "_order_ids",
+                 "_order_table")
 
     def __init__(self, views: list[MappingView],
                  mappings: list[Mapping], info: ModelInfo) -> None:
@@ -109,6 +110,7 @@ class _CohortGeometry:
         self.views = views
         self.info = info
         n = len(mappings)
+        self.n = n
         num = info.num_levels
         nd = len(info.dim_names)
         pos = info.dim_index
@@ -133,6 +135,63 @@ class _CohortGeometry:
         self.t_from = np.array([v.t_from for v in views], dtype=np.int64)
         self._spans: dict[int, object] = {}
         self._runs: dict[int, object] = {}
+        self._sp_cols = None
+        self._t_mat = None
+        self._order_ids = None
+        self._order_table = None
+
+    @classmethod
+    def from_arrays(cls, info: ModelInfo, t_mat, s_mat, order_ids,
+                    order_table) -> "_CohortGeometry":
+        """Geometry straight from ``(n, levels, dims)`` factor matrices.
+
+        ``t_mat``/``s_mat`` columns follow ``info.dim_names``;
+        ``order_table[order_ids[k]]`` gives candidate ``k``'s per-level
+        loop-order dim sequences (trivial factors included — they mask
+        out exactly like the nontrivial-only nests of the views path).
+        No ``Mapping`` objects exist anywhere on this path.
+        """
+        np = _np
+        geo = cls.__new__(cls)
+        geo.views = None
+        geo.info = info
+        n = int(t_mat.shape[0])
+        geo.n = n
+        num = info.num_levels
+        geo.cum_t = np.cumprod(t_mat, axis=1)
+        geo.cum_s = np.cumprod(s_mat, axis=1)
+        # t_from[l] = product of every temporal bound at levels >= l;
+        # the per-level product over the dim axis equals the nest's
+        # _temporal_product exactly (absent dims contribute 1).
+        tp = np.prod(t_mat, axis=2, dtype=np.int64)
+        t_from = np.ones((n, num + 1), dtype=np.int64)
+        acc = np.ones(n, dtype=np.int64)
+        for level in range(num - 1, -1, -1):
+            acc = acc * tp[:, level]
+            t_from[:, level] = acc
+        geo.t_from = t_from
+        geo._t_mat = t_mat
+        geo._order_ids = order_ids
+        geo._order_table = order_table
+        geo._spans = {}
+        geo._runs = {}
+        geo._sp_cols = (
+            np.prod(s_mat, axis=2, dtype=np.int64),
+            (s_mat > 1).sum(axis=2).astype(np.int64),
+        )
+        return geo
+
+    def sp_cols(self):
+        """(n, levels) spatial-size and nontrivial-unroll-count arrays
+        (the first two fingerprint columns of the violation checks)."""
+        out = self._sp_cols
+        if out is None:
+            out = (_np.array([v.sp_all for v in self.views],
+                             dtype=_np.int64),
+                   _np.array([v.sp_counts for v in self.views],
+                             dtype=_np.int64))
+            self._sp_cols = out
+        return out
 
     def spans(self, level: int):
         """Tile spans ``(n, dims)`` of one level-``level`` instance:
@@ -151,12 +210,67 @@ class _CohortGeometry:
         dim index or -1, its bound), from the shared suffix walks."""
         out = self._runs.get(child)
         if out is None:
-            pos = self.info.dim_index
-            out = _np.array(
-                [[(r[1], pos.get(r[2], -1), r[3])
-                  for r in v.suffix_info(child)] for v in self.views],
-                dtype=_np.int64)
+            if self.views is not None:
+                pos = self.info.dim_index
+                out = _np.array(
+                    [[(r[1], pos.get(r[2], -1), r[3])
+                      for r in v.suffix_info(child)] for v in self.views],
+                    dtype=_np.int64)
+            else:
+                out = self._runs_from_arrays(child)
             self._runs[child] = out
+        return out
+
+    def _runs_from_arrays(self, child: int):
+        """Vectorized suffix walk over the factor matrices.
+
+        Mirrors ``MappingView.suffix_info`` exactly: walk the loops
+        above ``child`` innermost-first, per tensor record the trailing
+        bound product *before* the first nontrivial loop over one of its
+        indexing dims (plus that loop's dim and bound).  The walk runs
+        over the full per-level order sequences; trivial bounds multiply
+        1 into the trailing product (a no-op) and are masked out of the
+        found check — identical to walking the nontrivial-only nests.
+        """
+        np = _np
+        info = self.info
+        tensors = info.tensors
+        pos = info.dim_index
+        num = info.num_levels
+        t_mat = self._t_mat
+        out = np.empty((self.n, len(tensors), 3), dtype=np.int64)
+        out[:, :, 0] = 1
+        out[:, :, 1] = -1
+        out[:, :, 2] = 1
+        order_ids = self._order_ids
+        for combo in np.unique(order_ids).tolist():
+            rows = np.nonzero(order_ids == combo)[0]
+            seqs = self._order_table[combo]
+            trailing = np.ones(len(rows), dtype=np.int64)
+            found = np.zeros((len(rows), len(tensors)), dtype=bool)
+            for level in range(child + 1, num):
+                if found.all():
+                    break
+                seq = seqs[level] if level < len(seqs) else ()
+                for d in reversed(seq):
+                    j = pos.get(d, -1)
+                    if j < 0:
+                        continue
+                    f = t_mat[rows, level, j]
+                    active = f > 1
+                    if active.any():
+                        for tinfo in tensors:
+                            if d not in tinfo.indexing:
+                                continue
+                            ti = tinfo.index
+                            newly = active & ~found[:, ti]
+                            if newly.any():
+                                sel = rows[newly]
+                                out[sel, ti, 0] = trailing[newly]
+                                out[sel, ti, 1] = j
+                                out[sel, ti, 2] = f[newly]
+                                found[:, ti] |= newly
+                    trailing = trailing * f
         return out
 
 
@@ -252,7 +366,7 @@ def _pair_term_cols(info, tinfo, child, partial_reuse, spec, cache, geo,
             np.array(d_pw)[inv])
 
 
-def _violations_cols(info, views, geo):
+def _violations_cols(info, geo):
     """Per-candidate violation lists, one check per distinct profile.
 
     Mirrors ``mapping_violations`` (same strings, same order) but builds
@@ -262,9 +376,8 @@ def _violations_cols(info, views, geo):
     sharing the (immutable) result lists across candidates.
     """
     np = _np
-    n = len(views)
-    cols = [np.array([v.sp_all for v in views], dtype=np.int64),
-            np.array([v.sp_counts for v in views], dtype=np.int64)]
+    sp_all, sp_counts = geo.sp_cols()
+    cols = [sp_all, sp_counts]
     num = info.num_levels
     offsets = []
     off = 2 * num
@@ -305,13 +418,55 @@ def _evaluate_group(
     sparsity: SparsitySpec | None,
     partial_cache: PartialEvalCache | None,
 ) -> list[CostResult]:
-    """Array rollup of one same-(workload, arch) cohort."""
-    np = _np
-    arch = info.arch
-    n = len(mappings)
-    num = info.num_levels
+    """Array rollup of one same-(workload, arch) cohort of Mappings."""
     views = [MappingView(m, info) for m in mappings]
     geo = _CohortGeometry(views, mappings, info)
+    return _rollup(geo, partial_reuse, sparsity, partial_cache)
+
+
+def evaluate_geometry(
+    workload,
+    arch,
+    t_mat,
+    s_mat,
+    order_ids,
+    order_table,
+    partial_reuse: bool = True,
+    sparsity: SparsitySpec | None = None,
+    partial_cache: PartialEvalCache | None = None,
+) -> list[CostResult]:
+    """Evaluate a cohort given directly as factor matrices.
+
+    ``t_mat``/``s_mat`` are ``(n, levels, dims)`` int64 arrays in
+    ``workload.dim_names`` column order; ``order_table[order_ids[k]]``
+    holds candidate ``k``'s per-level loop-order sequences.  Results are
+    bit-identical to materializing each candidate as a ``Mapping`` and
+    calling the scalar :func:`~repro.model.cost.evaluate` — this is the
+    end of the Mapping-free generation pipeline
+    (:mod:`repro.mapspace.batch`).
+    """
+    if _np is None:
+        raise RuntimeError("evaluate_geometry requires numpy")
+    if partial_cache is not None:
+        partial_cache.check_config(partial_reuse, sparsity)
+    info = model_info(workload, arch)
+    geo = _CohortGeometry.from_arrays(info, t_mat, s_mat, order_ids,
+                                      order_table)
+    return _rollup(geo, partial_reuse, sparsity, partial_cache)
+
+
+def _rollup(
+    geo: _CohortGeometry,
+    partial_reuse: bool,
+    sparsity: SparsitySpec | None,
+    partial_cache: PartialEvalCache | None,
+) -> list[CostResult]:
+    """Array rollup over staged geometry (views- or matrix-backed)."""
+    np = _np
+    info = geo.info
+    arch = info.arch
+    n = geo.n
+    num = info.num_levels
 
     reads = np.zeros((n, num))
     writes = np.zeros((n, num))
@@ -419,13 +574,16 @@ def _evaluate_group(
         cycles = np.maximum(np.maximum(cycles, read_cycles), write_cycles)
 
     total_fanout = arch.total_fanout
-    all_violations = _violations_cols(info, views, geo)
+    all_violations = _violations_cols(info, geo)
     # ndarray.tolist() converts float64 -> Python float exactly (same
     # bits as per-element float() calls), one C pass per array.
     total_l = total.tolist()
     cycles_l = cycles.tolist()
     noc_l = noc_energy.tolist()
     level_rows = level_energy.tolist()
+    # total_inst is the machine-wide instance count (inst_above[0] of
+    # the scalar view); the int64/int division is the same IEEE op.
+    util_l = (total_inst / total_fanout).tolist()
     names = [arch.levels[i].name for i in range(num)]
     results: list[CostResult] = []
     for k in range(n):
@@ -439,7 +597,7 @@ def _evaluate_group(
             level_energy=dict(zip(names, row)),
             compute_energy=compute_energy,
             noc_energy=noc_l[k],
-            utilization=views[k].inst_above[0] / total_fanout,
+            utilization=util_l[k],
             accesses=None,
         ))
     return results

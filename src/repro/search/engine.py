@@ -421,6 +421,103 @@ class SearchEngine:
     # Established name from PR 1; several call sites and tests use it.
     evaluate_batch = evaluate_many
 
+    def _cohort_fingerprint(self, cohort, i: int) -> Fingerprint:
+        """Cache key of cohort row ``i`` — the same tuple
+        ``fingerprint(cohort.materialize(i))`` would build, computed
+        from the cohort's geometry without a ``Mapping``."""
+        wl, arch = cohort.workload, cohort.arch
+        entry = self._invariant_fps.get(id(wl))
+        if entry is None or entry[0] is not wl:
+            entry = (wl, workload_fingerprint(wl))
+            self._invariant_fps[id(wl)] = entry
+        wl_fp = entry[1]
+        entry = self._invariant_fps.get(id(arch))
+        if entry is None or entry[0] is not arch:
+            entry = (arch, architecture_fingerprint(arch))
+            self._invariant_fps[id(arch)] = entry
+        return (wl_fp, entry[1], cohort.fingerprint_levels(i),
+                bool(self.partial_reuse), self.sparsity)
+
+    def evaluate_cohort(self, cohort) -> list[CostResult]:
+        """Evaluate a :class:`repro.mapspace.batch.Cohort` end-to-end.
+
+        The streaming twin of :meth:`evaluate_many`: identical cache
+        accounting (hits, misses, in-batch duplicates), identical stage
+        times, identical results — but candidates arrive as geometry
+        matrices and ``Mapping`` objects are only built on the scalar
+        fallback (no numpy, fault injection, or a 1-row cohort).
+        """
+        start = time.perf_counter()
+        self.stats.batches += 1
+        n = len(cohort)
+        if self.cache is None:
+            results = self._run_cohort(cohort, list(range(n)))
+            self.stats.evaluations += n
+            self.stats.wall_time_s += time.perf_counter() - start
+            return results
+
+        results: list[CostResult | None] = [None] * n
+        todo: list[int] = []
+        todo_keys: list[Fingerprint] = []
+        waiters: dict[Fingerprint, list[int]] = {}
+        cache_start = time.perf_counter()
+        for i in range(n):
+            key = self._cohort_fingerprint(cohort, i)
+            pending = waiters.get(key)
+            if pending is not None:
+                pending.append(i)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[i] = cached
+                self.stats.cache_hits += 1
+                continue
+            waiters[key] = [i]
+            todo.append(i)
+            todo_keys.append(key)
+        self.stats.add_stage_time("cache",
+                                  time.perf_counter() - cache_start)
+
+        fresh = self._run_cohort(cohort, todo)
+        self.stats.evaluations += len(todo)
+        self.stats.cache_misses += len(todo)
+        cache_start = time.perf_counter()
+        for key, result in zip(todo_keys, fresh):
+            self.cache.put(key, result)
+            indices = waiters[key]
+            for i in indices:
+                results[i] = result
+            # Later duplicates of an in-batch miss are served without a
+            # fresh evaluation: count them as hits.
+            self.stats.cache_hits += len(indices) - 1
+        self.stats.cache_evictions = self.cache.evictions
+        self.stats.add_stage_time("cache",
+                                  time.perf_counter() - cache_start)
+        self.stats.wall_time_s += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def _run_cohort(self, cohort, indices: list[int]) -> list[CostResult]:
+        """Evaluate the selected cohort rows preserving order; geometry
+        rollups when available, scalar materialization otherwise."""
+        if not indices:
+            return []
+        if self._use_batch and len(indices) >= 2:
+            start = time.perf_counter()
+            results = cohort.evaluate_rows(
+                indices, self.partial_reuse, self.sparsity,
+                self.partial_cache)
+            if results is not None:
+                self.stats.add_stage_time("model",
+                                          time.perf_counter() - start)
+                self.stats.batched_evaluations += len(indices)
+                self._sync_partial_stats()
+                return results
+        # No vectorized path: materialize the rows and run them through
+        # the exact machinery evaluate_many uses (process pool, fault
+        # recovery, per-mapping fallback) so accounting and recovery
+        # semantics are identical.
+        return self._run([cohort.materialize(i) for i in indices])
+
     def _run(self, mappings: list[Mapping]) -> list[CostResult]:
         """Evaluate ``mappings`` preserving order; vectorised cohorts
         first, process pool only with vectorisation unavailable."""

@@ -1,0 +1,25 @@
+"""Shared pytest wiring: golden-update flag and canonical fixtures."""
+
+import pytest
+
+from tests import harness
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current run instead "
+             "of comparing against it",
+    )
+
+
+@pytest.fixture
+def small_conv():
+    return harness.small_conv()
+
+
+@pytest.fixture
+def small_arch():
+    return harness.small_arch()

@@ -1,0 +1,434 @@
+"""Differential suite: batch generation is bit-identical to scalar.
+
+``Space.enumerate_batch`` / the cohort pipeline (``repro.mapspace.batch``
++ ``SearchEngine.evaluate_cohort`` + the mappers' ``batch_gen`` paths)
+must reproduce the scalar pipeline *bit-for-bit*: same candidates, same
+order under a fixed seed, same shard unions, same prune counters, same
+best mapping / cost / evaluation counts.  Every test here runs both
+paths and compares — with or without numpy (without it the batch path
+degrades to chunked scalar enumeration, which must still satisfy the
+same contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import conventional, tiny
+from repro.baselines.dmazerunner import dmazerunner_search
+from repro.baselines.exhaustive import exhaustive_search
+from repro.baselines.interstellar import interstellar_search
+from repro.core.scheduler import SchedulerOptions, SunstoneScheduler
+from repro.mapspace import (
+    BypassSpace,
+    ChainSpace,
+    FactorLattice,
+    ListSpace,
+    OrderSpace,
+    ProductSpace,
+    PruneStats,
+    divisibility,
+    full_mapping_space,
+    full_space_cohorts,
+)
+from repro.mapspace.batch import HAVE_NUMPY, NestCohort
+from repro.mapspace.mapspace import assignment_slots
+from repro.mapspace.tile import TileSpace
+from repro.mapspace.unroll import UnrollSpace
+from repro.search import SearchEngine, mapping_fingerprint
+from tests import harness
+
+SEEDS = (None, 9)
+SHARDS = (None, (0, 3), (2, 3))
+BATCH_SIZES = (1, 7, 1024)
+
+
+def _drain(space, seed=None, shard=None, batch_size=1024):
+    out = []
+    for chunk in space.enumerate_batch(seed=seed, shard=shard,
+                                       batch_size=batch_size):
+        assert isinstance(chunk, list)
+        assert len(chunk) <= batch_size
+        out.extend(chunk)
+    return out
+
+
+def assert_batch_matches_scalar(build_space):
+    """For every (seed, shard, batch_size): concatenated batches equal
+    the scalar stream, and shared PruneStats counters advance alike.
+
+    ``build_space`` is called once per enumeration so stateful pruning
+    counters are compared from a clean slate each time.
+    """
+    for seed, shard, batch_size in itertools.product(
+            SEEDS, SHARDS, BATCH_SIZES):
+        scalar_space, scalar_stats = build_space()
+        scalar = list(scalar_space.enumerate(seed=seed, shard=shard))
+        batch_space, batch_stats = build_space()
+        batch = _drain(batch_space, seed, shard, batch_size)
+        assert batch == scalar, (seed, shard, batch_size)
+        if scalar_stats is not None:
+            assert batch_stats.to_dict() == scalar_stats.to_dict(), (
+                seed, shard, batch_size)
+
+
+# ---------------------------------------------------------------------------
+# domain spaces
+# ---------------------------------------------------------------------------
+
+def test_factor_lattice_batch_matches_scalar():
+    arch = harness.small_arch()
+    workload = harness.tiny_mttkrp()
+    slots = assignment_slots(arch)
+    for dim in workload.dim_names:
+        assert_batch_matches_scalar(
+            lambda dim=dim: (
+                FactorLattice(dim, workload.dims[dim], slots), None))
+
+
+def test_order_space_batch_matches_scalar():
+    workload = harness.small_conv()
+    assert_batch_matches_scalar(lambda: (OrderSpace(workload), None))
+
+
+def test_bypass_space_batch_matches_scalar():
+    workload = harness.small_conv()
+    arch = harness.small_arch()
+    assert_batch_matches_scalar(
+        lambda: (BypassSpace.from_architecture(workload, arch), None))
+
+
+def test_tile_space_batch_matches_scalar():
+    workload = harness.small_conv()
+    arch = harness.small_arch()
+    base = {d: 1 for d in workload.dims}
+    remaining = dict(workload.dims)
+    assert_batch_matches_scalar(
+        lambda: (TileSpace(workload, arch, 0, base, remaining,
+                           workload.dim_names), None))
+
+
+def test_unroll_space_batch_matches_scalar():
+    workload = harness.small_conv()
+    arch = harness.small_arch()
+    fanout = max(level.fanout for level in arch.levels)
+    remaining = dict(workload.dims)
+    assert_batch_matches_scalar(
+        lambda: (UnrollSpace(workload, fanout, remaining), None))
+
+
+# ---------------------------------------------------------------------------
+# combinators
+# ---------------------------------------------------------------------------
+
+def test_list_product_batch_matches_scalar():
+    assert_batch_matches_scalar(
+        lambda: (ProductSpace([ListSpace([1, 2, 3]),
+                               ListSpace(["a", "b"]),
+                               ListSpace([10, 20, 30, 40])]), None))
+
+
+def test_mapped_product_batch_matches_scalar():
+    assert_batch_matches_scalar(
+        lambda: (ProductSpace([ListSpace([1, 2, 3]),
+                               ListSpace([4, 5])]).map(
+                                   lambda pair: pair[0] * 10 + pair[1]),
+                 None))
+
+
+def test_filtered_batch_matches_scalar_with_prune_counters():
+    def build():
+        stats = PruneStats()
+        space = ListSpace(list(range(100))).filter(
+            lambda x: x % 3 != 0, "mod3", stats)
+        return space, stats
+
+    assert_batch_matches_scalar(build)
+
+
+def test_filtered_batch_uses_bulk_predicate():
+    remaining = {"I": 12, "J": 8}
+    predicate = divisibility(remaining)
+    items = [{"I": i, "J": j} for i in range(1, 13) for j in range(1, 9)]
+
+    def build():
+        stats = PruneStats()
+        return ListSpace(items).filter(predicate, "div", stats), stats
+
+    assert_batch_matches_scalar(build)
+    # the bulk mask itself agrees with the scalar predicate
+    assert list(predicate.batch(items)) == [predicate(x) for x in items]
+
+
+def test_chain_batch_matches_scalar():
+    assert_batch_matches_scalar(
+        lambda: (ChainSpace([ListSpace([1, 2, 3]),
+                             ListSpace([]),
+                             ListSpace([4, 5])]), None))
+
+
+def test_product_falls_back_when_axis_is_stateful():
+    """A filtered axis re-records prune counters per outer step in the
+    scalar recursion; the product must not materialise it."""
+    def build():
+        stats = PruneStats()
+        filtered = ListSpace([1, 2, 3, 4]).filter(
+            lambda x: x % 2 == 0, "even", stats)
+        return ProductSpace([ListSpace(["x", "y"]), filtered]), stats
+
+    space, stats = build()
+    filtered_axis = space._axes[1]
+    assert filtered_axis.batch_axis_items() is None
+    assert_batch_matches_scalar(build)
+
+
+def test_enumerate_batch_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        list(ListSpace([1]).enumerate_batch(batch_size=0))
+
+
+# ---------------------------------------------------------------------------
+# full-space cohorts (the exhaustive producer)
+# ---------------------------------------------------------------------------
+
+def _scalar_fingerprints(workload, arch, orders_per_level, shard=None):
+    space = full_mapping_space(workload, arch, orders_per_level)
+    return [mapping_fingerprint(m) for m in space.enumerate(shard=shard)]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+def test_full_space_cohorts_match_scalar_stream():
+    workload = harness.tiny_mttkrp()
+    arch = harness.small_arch()
+    scalar = _scalar_fingerprints(workload, arch, 3)
+    batch = []
+    for cohort in full_space_cohorts(workload, arch, 3):
+        for i in range(len(cohort)):
+            batch.append(mapping_fingerprint(cohort.materialize(i)))
+            assert (cohort.fingerprint_levels(i)
+                    == mapping_fingerprint(cohort.materialize(i))[2])
+    assert batch == scalar
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+@pytest.mark.parametrize("count", [2, 7])
+def test_full_space_cohort_shards_interleave_exactly(count):
+    workload = harness.tiny_mttkrp()
+    arch = harness.small_arch()
+    scalar = _scalar_fingerprints(workload, arch, 2)
+    for index in range(count):
+        part = []
+        for cohort in full_space_cohorts(workload, arch, 2,
+                                         shard=(index, count)):
+            part.extend(mapping_fingerprint(cohort.materialize(i))
+                        for i in range(len(cohort)))
+        assert part == scalar[index::count]
+
+
+# ---------------------------------------------------------------------------
+# shard algebra (property-based): pairwise disjoint, union-complete
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=-50, max_value=50), max_size=40),
+    count=st.sampled_from([1, 2, 4, 7]),
+    batch_size=st.sampled_from([1, 3, 1024]),
+    seed=st.sampled_from([None, 0, 13]),
+)
+def test_shard_algebra(items, count, batch_size, seed):
+    space = ListSpace(items)
+    full = list(space.enumerate(seed=seed))
+    shards = [
+        _drain(space, seed=seed, shard=(i, count), batch_size=batch_size)
+        for i in range(count)
+    ]
+    # each shard is exactly the index-congruent subsequence
+    for i, shard in enumerate(shards):
+        assert shard == full[i::count]
+    # pairwise disjoint by stream position, union-complete: reinterleave
+    merged = []
+    for pos in range(len(full)):
+        merged.append(shards[pos % count][pos // count])
+    assert merged == full
+    assert sum(len(s) for s in shards) == len(full)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    count=st.sampled_from([1, 2, 4, 7]),
+    threshold=st.integers(min_value=0, max_value=4),
+)
+def test_shard_algebra_filtered(count, threshold):
+    """Sharding applies to the *filtered* stream: congruence classes are
+    taken over surviving candidates."""
+    items = list(range(37))
+
+    def build(stats):
+        return ListSpace(items).filter(
+            lambda x: x % 5 >= threshold, "t", stats)
+
+    full = list(build(PruneStats()).enumerate())
+    shards = [_drain(build(PruneStats()), shard=(i, count), batch_size=4)
+              for i in range(count)]
+    for i, shard in enumerate(shards):
+        assert shard == full[i::count]
+    assert sum(len(s) for s in shards) == len(full)
+
+
+# ---------------------------------------------------------------------------
+# engine: evaluate_cohort vs evaluate_many
+# ---------------------------------------------------------------------------
+
+def _cost_tuple(cost):
+    return (cost.valid, cost.edp, cost.energy_pj, cost.cycles,
+            cost.utilization, tuple(cost.violations))
+
+
+def test_evaluate_cohort_matches_evaluate_many():
+    workload = harness.tiny_mttkrp()
+    arch = harness.small_arch()
+    cohorts = (full_space_cohorts(workload, arch, 2)
+               if HAVE_NUMPY else None)
+    if cohorts is None:
+        pytest.skip("needs the vectorized decode (numpy)")
+    cohort = next(iter(cohorts))
+    mappings = [cohort.materialize(i) for i in range(len(cohort))]
+    with SearchEngine(workers=1) as a, SearchEngine(workers=1) as b:
+        batch_costs = a.evaluate_cohort(cohort)
+        scalar_costs = b.evaluate_many(mappings)
+        assert ([_cost_tuple(c) for c in batch_costs]
+                == [_cost_tuple(c) for c in scalar_costs])
+        assert a.stats.evaluations == b.stats.evaluations
+        assert a.stats.cache_hits == b.stats.cache_hits
+        assert a.stats.cache_misses == b.stats.cache_misses
+
+
+def test_evaluate_cohort_scalar_fallback_matches():
+    """With the engine's vector path disabled the cohort route still
+    returns identical costs (exercises the per-row fallback)."""
+    workload = harness.tiny_mttkrp()
+    arch = harness.small_arch()
+    if not HAVE_NUMPY:
+        pytest.skip("needs the vectorized decode (numpy)")
+    cohort = next(iter(full_space_cohorts(workload, arch, 2)))
+    mappings = [cohort.materialize(i) for i in range(len(cohort))]
+    with SearchEngine(workers=1, batch=False) as a, \
+            SearchEngine(workers=1, batch=False) as b:
+        batch_costs = a.evaluate_cohort(cohort)
+        scalar_costs = b.evaluate_many(mappings)
+        assert ([_cost_tuple(c) for c in batch_costs]
+                == [_cost_tuple(c) for c in scalar_costs])
+        assert a.stats.evaluations == b.stats.evaluations
+
+
+def test_nest_cohort_materialize_roundtrip():
+    """NestCohort.materialize rebuilds the exact Mapping its nests came
+    from, and fingerprint_levels matches the fingerprint of that
+    Mapping."""
+    workload = harness.small_conv()
+    arch = harness.small_arch()
+    result = SunstoneScheduler(workload, arch).schedule()
+    assert result.found
+    mapping = result.mapping
+    nests = tuple(tuple(level.temporal) for level in mapping.levels)
+    spatials = tuple(tuple(level.spatial) for level in mapping.levels)
+    cohort = NestCohort.from_nests(workload, arch, [(nests, spatials)])
+    rebuilt = cohort.materialize(0)
+    assert mapping_fingerprint(rebuilt) == mapping_fingerprint(mapping)
+    assert cohort.fingerprint_levels(0) == mapping_fingerprint(mapping)[2]
+
+
+# ---------------------------------------------------------------------------
+# mappers: batch_gen on == batch_gen off, bit for bit
+# ---------------------------------------------------------------------------
+
+def _schedule(workload, arch, batch_gen, **overrides):
+    options = SchedulerOptions(batch_gen=batch_gen, **overrides)
+    return SunstoneScheduler(workload, arch, options).schedule()
+
+
+@pytest.mark.parametrize("direction", ["bottom-up", "top-down"])
+def test_sunstone_batch_gen_is_bit_identical(direction):
+    workload = harness.medium_mttkrp()
+    arch = harness.medium_arch()
+    on = _schedule(workload, arch, True, direction=direction)
+    off = _schedule(workload, arch, False, direction=direction)
+    harness.assert_same_outcome(on, off)
+
+
+def test_sunstone_batch_gen_conv_is_bit_identical(small_conv, small_arch):
+    on = _schedule(small_conv, small_arch, True)
+    off = _schedule(small_conv, small_arch, False)
+    harness.assert_same_outcome(on, off)
+
+
+def test_sunstone_batch_gen_sharded_is_bit_identical():
+    workload = harness.medium_mttkrp()
+    arch = harness.medium_arch()
+    for index in range(2):
+        on = _schedule(workload, arch, True, shard=(index, 2))
+        off = _schedule(workload, arch, False, shard=(index, 2))
+        harness.assert_same_outcome(on, off)
+
+
+def test_exhaustive_batch_gen_is_bit_identical():
+    workload = harness.tiny_mttkrp()
+    arch = harness.small_arch()
+    for shard in (None, (0, 3), (2, 3)):
+        on = exhaustive_search(workload, arch, orders_per_level=2,
+                               shard=shard, batch_gen=True)
+        off = exhaustive_search(workload, arch, orders_per_level=2,
+                                shard=shard, batch_gen=False)
+        harness.assert_same_search_result(on, off)
+
+
+def test_exhaustive_batch_gen_shards_union_to_full():
+    workload = harness.tiny_mttkrp()
+    arch = harness.small_arch()
+    full = exhaustive_search(workload, arch, orders_per_level=2,
+                             batch_gen=True)
+    parts = [
+        exhaustive_search(workload, arch, orders_per_level=2,
+                          shard=(i, 4), batch_gen=True)
+        for i in range(4)
+    ]
+    assert sum(p.evaluations for p in parts) == full.evaluations
+    best = min(p.cost.edp for p in parts if p.mapping is not None)
+    assert best == full.cost.edp
+
+
+def test_interstellar_batch_gen_is_bit_identical():
+    workload = harness.medium_mttkrp()
+    arch = harness.medium_arch()
+    on = interstellar_search(workload, arch, batch_gen=True)
+    off = interstellar_search(workload, arch, batch_gen=False)
+    harness.assert_same_search_result(on, off)
+
+
+def test_dmazerunner_batch_gen_is_bit_identical():
+    workload = harness.medium_mttkrp()
+    arch = harness.medium_arch()
+    on = dmazerunner_search(workload, arch, batch_gen=True)
+    off = dmazerunner_search(workload, arch, batch_gen=False)
+    harness.assert_same_search_result(on, off)
+
+
+def test_random_driven_mappers_unaffected_by_batch_gen():
+    """timeloop/gamma/cosa generate candidates from RNG state one at a
+    time — there is no batch generation path to diverge, and their
+    determinism per seed is what the equivalence suite already pins.
+    This asserts the scalar generators still go through evaluate_many
+    (no accidental coupling to batch_gen)."""
+    import inspect
+
+    from repro.baselines.cosa import cosa_search
+    from repro.baselines.gamma import gamma_search
+    from repro.baselines.random_search import timeloop_search
+
+    for fn in (cosa_search, gamma_search, timeloop_search):
+        assert "batch_gen" not in inspect.signature(fn).parameters

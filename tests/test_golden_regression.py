@@ -1,0 +1,51 @@
+"""Golden regression pins: canonical search outcomes frozen as JSON.
+
+The fixtures in ``tests/golden/`` record the fingerprint, cost and
+evaluation count of a few canonical searches.  Any change to candidate
+generation, pruning or the cost model that shifts these outcomes fails
+here; after an *intentional* change, refresh with::
+
+    pytest tests/test_golden_regression.py --update-golden
+"""
+
+from __future__ import annotations
+
+from repro.baselines.exhaustive import exhaustive_search
+from repro.core.scheduler import SchedulerOptions, SunstoneScheduler
+from tests import harness
+
+
+def test_golden_sunstone_small_conv(request):
+    result = SunstoneScheduler(
+        harness.small_conv(), harness.small_arch()).schedule()
+    harness.check_golden(request, "sunstone_small_conv",
+                         harness.schedule_outcome(result))
+
+
+def test_golden_sunstone_mttkrp(request):
+    result = SunstoneScheduler(
+        harness.medium_mttkrp(), harness.medium_arch()).schedule()
+    harness.check_golden(request, "sunstone_mttkrp",
+                         harness.schedule_outcome(result))
+
+
+def test_golden_sunstone_topdown_mttkrp(request):
+    result = SunstoneScheduler(
+        harness.medium_mttkrp(), harness.medium_arch(),
+        SchedulerOptions(direction="top-down")).schedule()
+    harness.check_golden(request, "sunstone_topdown_mttkrp",
+                         harness.schedule_outcome(result))
+
+
+def test_golden_sunstone_resnet_conv(request):
+    result = SunstoneScheduler(
+        harness.resnet_conv_layer(), harness.resnet_conv_arch()).schedule()
+    harness.check_golden(request, "sunstone_resnet_conv",
+                         harness.schedule_outcome(result))
+
+
+def test_golden_exhaustive_tiny_mttkrp(request):
+    result = exhaustive_search(harness.tiny_mttkrp(), harness.small_arch(),
+                               orders_per_level=2)
+    harness.check_golden(request, "exhaustive_tiny_mttkrp",
+                         harness.search_outcome(result))

@@ -46,23 +46,7 @@ from repro.mapspace.mapspace import spatial_boundaries
 from repro.search import SearchEngine, mapping_fingerprint
 from repro.workloads import mttkrp
 from repro.workloads.networks import resnet18
-
-
-def _assert_same_outcome(live, oracle):
-    """Same verdict, same mapping, same cost, same search effort."""
-    assert live.found == oracle.found
-    if live.found:
-        assert (mapping_fingerprint(live.mapping)
-                == mapping_fingerprint(oracle.mapping))
-        assert live.cost.edp == oracle.cost.edp
-        assert live.cost.energy_pj == oracle.cost.energy_pj
-    assert live.stats.evaluations == oracle.stats.evaluations
-    assert (live.stats.tiling.nodes_visited
-            == oracle.stats.tiling.nodes_visited)
-    assert (live.stats.unrolling.combinations_visited
-            == oracle.stats.unrolling.combinations_visited)
-    assert (live.stats.unrolling.candidates
-            == oracle.stats.unrolling.candidates)
+from tests.harness import assert_same_outcome as _assert_same_outcome
 
 
 # ---------------------------------------------------------------------------

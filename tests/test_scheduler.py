@@ -12,15 +12,8 @@ from repro.core import (
 )
 from repro.workloads import RESNET18_LAYERS, conv1d, conv2d, mttkrp
 
-
-@pytest.fixture
-def small_conv():
-    return conv1d(K=4, C=4, P=14, R=3)
-
-
-@pytest.fixture
-def small_arch():
-    return tiny(l1_words=64, l2_words=512, pes=4)
+# ``small_conv`` / ``small_arch`` fixtures come from tests/conftest.py
+# (built by tests/harness.py, shared with the batch-generation suite).
 
 
 class TestBasics:

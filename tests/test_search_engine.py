@@ -23,21 +23,16 @@ from repro.mapping import build_mapping
 from repro.mapping.serialize import mapping_to_dict
 from repro.model import count_accesses, evaluate, simulate_fills
 from repro.search import EvalCache, SearchEngine
-from repro.workloads import conv1d, conv2d, make_workload, mttkrp
+from repro.workloads import conv1d, conv2d, mttkrp
+from tests import harness
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _matmul(i=8, j=8, k=8):
-    return make_workload(
-        "mm", {"I": i, "J": j, "K": k},
-        {"A": ["I", "K"], "B": ["K", "J"], "out": ["I", "J"]},
-        outputs=["out"],
-    )
-
+from tests.harness import small_matmul as _matmul
 
 _EQUIVALENCE_CASES = [
-    (conv1d(K=4, C=4, P=14, R=3), tiny(l1_words=64, l2_words=512, pes=4)),
+    (harness.small_conv(), harness.small_arch()),
     (_matmul(8, 8, 8), tiny(l1_words=32, l2_words=256, pes=4)),
     (mttkrp(I=4, K=4, L=4, J=4), tiny(l1_words=64, l2_words=512, pes=2)),
 ]
