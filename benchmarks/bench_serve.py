@@ -1,0 +1,250 @@
+"""Scheduler-as-a-service throughput: warm daemon vs cold CLI runs.
+
+The serve daemon's pitch (docs/SERVE_API.md) is amortisation: one
+long-lived process keeps the evaluation cache warm across requests, so
+N clients asking related questions collectively do far less model work
+than N cold ``repro schedule`` processes — without changing a single
+answer.  This benchmark measures that claim directly:
+
+* **serve** — start one daemon, fire ``repeats`` waves of concurrent
+  clients (one per workload) over HTTP, record each request's
+  submit-to-result latency;
+* **cold**  — run the identical request set as cold CLI subprocesses at
+  the same client concurrency, recording the same latencies.
+
+Reported per side: p50/p95/p99 latency and total wall time; plus the
+**cache-hit factor** — cold model evaluations divided by the warm
+daemon's actual model evaluations (from ``/stats``), i.e. how much
+evaluation work the shared cache deleted.  ``--check`` additionally
+asserts bit-identity: every warm daemon answer must equal the cold
+CLI's mapping/cost/candidate count exactly.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+which writes ``BENCH_serve.json`` next to this repo's README.  CI runs
+``--quick --check`` as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+ENV = {"PYTHONPATH": str(REPO_ROOT / "src"),
+       "PATH": os.environ.get("PATH", "/usr/bin:/bin")}
+
+WORKLOADS = [
+    ("conv1d", {"K": 4, "C": 4, "P": 14, "R": 3}),
+    ("fc", {"N": 2, "K": 8, "C": 8}),
+]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, max(0, math.ceil(q * len(ranked)) - 1))
+    return ranked[index]
+
+
+def latency_row(samples: list[float], total_s: float) -> dict:
+    return {
+        "requests": len(samples),
+        "p50_s": round(percentile(samples, 0.50), 4),
+        "p95_s": round(percentile(samples, 0.95), 4),
+        "p99_s": round(percentile(samples, 0.99), 4),
+        "total_s": round(total_s, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# serve side
+# ---------------------------------------------------------------------------
+
+def start_daemon(workdir: str) -> tuple[subprocess.Popen, ServeClient]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=ENV, cwd=workdir)
+    ready = proc.stdout.readline()
+    assert "serving on http://" in ready, (ready, proc.stderr.read())
+    port = int(ready.rsplit(":", 1)[1].split()[0])
+    client = ServeClient("127.0.0.1", port)
+    client.wait_ready()
+    return proc, client
+
+
+def bench_serve(workdir: str, repeats: int) -> tuple[dict, list[dict], dict]:
+    """All requests against one daemon; returns (row, results, stats)."""
+    proc, client = start_daemon(workdir)
+    try:
+        def one_request(spec):
+            t0 = time.perf_counter()
+            job_id = client.submit(spec)["id"]
+            doc = client.result(job_id, wait=True)
+            assert doc["state"] == "done", doc
+            return time.perf_counter() - t0, doc["result"]
+
+        latencies: list[float] = []
+        results: list[dict] = []
+        start = time.perf_counter()
+        for _ in range(repeats):
+            # One wave = one concurrent client per workload.
+            with ThreadPoolExecutor(max_workers=len(WORKLOADS)) as pool:
+                specs = [{"kind": "schedule", "arch": "tiny",
+                          "workload": {"kind": kind, "dims": dims}}
+                         for kind, dims in WORKLOADS]
+                for latency, result in pool.map(one_request, specs):
+                    latencies.append(latency)
+                    results.append(result)
+        total = time.perf_counter() - start
+        stats = client.stats()
+        client.shutdown()
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    return latency_row(latencies, total), results, stats
+
+
+# ---------------------------------------------------------------------------
+# cold side
+# ---------------------------------------------------------------------------
+
+def bench_cold(workdir: str, repeats: int) -> tuple[dict, list[dict]]:
+    """The same request set as cold CLI processes (same concurrency)."""
+    counter = iter(range(10_000))
+
+    def one_run(workload):
+        kind, dims = workload
+        stats_path = Path(workdir) / f"cold_{kind}_{next(counter)}.json"
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "schedule",
+             "--workload", kind, "--arch", "tiny",
+             "--stats-json", str(stats_path),
+             *[f"{k}={v}" for k, v in dims.items()]],
+            capture_output=True, text=True, timeout=600, env=ENV,
+            cwd=workdir)
+        latency = time.perf_counter() - t0
+        assert proc.returncode == 0, proc.stderr
+        return latency, json.loads(stats_path.read_text())
+
+    latencies: list[float] = []
+    results: list[dict] = []
+    start = time.perf_counter()
+    for _ in range(repeats):
+        with ThreadPoolExecutor(max_workers=len(WORKLOADS)) as pool:
+            for latency, doc in pool.map(one_run, WORKLOADS):
+                latencies.append(latency)
+                results.append(doc)
+    total = time.perf_counter() - start
+    return latency_row(latencies, total), results
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Serve daemon vs cold CLI latency benchmark.")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer waves (CI smoke, no JSON by default)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert warm answers equal the cold CLI's")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results to PATH (default: "
+                             "BENCH_serve.json at the repo root unless "
+                             "--quick)")
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.quick else 6
+    workdir = tempfile.mkdtemp(prefix="bench_serve_")
+
+    serve_row, serve_results, serve_stats = bench_serve(workdir, repeats)
+    cold_row, cold_results = bench_cold(workdir, repeats)
+
+    # Model executions actually performed: cold pays per process, the
+    # daemon pays mostly on the first wave and hits the cache after.
+    warm_evals = sum(job["search"]["evaluations"]
+                     for job in serve_stats["jobs"].values())
+    cold_evals = sum(doc["search"]["evaluations"] for doc in cold_results)
+    cache_hit_factor = (cold_evals / warm_evals if warm_evals
+                        else float(cold_evals))
+    speedup_total = (cold_row["total_s"] / serve_row["total_s"]
+                     if serve_row["total_s"] else 0.0)
+    speedup_p50 = (cold_row["p50_s"] / serve_row["p50_s"]
+                   if serve_row["p50_s"] else 0.0)
+
+    report = {
+        "quick": bool(args.quick),
+        "workloads": [kind for kind, _ in WORKLOADS],
+        "waves": repeats,
+        "concurrency": len(WORKLOADS),
+        "serve": serve_row,
+        "cold": cold_row,
+        "speedup_total": round(speedup_total, 3),
+        "speedup_p50": round(speedup_p50, 3),
+        "cache": {
+            "warm_model_evaluations": warm_evals,
+            "cold_model_evaluations": cold_evals,
+            "hit_factor": round(cache_hit_factor, 3),
+            "seed_hits_reported":
+                serve_stats["cache"]["seed_hits_reported"],
+            "entries": serve_stats["cache"]["entries"],
+        },
+    }
+
+    print(f"serve: p50 {serve_row['p50_s']}s p95 {serve_row['p95_s']}s "
+          f"p99 {serve_row['p99_s']}s total {serve_row['total_s']}s")
+    print(f"cold:  p50 {cold_row['p50_s']}s p95 {cold_row['p95_s']}s "
+          f"p99 {cold_row['p99_s']}s total {cold_row['total_s']}s")
+    print(f"headline: {speedup_total:.2f}x total wall / "
+          f"{speedup_p50:.2f}x p50 latency vs cold CLI, "
+          f"cache-hit factor {cache_hit_factor:.2f}x "
+          f"({cold_evals} cold model evals -> {warm_evals} warm)")
+
+    if args.check:
+        # Bit-identity: every warm answer equals the cold CLI's answer
+        # for its workload — the cache accelerates, never alters.
+        # Both result lists are wave-major in WORKLOADS order.
+        for i, (result, cold) in enumerate(zip(serve_results,
+                                               cold_results)):
+            kind = WORKLOADS[i % len(WORKLOADS)][0]
+            assert result["mapping"] == cold["mapping"], kind
+            assert result["cost"] == cold["cost"], kind
+            assert result["evaluations"] == cold["evaluations"], kind
+        assert serve_stats["cache"]["seed_hits_reported"] > 0, \
+            "repeat waves should hit the shared cache"
+        assert cache_hit_factor > 1.0, \
+            "the shared cache should delete repeat evaluation work"
+        print(f"check: {len(serve_results)} warm answers bit-identical "
+              f"to the cold CLI")
+
+    path = args.json
+    if path is None and not args.quick:
+        path = str(REPO_ROOT / "BENCH_serve.json")
+    if path:
+        from repro.search import atomic_write_json
+        atomic_write_json(path, report)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import Sequence
 
@@ -45,6 +46,7 @@ from .search import (
     JournalError,
     SearchEngine,
     atomic_write_json,
+    flush_active_journals,
 )
 from .sparse import SparsityError, SparsitySpec, spec_from_cli
 from .workloads import (
@@ -270,28 +272,23 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_compare(args: argparse.Namespace) -> int:
-    """Run Sunstone and the selected baselines; print a comparison table."""
-    workload = build_workload(args.workload, args.dims)
-    arch = build_architecture(args.arch)
-    sparsity = build_sparsity(args, workload)
-    workers, cache = args.workers, not args.no_cache
-    batch, cache_size = not args.no_batch, args.cache_size
-    batch_gen = not args.no_batch_gen
-    shard = _parse_shard(args.shard)
-    options = SchedulerOptions(workers=workers, cache=cache,
-                               sparsity=sparsity, batch=batch,
-                               batch_gen=batch_gen,
-                               cache_size=cache_size, shard=shard)
-    journal = _open_journal(args, {
-        "kind": "compare",
-        "workload": workload_to_dict(workload),
-        "arch": architecture_to_dict(arch),
-        "sparsity": sparsity.describe() if sparsity else None,
-        "shard": args.shard,
-    })
-    searches = {
-        "sunstone": lambda: schedule(workload, arch, options),
+def compare_runners(workload: Workload, arch: Architecture,
+                    options: SchedulerOptions, *, engine=None) -> dict:
+    """Mapper-name -> search thunk, in the canonical comparison order.
+
+    This is *the* definition of what ``repro compare`` runs per mapper
+    (the serve daemon's compare jobs call it too, which is what makes
+    their rows bit-identical to the CLI's).  ``engine`` is an optional
+    pre-warmed engine for the Sunstone row only — the baselines always
+    build their own, keeping their exact cold configuration.
+    """
+    workers, cache = options.workers, options.cache
+    sparsity, batch = options.sparsity, options.batch
+    batch_gen, cache_size = options.batch_gen, options.cache_size
+    shard = options.shard
+    return {
+        "sunstone": lambda: schedule(workload, arch, options,
+                                     engine=engine),
         "timeloop-like": lambda: timeloop_search(workload, arch,
                                                  TIMELOOP_FAST,
                                                  workers=workers,
@@ -321,6 +318,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                            batch=batch,
                                            cache_size=cache_size),
     }
+
+
+def mapper_row(name: str, result) -> dict:
+    """The comparison-table document of one mapper's outcome (shared by
+    ``repro compare`` and the serve daemon's compare jobs)."""
+    time_s = getattr(result, "wall_time_s", None)
+    if time_s is None:
+        time_s = result.stats.wall_time_s
+    evals = getattr(result, "evaluations", None)
+    if evals is None:
+        evals = result.stats.evaluations
+    search_stats = getattr(result, "search_stats", None)
+    if search_stats is None and hasattr(result, "stats"):
+        search_stats = getattr(result.stats, "search", None)
+    status = "ok" if getattr(result, "valid", None) or (
+        result.found and result.cost.valid) else "invalid"
+    return {
+        "mapper": name,
+        "found": result.found,
+        "status": status,
+        "evaluations": evals,
+        "wall_time_s": time_s,
+        "cost": _cost_dict(result.cost) if result.found else None,
+        "mapping": (mapping_to_dict(result.mapping)
+                    if result.found else None),
+        "search": (search_stats.to_dict()
+                   if search_stats is not None else None),
+    }
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run Sunstone and the selected baselines; print a comparison table."""
+    workload = build_workload(args.workload, args.dims)
+    arch = build_architecture(args.arch)
+    sparsity = build_sparsity(args, workload)
+    options = SchedulerOptions(workers=args.workers,
+                               cache=not args.no_cache,
+                               sparsity=sparsity,
+                               batch=not args.no_batch,
+                               batch_gen=not args.no_batch_gen,
+                               cache_size=args.cache_size,
+                               shard=_parse_shard(args.shard))
+    journal = _open_journal(args, {
+        "kind": "compare",
+        "workload": workload_to_dict(workload),
+        "arch": architecture_to_dict(arch),
+        "sparsity": sparsity.describe() if sparsity else None,
+        "shard": args.shard,
+    })
+    searches = compare_runners(workload, arch, options)
     selected = None
     if args.mappers:
         selected = {m.strip() for m in args.mappers.split(",") if m.strip()}
@@ -338,31 +385,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 mapper_docs.append(entry["doc"])
                 continue
         result = runner()
-        time_s = getattr(result, "wall_time_s", None)
-        if time_s is None:
-            time_s = result.stats.wall_time_s
-        evals = getattr(result, "evaluations", None)
-        if evals is None:
-            evals = result.stats.evaluations
-        search_stats = getattr(result, "search_stats", None)
-        if search_stats is None and hasattr(result, "stats"):
-            search_stats = getattr(result.stats, "search", None)
-        status = "ok" if getattr(result, "valid", None) or (
-            result.found and result.cost.valid) else "invalid"
-        doc = {
-            "mapper": name,
-            "found": result.found,
-            "status": status,
-            "evaluations": evals,
-            "wall_time_s": time_s,
-            "cost": _cost_dict(result.cost) if result.found else None,
-            "mapping": (mapping_to_dict(result.mapping)
-                        if result.found else None),
-            "search": (search_stats.to_dict()
-                       if search_stats is not None else None),
-        }
+        doc = mapper_row(name, result)
         mapper_docs.append(doc)
-        if args.profile and search_stats is not None:
+        if args.profile and doc["search"] is not None:
+            search_stats = getattr(result, "search_stats", None)
+            if search_stats is None and hasattr(result, "stats"):
+                search_stats = getattr(result.stats, "search", None)
             profiles.append((name, search_stats.profile_summary()))
         if journal is not None:
             journal.append({"type": "mapper", "name": name, "doc": doc})
@@ -473,6 +501,175 @@ def cmd_describe(args: argparse.Namespace) -> int:
                   f"reused by {sorted(info.reused_by)}, "
                   f"partial {sorted(info.partially_reused_by)}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduler-as-a-service daemon (docs/SERVE_API.md)."""
+    import asyncio
+
+    from .serve import ServeConfig, ServeDaemon
+
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
+    config = ServeConfig(host=args.host, port=args.port,
+                         workers=args.workers,
+                         journal_path=args.journal,
+                         resume=args.resume,
+                         cache_entries=args.cache_entries,
+                         max_task_attempts=args.max_task_attempts)
+    daemon = ServeDaemon(config)
+    exit_code = 0
+
+    async def _run() -> None:
+        nonlocal exit_code
+        loop = asyncio.get_running_loop()
+
+        def _stop(code: int) -> None:
+            nonlocal exit_code
+            exit_code = code
+            daemon.request_stop()
+
+        # Same conventional codes as one-shot CLI runs: 130 for SIGINT,
+        # 143 for SIGTERM.  Either way the stop is graceful — jobs stay
+        # journaled and a --resume restart picks them back up.
+        for sig, code in ((signal.SIGINT, 130), (signal.SIGTERM, 143)):
+            try:
+                loop.add_signal_handler(sig, _stop, code)
+            except (NotImplementedError, RuntimeError):
+                pass
+
+        def _ready(port: int, resumed: list) -> None:
+            print(f"serving on http://{config.host}:{port} "
+                  f"(workers={config.workers}, "
+                  f"restarted {len(resumed)} unfinished jobs)", flush=True)
+
+        await daemon.serve(ready_cb=_ready)
+
+    asyncio.run(_run())
+    print("serve: stopped", file=sys.stderr)
+    return exit_code
+
+
+def _print_serve_result(doc: dict) -> int:
+    """Render a daemon result document; returns the process exit code."""
+    if doc.get("state") == "failed":
+        print(f"job {doc.get('id')} failed: {doc.get('error')}",
+              file=sys.stderr)
+        return 1
+    result = doc.get("result") or {}
+    seed_hits = doc.get("seed_hits", 0)
+    kind = result.get("kind")
+    if kind == "schedule":
+        if not result.get("found"):
+            print("no valid mapping found", file=sys.stderr)
+            return 1
+        cost = result["cost"]
+        print(f"status {result['status']}: edp {cost['edp']:.3e}, "
+              f"energy {cost['energy_pj']:.3e} pJ, "
+              f"cycles {cost['cycles']:.3e}")
+        print(f"candidates evaluated: {result['evaluations']} across "
+              f"{result['shards']} shard(s); seed hits {seed_hits}")
+        return 0 if result["status"] == "ok" else 1
+    if kind == "compare":
+        print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
+              f"{'status':>8}")
+        for row in result["mappers"]:
+            edp = row["cost"]["edp"] if row["found"] else float("inf")
+            print(f"{row['mapper']:<18} {edp:>12.3e} "
+                  f"{row['wall_time_s']:>8.2f} {row['evaluations']:>8} "
+                  f"{row['status']:>8}")
+        print(f"seed hits {seed_hits}")
+        return 0
+    if kind == "network":
+        totals = result["totals"]
+        print(f"network: {len(result['layers'])} layers, "
+              f"{totals['unique_searches']} unique searches, "
+              f"energy {totals['energy_pj']:.3e} pJ, "
+              f"cycles {totals['cycles']:.3e}, edp {totals['edp']:.3e}; "
+              f"seed hits {seed_hits}")
+        return 0 if result["found_all"] else 1
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
+def _build_job_spec(args: argparse.Namespace) -> dict:
+    """Assemble the job spec ``repro submit`` posts to the daemon."""
+    spec: dict = {"kind": args.kind, "arch": args.arch,
+                  "objective": args.objective}
+    if args.kind == "network":
+        if not args.model:
+            raise SystemExit("--kind network requires --model PATH")
+        from .workloads.importer import load_model
+        spec["layers"] = [workload_to_dict(w) for w in load_model(args.model)]
+        return spec
+    if not args.workload:
+        raise SystemExit(f"--kind {args.kind} requires --workload")
+    workload = build_workload(args.workload, args.dims)
+    spec["workload"] = workload_to_dict(workload)
+    # Validate sparsity flags client-side (same error text as schedule).
+    build_sparsity(args, workload)
+    if args.density or args.format or args.saf:
+        spec["sparsity"] = {"density": args.density,
+                            "format": args.format, "saf": args.saf}
+    if args.kind == "schedule":
+        spec["shards"] = args.shards
+    if args.kind == "compare" and args.mappers:
+        spec["mappers"] = args.mappers
+    return spec
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running daemon (optionally wait for it)."""
+    from .serve import ServeClient, ServeError
+
+    spec = _build_job_spec(args)
+    client = ServeClient(args.host, args.port)
+    try:
+        row = client.submit(spec)
+        print(f"submitted {row['id']}: {row['kind']}, "
+              f"{row['tasks_total']} task(s), fingerprint "
+              f"{row['fingerprint']}")
+        if not args.wait:
+            return 0
+        doc = client.result(row["id"], wait=True)
+    except ServeError as error:
+        print(f"serve error: {error}", file=sys.stderr)
+        return 1
+    return _print_serve_result(doc)
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List the daemon's jobs."""
+    from .serve import ServeClient, ServeError
+
+    try:
+        rows = ServeClient(args.host, args.port).jobs()
+    except ServeError as error:
+        print(f"serve error: {error}", file=sys.stderr)
+        return 1
+    print(f"{'id':<8} {'kind':<9} {'state':<8} {'tasks':>7} "
+          f"{'seed hits':>10} {'wall(s)':>8}")
+    for row in rows:
+        print(f"{row['id']:<8} {row['kind']:<9} {row['state']:<8} "
+              f"{row['tasks_done']:>3}/{row['tasks_total']:<3} "
+              f"{row['seed_hits']:>10} {row['wall_time_s']:>8.2f}")
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    """Fetch (and optionally wait for) one job's merged result."""
+    from .serve import ServeClient, ServeError
+
+    try:
+        doc = ServeClient(args.host, args.port).result(args.job_id,
+                                                       wait=args.wait)
+    except ServeError as error:
+        print(f"serve error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        atomic_write_json(args.json, doc)
+        print(f"result saved to {args.json}")
+    return _print_serve_result(doc)
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -608,22 +805,121 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_describe)
 
+    def add_client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1",
+                       help="serve daemon address")
+        p.add_argument("--port", type=int, default=8181)
+
+    p = sub.add_parser("serve",
+                       help="run the scheduling service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8181,
+                   help="listen port (0 = pick a free port; the actual "
+                        "port is printed on the ready line)")
+    p.add_argument("--workers", type=nonnegative_int, default=1,
+                   help="worker processes running job tasks "
+                        "(0 = in-process)")
+    p.add_argument("--journal", metavar="PATH",
+                   help="crash-safe job journal (JSON lines, fsync'd); "
+                        "restart with --resume to recover in-flight jobs")
+    p.add_argument("--resume", action="store_true",
+                   help="recover journaled jobs on startup; recovered "
+                        "results are bit-identical to uninterrupted ones")
+    p.add_argument("--cache-entries", type=nonnegative_int,
+                   default=200_000,
+                   help="shared cross-request eval-cache entry cap "
+                        "(0 = unbounded)")
+    p.add_argument("--max-task-attempts", type=positive_int, default=3,
+                   help="pool-crash retries per task before degrading "
+                        "to an in-process run")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a serve daemon")
+    add_client_flags(p)
+    p.add_argument("--kind", default="schedule",
+                   choices=("schedule", "compare", "network"))
+    p.add_argument("--workload", help="workload kind (schedule/compare)")
+    p.add_argument("--model", help="model JSON path (--kind network)")
+    p.add_argument("--arch", default="conventional")
+    p.add_argument("--objective", default="edp", choices=("edp", "energy"))
+    p.add_argument("--shards", type=positive_int, default=1,
+                   help="split the mapspace into N union-complete shards "
+                        "searched in parallel (--kind schedule)")
+    p.add_argument("--mappers",
+                   help="comma-separated baseline subset (--kind compare)")
+    add_sparsity_flags(p)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the result is ready and print it")
+    p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a serve daemon's jobs")
+    add_client_flags(p)
+    p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser("result", help="fetch a job result from a daemon")
+    add_client_flags(p)
+    p.add_argument("job_id")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes")
+    p.add_argument("--json", metavar="PATH",
+                   help="save the full result document (atomic write)")
+    p.set_defaults(func=cmd_result)
+
     return parser
+
+
+class GracefulExit(KeyboardInterrupt):
+    """SIGTERM delivered as an exception.
+
+    Subclassing :class:`KeyboardInterrupt` reuses every existing
+    interrupt path unchanged — engines drain their pools
+    (``shutdown(cancel_futures=True)``), ``engine_scope`` closes what
+    it owns — while ``main`` can still tell the two apart to return
+    the conventional 128+signal code (143 vs 130).
+    """
+
+
+def _raise_graceful_exit(signum, frame):  # noqa: ARG001 - signal API
+    raise GracefulExit(f"signal {signum}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = make_parser()
     args = parser.parse_args(argv)
+    previous = None
+    if args.command != "serve":
+        # One-shot runs: turn SIGTERM into the same clean unwinding a
+        # Ctrl-C gets.  The serve daemon installs its own loop-level
+        # handlers instead (graceful stop, not an exception).
+        try:
+            previous = signal.signal(signal.SIGTERM, _raise_graceful_exit)
+        except (ValueError, OSError):
+            previous = None  # not the main thread (embedding)
     try:
         return args.func(args)
+    except GracefulExit:
+        # Pools are drained on the way out; flush one final journal
+        # append so an orchestrated stop is durably recorded, then exit
+        # 128+SIGTERM.  Rerun with --resume to continue.
+        flush_active_journals("sigterm")
+        print("terminated", file=sys.stderr)
+        return 143
     except KeyboardInterrupt:
         # Engines shut their pools down on the way out (engine_scope +
         # cancel_futures), so a Ctrl-C exits promptly with the
         # conventional 128+SIGINT code.  A --checkpoint journal keeps
         # every completed step; rerun with --resume to continue.
+        flush_active_journals("sigint")
         print("interrupted", file=sys.stderr)
         return 130
+    finally:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except (ValueError, OSError):
+                pass
 
 
 if __name__ == "__main__":

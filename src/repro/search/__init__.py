@@ -6,7 +6,9 @@ from .checkpoint import (
     CheckpointJournal,
     JournalError,
     atomic_write_json,
+    flush_active_journals,
     read_journal_entries,
+    sweep_stale_temps,
 )
 from .engine import SearchEngine, engine_scope, resolve_engine
 from .faults import FaultPlan, InjectedFault, plan_from_env
@@ -32,9 +34,11 @@ __all__ = [
     "architecture_fingerprint",
     "atomic_write_json",
     "engine_scope",
+    "flush_active_journals",
     "mapping_fingerprint",
     "plan_from_env",
     "read_journal_entries",
     "resolve_engine",
+    "sweep_stale_temps",
     "workload_fingerprint",
 ]

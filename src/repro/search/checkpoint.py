@@ -35,16 +35,80 @@ import json
 import os
 import pickle
 import tempfile
+import weakref
 import zlib
 from typing import Any, Iterable
 
 from .cache import EvalCache
-from .faults import KILL_EXIT_CODE, checkpoint_kill_after
+from .faults import (
+    KILL_EXIT_CODE,
+    KILL_MODES,
+    checkpoint_kill_after,
+    checkpoint_kill_mode,
+)
 
 
 class JournalError(RuntimeError):
     """A checkpoint journal is unusable for this search (e.g. it was
     written by a different workload/architecture/options combination)."""
+
+
+# Live journals of this process, for the CLI's signal handlers: a
+# SIGTERM/SIGINT on a long run appends one final marker entry to each
+# before exiting, so the journal durably records *why* it stops where
+# it does.  Weak references — a journal that fell out of scope is gone.
+_ACTIVE_JOURNALS: "weakref.WeakSet[CheckpointJournal]" = weakref.WeakSet()
+
+
+def flush_active_journals(note: str) -> int:
+    """Append a final ``{"type": "interrupted"}`` entry to every live
+    journal (fsync'd like any append).  Resume ignores the marker —
+    unknown entry types are skipped by all consumers — so an
+    interrupted run still continues from its last completed step.
+    Returns how many journals were flushed."""
+    flushed = 0
+    for journal in list(_ACTIVE_JOURNALS):
+        try:
+            journal.append({"type": "interrupted", "note": note})
+            flushed += 1
+        except Exception:
+            # Exit path: a journal that cannot take one more append
+            # (disk gone, file closed) must not mask the clean exit.
+            continue
+    return flushed
+
+
+def sweep_stale_temps(path: str) -> list[str]:
+    """Remove leftover ``<basename>.*.tmp`` files beside ``path``.
+
+    :func:`atomic_write_json` and the journal's compaction stage their
+    payload in ``<basename>.<random>.tmp`` siblings before the
+    ``os.replace``; a hard kill (SIGKILL, OOM) between the write and the
+    rename strands the temp file.  Stale temps are harmless to
+    correctness — the rename never happened, so the destination is
+    intact — but they accumulate under orchestration, so journal open
+    sweeps them.  Returns the paths removed.  Only exact
+    ``<basename>.*.tmp`` matches are touched: temps of other files in
+    the same directory belong to other writers.
+    """
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target) or "."
+    prefix = os.path.basename(target) + "."
+    removed: list[str] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(".tmp")):
+            continue
+        stale = os.path.join(directory, name)
+        try:
+            os.unlink(stale)
+        except OSError:
+            continue
+        removed.append(stale)
+    return removed
 
 
 def _atomic_write_bytes(path: str, payload: bytes) -> None:
@@ -138,9 +202,12 @@ class CheckpointJournal:
         Deterministic fault injection: after ``kill_after`` successful
         appends the journal either hard-exits the process
         (``"exit"``, exit code ``faults.KILL_EXIT_CODE`` — the CI
-        kill-mid-search smoke) or raises ``KeyboardInterrupt``
-        (``"interrupt"`` — the in-process regression tests).  Defaults
-        to the ``REPRO_CHECKPOINT_KILL_AFTER`` environment hook.
+        kill-mid-search smoke), raises ``KeyboardInterrupt``
+        (``"interrupt"`` — the in-process regression tests), or
+        delivers a real ``SIGTERM`` to the process (``"sigterm"`` —
+        the graceful-shutdown tests).  Defaults follow the
+        ``REPRO_CHECKPOINT_KILL_AFTER`` / ``REPRO_CHECKPOINT_KILL_MODE``
+        environment hooks.
     """
 
     def __init__(
@@ -151,10 +218,12 @@ class CheckpointJournal:
         resume: bool = False,
         cache_snapshots: bool = False,
         kill_after: int | None = None,
-        kill_mode: str = "exit",
+        kill_mode: str | None = None,
     ) -> None:
-        if kill_mode not in ("exit", "interrupt"):
-            raise ValueError("kill_mode must be 'exit' or 'interrupt'")
+        if kill_mode is None:
+            kill_mode = checkpoint_kill_mode()
+        if kill_mode not in KILL_MODES:
+            raise ValueError(f"kill_mode must be one of {KILL_MODES}")
         self.path = path
         self.cache_path = path + ".cache.pkl"
         self.cache_snapshots = cache_snapshots
@@ -163,6 +232,12 @@ class CheckpointJournal:
         self._kill_after = (kill_after if kill_after is not None
                             else checkpoint_kill_after())
         self._kill_mode = kill_mode
+        # A hard kill mid-compaction or mid-snapshot strands a *.tmp
+        # sibling; the journal is single-writer, so any temp found at
+        # open is stale by definition.
+        sweep_stale_temps(self.path)
+        sweep_stale_temps(self.cache_path)
+        _ACTIVE_JOURNALS.add(self)
         # Round-trip the meta through JSON so comparison on resume sees
         # the same types the journal file stores (tuples -> lists, ...).
         meta_rt = json.loads(_canonical(meta))
@@ -209,6 +284,14 @@ class CheckpointJournal:
                 self._kill_after = None
                 raise KeyboardInterrupt(
                     f"injected kill after {self._appends} journal appends")
+            if self._kill_mode == "sigterm":
+                # A real signal, delivered to ourselves: exercises the
+                # CLI's SIGTERM handler (GracefulExit -> exit 143) at a
+                # deterministic point mid-search.
+                self._kill_after = None
+                import signal
+                os.kill(os.getpid(), signal.SIGTERM)
+                return
             os._exit(KILL_EXIT_CODE)
 
     # ------------------------------------------------------------------

@@ -193,3 +193,20 @@ def checkpoint_kill_after(env: dict[str, str] | None = None) -> int | None:
     if value < 1:
         raise ValueError("REPRO_CHECKPOINT_KILL_AFTER must be >= 1")
     return value
+
+
+KILL_MODES = ("exit", "interrupt", "sigterm")
+
+
+def checkpoint_kill_mode(env: dict[str, str] | None = None) -> str:
+    """``REPRO_CHECKPOINT_KILL_MODE``: how the journal's injected kill
+    fires — ``exit`` (hard ``os._exit``, the SIGKILL/OOM stand-in),
+    ``interrupt`` (raise ``KeyboardInterrupt``, the Ctrl-C stand-in) or
+    ``sigterm`` (deliver a real ``SIGTERM`` to this process, for
+    deterministic graceful-shutdown tests).  Defaults to ``exit``."""
+    mode = (env if env is not None else os.environ).get(
+        "REPRO_CHECKPOINT_KILL_MODE", "").strip() or "exit"
+    if mode not in KILL_MODES:
+        raise ValueError(f"REPRO_CHECKPOINT_KILL_MODE must be one of "
+                         f"{KILL_MODES}, got {mode!r}")
+    return mode

@@ -1,0 +1,55 @@
+"""Scheduler-as-a-service: the ``repro serve`` daemon (docs/SERVE_API.md).
+
+The pieces PRs 1-6 built — union-complete mapspace shards, the
+CRC-journaled :class:`~repro.search.CheckpointJournal`, fault-tolerant
+pool execution and the fingerprint-keyed
+:class:`~repro.search.EvalCache` — composed into a long-running job
+server:
+
+* :mod:`repro.serve.protocol` — job specs, normalisation, and the
+  canonical shard-merge tie-breaks;
+* :mod:`repro.serve.cache` — the process-shared cross-request
+  :class:`SharedEvalCache` (admission/eviction policy, per-job hit
+  accounting);
+* :mod:`repro.serve.tasks` — the picklable worker entry point;
+* :mod:`repro.serve.fleet` — the fault-tolerant worker fleet (workers
+  can die and rejoin; lost tasks re-run bit-identically);
+* :mod:`repro.serve.jobs` — the :class:`JobManager` (decompose, fan
+  out, merge, durable state, resume);
+* :mod:`repro.serve.server` — the stdlib-only asyncio HTTP/JSON
+  front-end;
+* :mod:`repro.serve.client` — the ``repro submit``/``jobs``/``result``
+  client.
+"""
+
+from .cache import SeedCache, SharedEvalCache
+from .client import ServeClient, ServeError
+from .jobs import Job, JobManager
+from .fleet import WorkerFleet
+from .protocol import (
+    ProtocolError,
+    decompose_job,
+    job_fingerprint,
+    merge_job,
+    normalize_job,
+    outcome_sort_key,
+)
+from .server import ServeConfig, ServeDaemon
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ProtocolError",
+    "SeedCache",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "SharedEvalCache",
+    "WorkerFleet",
+    "decompose_job",
+    "job_fingerprint",
+    "merge_job",
+    "normalize_job",
+    "outcome_sort_key",
+]

@@ -1,0 +1,103 @@
+"""Blocking HTTP client for the serve daemon (``repro submit`` & co).
+
+Deliberately symmetric with :mod:`repro.serve.server`: stdlib
+``http.client``, one request per connection, JSON bodies.  Raises
+:class:`ServeError` with the daemon's error message on any non-2xx
+response, and on connection failures (message prefixed with the
+address, so ``repro submit`` against a dead daemon reads clearly).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+
+class ServeError(RuntimeError):
+    """A request the daemon rejected or could not be delivered."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8181,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Any = None) -> dict:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError) as error:
+            raise ServeError(
+                f"cannot reach daemon at {self.host}:{self.port}: {error}")
+        finally:
+            connection.close()
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            raise ServeError(f"daemon sent non-JSON response "
+                             f"(status {response.status})",
+                             status=response.status)
+        if response.status >= 300:
+            raise ServeError(doc.get("error", f"HTTP {response.status}"),
+                             status=response.status)
+        return doc
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec; returns the accepted job row."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str, wait: bool = False) -> dict:
+        """The merged result document (409 -> ServeError unless done)."""
+        suffix = "?wait=1" if wait else ""
+        return self._request("GET", f"/jobs/{job_id}/result{suffix}")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    def wait_ready(self, deadline_s: float = 30.0) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup races in
+        tests and the CI smoke)."""
+        last: ServeError | None = None
+        end = time.monotonic() + deadline_s
+        while time.monotonic() < end:
+            try:
+                return self.healthz()
+            except ServeError as error:
+                last = error
+                time.sleep(0.05)
+        raise ServeError(f"daemon at {self.host}:{self.port} did not "
+                         f"become ready within {deadline_s:.0f}s: {last}")

@@ -1,0 +1,123 @@
+"""Fault-tolerant worker fleet for the serve daemon.
+
+A thin async wrapper over ``ProcessPoolExecutor`` with the same
+recovery contract as the search engine's ``_run_pooled``
+(docs/SEARCH.md, "Fault recovery"): a worker death surfaces as
+``BrokenExecutor`` on the awaiting task, the pool is rebuilt exactly
+once per break (a generation counter keeps concurrent awaiters from
+stampeding), and the lost task is re-submitted.  Because
+:func:`repro.serve.tasks.run_task` is a pure function of its payload,
+the retry is bit-identical to the run that died.  After the attempt
+budget the task degrades to an in-process run so the job still
+completes (counted, and reported via ``/stats``).
+
+``workers=0`` runs everything in-process (no pool) — the deterministic
+mode the unit tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+from .tasks import run_task
+
+
+class WorkerFleet:
+    """Owns the worker pool; ``run`` survives worker deaths."""
+
+    def __init__(self, workers: int = 1, *, max_task_attempts: int = 3,
+                 rebuild_backoff_s: float = 0.05) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+        self.workers = workers
+        self.max_task_attempts = max_task_attempts
+        self.rebuild_backoff_s = rebuild_backoff_s
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._pool: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=workers) if workers else None)
+        self.tasks_run = 0
+        self.crashes_recovered = 0
+        self.retries = 0
+        self.pool_rebuilds = 0
+        self.degraded_tasks = 0
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, seen_generation: int) -> None:
+        """Replace a broken pool (once per break: later callers that saw
+        the same generation find it already bumped and do nothing)."""
+        old = None
+        with self._lock:
+            if self._closed or not self.workers:
+                return
+            if self._generation != seen_generation:
+                return
+            old = self._pool
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._generation += 1
+            self.pool_rebuilds += 1
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+
+    async def _run_inline(self, payload: dict) -> dict:
+        part = await asyncio.to_thread(run_task, payload)
+        self.tasks_run += 1
+        return part
+
+    async def run(self, payload: dict) -> dict:
+        """Execute one task payload; retries only pool breakage.
+
+        A deterministic task error (bad document, model bug) propagates
+        immediately — retrying it would fail identically.
+        """
+        if self._closed:
+            raise RuntimeError("fleet is closed")
+        if not self.workers:
+            return await self._run_inline(payload)
+        for attempt in range(self.max_task_attempts):
+            if attempt:
+                self.retries += 1
+            with self._lock:
+                pool, generation = self._pool, self._generation
+            try:
+                future = pool.submit(run_task, dict(payload, attempt=attempt))
+                part = await asyncio.wrap_future(future)
+                self.tasks_run += 1
+                return part
+            except BrokenExecutor:
+                self.crashes_recovered += 1
+                self._rebuild(generation)
+                await asyncio.sleep(self.rebuild_backoff_s * (attempt + 1))
+        # Attempt budget exhausted: the pool keeps breaking on this
+        # task.  Run it in-process so the job completes (bit-identical;
+        # the daemon just loses parallelism for this one task).
+        self.degraded_tasks += 1
+        return await self._run_inline(
+            dict(payload, attempt=self.max_task_attempts))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "generation": self._generation,
+                "tasks_run": self.tasks_run,
+                "crashes_recovered": self.crashes_recovered,
+                "retries": self.retries,
+                "pool_rebuilds": self.pool_rebuilds,
+                "degraded_tasks": self.degraded_tasks,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,221 @@
+"""Stdlib-only asyncio HTTP/JSON front-end (docs/SERVE_API.md).
+
+One event loop owns the listener, the :class:`JobManager` and the
+shared cache; CPU-heavy search work never runs on the loop — it is
+dispatched to the :class:`~repro.serve.fleet.WorkerFleet`.  The wire
+protocol is deliberately minimal HTTP/1.1 (one request per connection,
+``Connection: close``) so both ends stay inside the standard library.
+
+Endpoints
+---------
+``GET /healthz``            liveness + job/worker counts
+``GET /stats``              shared-cache, fleet and per-job statistics
+``POST /jobs``              submit a job spec; returns the job row
+``GET /jobs``               list all jobs
+``GET /jobs/ID``            one job row
+``GET /jobs/ID/result``     merged result; ``?wait=1`` blocks until done
+``POST /shutdown``          graceful stop (drains nothing — in-flight
+                            jobs are journaled and resume on restart)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from ..search import CheckpointJournal
+from .cache import SharedEvalCache
+from .fleet import WorkerFleet
+from .jobs import JobManager
+from .protocol import ProtocolError
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+             404: "Not Found", 409: "Conflict",
+             500: "Internal Server Error"}
+_MAX_BODY = 32 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """``repro serve`` knobs (defaults match the CLI flag defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8181
+    workers: int = 1
+    journal_path: str | None = None
+    resume: bool = False
+    cache_entries: int | None = 200_000
+    max_task_attempts: int = 3
+
+
+class ServeDaemon:
+    """The long-running scheduler service."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.cache = SharedEvalCache(max_entries=config.cache_entries)
+        self.fleet = WorkerFleet(config.workers,
+                                 max_task_attempts=config.max_task_attempts)
+        self.journal: CheckpointJournal | None = None
+        if config.journal_path is not None:
+            self.journal = CheckpointJournal(
+                config.journal_path, {"kind": "serve"},
+                resume=config.resume)
+        self.manager: JobManager | None = None
+        self.port: int | None = None  # actual port (config.port may be 0)
+        self._stop = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def serve(self, *, ready_cb=None) -> None:
+        """Run until :meth:`request_stop`; resumes journaled jobs first."""
+        self.manager = JobManager(self.fleet, self.cache,
+                                  journal=self.journal)
+        resumed = self.manager.resume()
+        server = await asyncio.start_server(self._handle, self.config.host,
+                                            self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        if ready_cb is not None:
+            ready_cb(self.port, resumed)
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            # In-flight jobs keep their journaled parts; a restart with
+            # --resume re-enqueues only the missing tasks.
+            for job in self.manager.jobs.values():
+                if job.runner is not None and not job.runner.done():
+                    job.runner.cancel()
+            await self.manager.drain()
+            self.fleet.close()
+            if self.journal is not None:
+                self.journal.append({"type": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, doc = await self._route(method, path, body)
+            except ProtocolError as error:
+                status, doc = 400, {"error": str(error)}
+            except _HttpError as error:
+                status, doc = error.status, {"error": error.message}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as error:  # noqa: BLE001 - keep serving
+                status, doc = 500, {"error":
+                                    f"{type(error).__name__}: {error}"}
+            payload = (json.dumps(doc, indent=2) + "\n").encode()
+            writer.write(
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + payload)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            ) -> tuple[str, str, dict | None]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        length = 0
+        for line in header_lines:
+            name, sep, value = line.partition(":")
+            if sep and name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length")
+        if length > _MAX_BODY:
+            raise _HttpError(400, "body too large")
+        body = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                raise _HttpError(400, "body is not valid JSON")
+        return method.upper(), target, body
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, target: str, body: dict | None,
+                     ) -> tuple[int, dict]:
+        path, _, query = target.partition("?")
+        parts = [p for p in path.split("/") if p]
+        manager = self.manager
+        assert manager is not None  # serve() set it before listening
+
+        if method == "GET" and parts == ["healthz"]:
+            states = [j.state for j in manager.jobs.values()]
+            return 200, {
+                "ok": True,
+                "workers": self.fleet.workers,
+                "jobs": {state: states.count(state)
+                         for state in sorted(set(states))},
+            }
+        if method == "GET" and parts == ["stats"]:
+            return 200, {
+                "cache": self.cache.stats(),
+                "fleet": self.fleet.stats(),
+                "jobs": manager.stats(),
+            }
+        if method == "POST" and parts == ["jobs"]:
+            if body is None:
+                raise ProtocolError("POST /jobs needs a JSON job spec body")
+            job = manager.submit(body)
+            return 202, job.describe()
+        if method == "GET" and parts == ["jobs"]:
+            return 200, {"jobs": manager.describe_jobs()}
+        if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            job = manager.get(parts[1])
+            if job is None:
+                raise _HttpError(404, f"no such job {parts[1]!r}")
+            return 200, job.describe()
+        if (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "result"):
+            job = manager.get(parts[1])
+            if job is None:
+                raise _HttpError(404, f"no such job {parts[1]!r}")
+            if "wait=1" in query.split("&") and job.runner is not None:
+                await asyncio.shield(
+                    asyncio.gather(job.runner, return_exceptions=True))
+            if job.state == "failed":
+                return 200, {"id": job.id, "state": job.state,
+                             "error": job.error}
+            if job.result is None:
+                return 409, {"id": job.id, "state": job.state,
+                             "error": "job is still running; retry or "
+                                      "pass ?wait=1"}
+            return 200, {"id": job.id, "state": job.state,
+                         "seed_hits": job.seed_hits, "result": job.result}
+        if method == "POST" and parts == ["shutdown"]:
+            self.request_stop()
+            return 200, {"ok": True, "stopping": True}
+        raise _HttpError(404, f"no route {method} {path}")
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message

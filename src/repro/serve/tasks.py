@@ -1,0 +1,154 @@
+"""Picklable worker entry point: run one decomposed job task.
+
+:func:`run_task` executes in a ``ProcessPoolExecutor`` worker (or
+inline for ``--workers 0``/fallback).  It reconstructs the search from
+a self-contained task document and runs it **exactly as the cold CLI
+would** — same :class:`~repro.core.SchedulerOptions`, same engine
+construction as ``SunstoneScheduler._get_engine`` — with one
+difference: the evaluation cache starts from the daemon's seed
+(:class:`~repro.serve.cache.SeedCache`).  The seed is a pure
+accelerator (fingerprint-keyed exact results), so the returned mapping,
+cost and candidate-evaluation count are bit-identical to the cold run;
+only the engine's hit accounting moves (pinned by
+``tests/test_serve.py``).
+
+Fault injection: ``REPRO_SERVE_KILL_TASK=JOB:INDEX`` hard-exits the
+worker on the *first* attempt at that task (mirroring the
+``REPRO_FAULTS``/``REPRO_CHECKPOINT_KILL_AFTER`` idioms), which gives
+tests and the CI smoke a deterministic worker death instead of a racy
+``pkill``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from ..core import SchedulerOptions, schedule
+from ..mapping.serialize import (
+    architecture_from_dict,
+    mapping_to_dict,
+    workload_from_dict,
+)
+from ..search import SearchEngine
+from .cache import SeedCache
+from .protocol import build_sparsity_spec
+
+KILL_TASK_ENV = "REPRO_SERVE_KILL_TASK"
+
+
+def _honour_kill_hook(job_id: str, task: dict, attempt: int) -> None:
+    target = os.environ.get(KILL_TASK_ENV)
+    if not target or attempt > 0:
+        return
+    if target == f"{job_id}:{task['index']}":
+        # A real crash, as far as the fleet can tell: the process dies
+        # without returning.  Retries (attempt > 0) run to completion.
+        os._exit(1)
+
+
+def _seeded_engine(task: dict, options: SchedulerOptions,
+                   seed: list[tuple[Any, Any]]) -> tuple[SearchEngine,
+                                                         SeedCache]:
+    """The engine ``SunstoneScheduler._get_engine`` would build, with
+    the result cache pre-populated from the daemon's shared cache."""
+    cache_size = options.cache_size
+    cache = SeedCache(seed, max_entries=(200_000 if cache_size is None
+                                         else cache_size))
+    engine = SearchEngine(workers=1, cache=cache,
+                          partial_reuse=options.partial_reuse,
+                          sparsity=options.sparsity,
+                          batch=options.batch,
+                          cache_size=cache_size)
+    return engine, cache
+
+
+def _scheduler_options(task: dict) -> SchedulerOptions:
+    opts = task["options"]
+    shard = task.get("shard")
+    return SchedulerOptions(objective=task["objective"],
+                            sparsity=build_sparsity_spec(task),
+                            batch=opts["batch"],
+                            batch_gen=opts["batch_gen"],
+                            cache_size=opts["cache_size"],
+                            shard=tuple(shard) if shard else None)
+
+
+def _outcome_doc(result) -> dict:
+    return {
+        "found": result.found,
+        "mapping": mapping_to_dict(result.mapping) if result.found else None,
+        "cost": None,
+        "evaluations": result.stats.evaluations,
+        "wall_time_s": result.stats.wall_time_s,
+    }
+
+
+def _run_schedule(task: dict, seed: list) -> tuple[dict, SearchEngine,
+                                                   SeedCache]:
+    from ..cli import _cost_dict
+    workload = workload_from_dict(task["workload"])
+    arch = architecture_from_dict(task["arch"])
+    options = _scheduler_options(task)
+    engine, cache = _seeded_engine(task, options, seed)
+    with engine:
+        result = schedule(workload, arch, options, engine=engine)
+    doc = _outcome_doc(result)
+    if result.found:
+        doc["cost"] = _cost_dict(result.cost)
+    return doc, engine, cache
+
+
+def _run_mapper(task: dict, seed: list) -> tuple[dict, SearchEngine | None,
+                                                 SeedCache | None]:
+    from ..cli import compare_runners, mapper_row
+    workload = workload_from_dict(task["workload"])
+    arch = architecture_from_dict(task["arch"])
+    options = _scheduler_options(task)
+    engine = cache = None
+    if task["name"] == "sunstone":
+        # Only Sunstone takes an injected engine here: the baselines
+        # build their own (their exact cold-CLI configuration), so their
+        # rows stay byte-for-byte what ``repro compare`` prints.
+        engine, cache = _seeded_engine(task, options, seed)
+    runner = compare_runners(workload, arch, options,
+                             engine=engine)[task["name"]]
+    if engine is not None:
+        with engine:
+            result = runner()
+    else:
+        result = runner()
+    return mapper_row(task["name"], result), engine, cache
+
+
+def run_task(payload: dict) -> dict:
+    """Execute one task; returns the mergeable *part* document.
+
+    ``payload`` is ``{"job_id", "task", "seed", "attempt"}``; the part
+    is ``{"index", "doc", "stats", "seed_hits", "entries",
+    "wall_time_s"}`` where ``entries`` are the ``(fingerprint,
+    CostResult)`` pairs this task computed, offered back to the shared
+    cache for admission.
+    """
+    task = payload["task"]
+    seed = payload.get("seed") or []
+    _honour_kill_hook(payload.get("job_id", ""), task,
+                      payload.get("attempt", 0))
+    start = time.perf_counter()
+    if task["type"] in ("schedule", "layer"):
+        doc, engine, cache = _run_schedule(task, seed)
+        stats = engine.stats.to_dict()
+    elif task["type"] == "mapper":
+        doc, engine, cache = _run_mapper(task, seed)
+        stats = doc.get("search")
+    else:
+        raise ValueError(f"unknown task type {task['type']!r}")
+    return {
+        "index": task["index"],
+        "doc": doc,
+        "stats": stats,
+        "seed_hits": cache.seed_hits if cache is not None else 0,
+        "entries": cache.new_entries() if cache is not None else [],
+        "wall_time_s": time.perf_counter() - start,
+    }

@@ -1,0 +1,153 @@
+"""End-to-end serve smoke for CI: kill a worker, SIGKILL the daemon,
+resume, and require bit-identity with the cold CLI.
+
+The scenario (docs/SERVE_API.md, "Durability"):
+
+1. start a journalled daemon with one pool worker and an injected
+   worker kill (``REPRO_SERVE_KILL_TASK``) armed for job 1's second
+   shard — the worker hard-exits mid-job and the fleet must recover;
+2. submit two overlapping sharded schedule jobs;
+3. once job 1 has at least one durable part, SIGKILL the whole daemon;
+4. restart it with ``--resume`` and wait for both results;
+5. independently run the equivalent cold CLI shard runs
+   (``repro schedule --shard i/2 --stats-json``) and require the
+   daemon's merged mapping/cost/evaluations to match exactly.
+
+Run directly (CI does): ``python tests/serve_smoke.py``.
+Exit code 0 on success; any assertion failure is a real regression.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient, ServeError  # noqa: E402
+from repro.serve.protocol import outcome_sort_key  # noqa: E402
+
+ENV = {"PYTHONPATH": str(REPO_ROOT / "src"),
+       "PATH": os.environ.get("PATH", "/usr/bin:/bin")}
+
+JOBS = [
+    {"kind": "schedule", "shards": 2, "arch": "tiny",
+     "workload": {"kind": "conv1d",
+                  "dims": {"K": 4, "C": 4, "P": 14, "R": 3}}},
+    {"kind": "schedule", "shards": 2, "arch": "tiny",
+     "workload": {"kind": "fc", "dims": {"N": 2, "K": 8, "C": 8}}},
+]
+
+
+def start_daemon(workdir, journal, *, resume=False, extra_env=None):
+    argv = [sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--workers", "1", "--journal", journal]
+    if resume:
+        argv.append("--resume")
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True,
+                            env={**ENV, **(extra_env or {})},
+                            cwd=str(workdir))
+    ready = proc.stdout.readline()
+    assert "serving on http://" in ready, (ready, proc.stderr.read())
+    port = int(ready.rsplit(":", 1)[1].split()[0])
+    return proc, ServeClient("127.0.0.1", port)
+
+
+def cold_shard_run(workdir, spec, shard_index):
+    """One cold CLI shard run; returns its --stats-json document."""
+    dims = [f"{k}={v}" for k, v in spec["workload"]["dims"].items()]
+    stats = Path(workdir) / f"cold_{spec['workload']['kind']}_{shard_index}.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "schedule",
+         "--workload", spec["workload"]["kind"], "--arch", spec["arch"],
+         "--shard", f"{shard_index}/{spec['shards']}",
+         "--stats-json", str(stats), *dims],
+        capture_output=True, text=True, timeout=600, env=ENV,
+        cwd=str(workdir))
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(stats.read_text())
+
+
+def cold_merged(workdir, spec):
+    """Canonical merge of the cold shard runs — what the daemon owes."""
+    parts = [cold_shard_run(workdir, spec, i) for i in range(spec["shards"])]
+    best = min(parts, key=lambda d: outcome_sort_key(
+        {"found": True, "mapping": d["mapping"], "cost": d["cost"]}, "edp"))
+    return {"mapping": best["mapping"], "cost": best["cost"],
+            "evaluations": sum(p["evaluations"] for p in parts)}
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="serve_smoke_")
+    journal = str(Path(workdir) / "serve.jsonl")
+
+    # Phase 1: daemon with an armed worker kill for job 1, shard 2.
+    proc, client = start_daemon(
+        workdir, journal, extra_env={"REPRO_SERVE_KILL_TASK": "j00001:1"})
+    try:
+        client.wait_ready()
+        ids = [client.submit(spec)["id"] for spec in JOBS]
+        assert ids == ["j00001", "j00002"], ids
+        print(f"submitted {ids} (worker kill armed for j00001:1)")
+
+        # Wait until job 1 has journalled at least one part, so the
+        # restart genuinely resumes mid-job rather than from zero.
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if client.job("j00001")["tasks_done"] >= 1:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("job 1 never finished a shard")
+        print("job 1 has a durable part; SIGKILLing the daemon")
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+    # Phase 2: restart and resume (no kill hook this time).
+    proc, client = start_daemon(workdir, journal, resume=True)
+    try:
+        client.wait_ready()
+        results = {}
+        for job_id in ("j00001", "j00002"):
+            doc = client.result(job_id, wait=True)
+            assert doc["state"] == "done", doc
+            results[job_id] = doc["result"]
+        stats = client.stats()
+        print(f"resume completed both jobs "
+              f"(cache entries={stats['cache']['entries']})")
+        client.shutdown()
+    except BaseException:
+        proc.terminate()
+        raise
+    finally:
+        proc.wait(timeout=60)
+
+    # Phase 3: bit-identity with the cold CLI.
+    for job_id, spec in zip(("j00001", "j00002"), JOBS):
+        got = results[job_id]
+        want = cold_merged(workdir, spec)
+        name = spec["workload"]["kind"]
+        assert got["status"] == "ok", got
+        assert got["mapping"] == want["mapping"], \
+            f"{name}: daemon mapping diverged from cold CLI"
+        assert got["cost"] == want["cost"], \
+            f"{name}: daemon cost diverged from cold CLI"
+        assert got["evaluations"] == want["evaluations"], \
+            f"{name}: daemon evaluation accounting diverged"
+        print(f"{name}: bit-identical to cold CLI "
+              f"(edp {got['cost']['edp']}, "
+              f"{got['evaluations']} candidates)")
+
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

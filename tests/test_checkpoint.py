@@ -375,3 +375,64 @@ def test_subprocess_hard_kill_then_resume_is_identical(tmp_path):
                 and "search engine:" not in line]
 
     assert essence(resumed.stdout) == essence(uninterrupted.stdout)
+
+
+# ---------------------------------------------------------------------------
+# stale *.tmp sweep: a hard kill between write and rename must not leak
+# ---------------------------------------------------------------------------
+
+
+def test_journal_open_sweeps_stale_temps(tmp_path):
+    """Opening a journal removes leftover ``<basename>.*.tmp`` siblings
+    (of the journal *and* its cache sidecar) but nothing else."""
+    ckpt = tmp_path / "swept.jsonl"
+    mine = [tmp_path / "swept.jsonl.abc123.tmp",
+            tmp_path / "swept.jsonl.cache.pkl.xyz.tmp"]
+    others = [tmp_path / "other.json.def.tmp",
+              tmp_path / "swept.jsonl.notatmp"]
+    for path in mine + others:
+        path.write_text("stranded")
+
+    CheckpointJournal(str(ckpt), META)
+    for path in mine:
+        assert not path.exists(), path
+    for path in others:
+        assert path.exists(), path
+
+
+def test_sweep_stale_temps_ignores_missing_directory(tmp_path):
+    from repro.search import sweep_stale_temps
+    assert sweep_stale_temps(str(tmp_path / "no" / "dir" / "x.jsonl")) == []
+
+
+def test_kill_during_atomic_write_leaves_temp_then_sweep_recovers(tmp_path):
+    """The regression the sweep exists for: kill a process between the
+    temp write and ``os.replace`` (patched to hard-exit), confirm the
+    stranded ``*.tmp`` survives and the destination is intact, then
+    confirm reopening the journal sweeps it."""
+    ckpt = tmp_path / "leak.jsonl"
+    CheckpointJournal(str(ckpt), META).append({"type": "step", "n": 1})
+    before = ckpt.read_text()
+
+    script = (
+        "import os, sys\n"
+        "sys.path.insert(0, sys.argv[1])\n"
+        "from repro.search import checkpoint\n"
+        "real_replace = os.replace\n"
+        "def dying_replace(src, dst):\n"
+        "    os._exit(9)\n"
+        "checkpoint.os.replace = dying_replace\n"
+        "checkpoint.atomic_write_json(sys.argv[2] + '.compact', {'x': 1})\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(REPO_ROOT / "src"), str(ckpt)],
+        capture_output=True, text=True, timeout=120, cwd=str(tmp_path))
+    assert proc.returncode == 9, proc.stderr
+
+    stranded = list(tmp_path.glob("leak.jsonl.compact.*.tmp"))
+    assert stranded, "the injected kill should strand one temp file"
+    assert ckpt.read_text() == before  # destination untouched
+
+    # A journal opened at the *stranded* path sweeps its own temps.
+    CheckpointJournal(str(tmp_path / "leak.jsonl.compact"), META)
+    assert not list(tmp_path.glob("leak.jsonl.compact.*.tmp"))

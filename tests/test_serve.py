@@ -1,0 +1,575 @@
+"""Tests for the serve subsystem (protocol, jobs, HTTP, bit-identity).
+
+The load-bearing guarantees pinned here:
+
+* a daemon job's merged result is **bit-identical** to the equivalent
+  cold CLI invocation — same best mapping, cost and candidate
+  evaluation count — for schedule (any shard count), compare (every
+  mapper row) and network jobs;
+* worker deaths (injected via ``REPRO_SERVE_KILL_TASK``) and daemon
+  restarts (journal + ``resume``) never change results;
+* the CLI SIGTERM path drains cleanly with exit 143 (satellite 1).
+"""
+
+import asyncio
+import json
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.cli import (
+    _cost_dict,
+    build_architecture,
+    build_workload,
+    compare_runners,
+    main,
+    mapper_row,
+)
+from repro.core import SchedulerOptions, schedule
+from repro.core.network import schedule_network
+from repro.mapping.serialize import mapping_to_dict, workload_to_dict
+from repro.search import read_journal_entries
+from repro.serve import (
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    WorkerFleet,
+    decompose_job,
+    job_fingerprint,
+    merge_job,
+    normalize_job,
+)
+from repro.serve.protocol import merge_stats, outcome_sort_key
+from repro.serve.tasks import run_task
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SMALL_CONV = {"kind": "conv1d", "dims": {"K": 4, "C": 4, "P": 14, "R": 3}}
+SMALL_FC = {"kind": "fc", "dims": {"N": 2, "K": 8, "C": 8}}
+
+
+def rt(doc):
+    """JSON round-trip, matching what crosses the wire/journal."""
+    return json.loads(json.dumps(doc))
+
+
+def sans_timing(doc):
+    """``doc`` with every wall-clock field removed, recursively — the
+    only part of a merged result that legitimately varies across runs."""
+    if isinstance(doc, dict):
+        return {k: sans_timing(v) for k, v in doc.items()
+                if "time_s" not in k}
+    if isinstance(doc, list):
+        return [sans_timing(v) for v in doc]
+    return doc
+
+
+def schedule_spec(**overrides):
+    spec = {"kind": "schedule", "workload": dict(SMALL_CONV),
+            "arch": "tiny"}
+    spec.update(overrides)
+    return spec
+
+
+async def _daemon_session(config, body):
+    """Run ``await body(daemon)`` against a serving daemon, then stop."""
+    daemon = ServeDaemon(config)
+    server = asyncio.get_running_loop().create_task(daemon.serve())
+    try:
+        while daemon.manager is None or daemon.port is None:
+            await asyncio.sleep(0.01)
+        return await body(daemon)
+    finally:
+        daemon.request_stop()
+        await server
+
+
+def with_daemon(body, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("workers", 0)
+    return asyncio.run(_daemon_session(ServeConfig(**config_kwargs), body))
+
+
+def run_jobs(specs, **config_kwargs):
+    """Submit specs sequentially to one fresh daemon; return Job records."""
+    async def body(daemon):
+        jobs = []
+        for spec in specs:
+            job = daemon.manager.submit(spec)
+            await job.runner
+            jobs.append(job)
+        return jobs
+    return with_daemon(body, **config_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# protocol: normalisation, decomposition, merging
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            normalize_job({"kind": "frobnicate"})
+        with pytest.raises(ProtocolError, match="workload"):
+            normalize_job({"kind": "schedule"})
+        with pytest.raises(ProtocolError, match="shards"):
+            normalize_job(schedule_spec(shards=0))
+        with pytest.raises(ProtocolError, match="architecture"):
+            normalize_job(schedule_spec(arch="tpu"))
+        with pytest.raises(ProtocolError, match="mapper"):
+            normalize_job({"kind": "compare", "workload": SMALL_CONV,
+                           "mappers": "alexnet"})
+        with pytest.raises(ProtocolError, match="layers"):
+            normalize_job({"kind": "network", "layers": []})
+        with pytest.raises(ProtocolError, match="objective"):
+            normalize_job(schedule_spec(objective="latency"))
+
+    def test_normalisation_preserves_dim_order(self):
+        # Dict order in the workload doc is the searchers' iteration
+        # order; sorting it would change sampler trajectories vs the
+        # cold CLI (the bug this pins).
+        job = normalize_job(schedule_spec())
+        assert list(job["workload"]["dims"]) == ["K", "C", "P", "R"]
+
+    def test_fingerprint_is_content_keyed(self):
+        a = normalize_job(schedule_spec())
+        b = normalize_job(schedule_spec())
+        c = normalize_job(schedule_spec(shards=2))
+        assert job_fingerprint(a) == job_fingerprint(b)
+        assert job_fingerprint(a) != job_fingerprint(c)
+
+    def test_schedule_decomposes_into_shard_tasks(self):
+        job = normalize_job(schedule_spec(shards=3))
+        tasks = decompose_job(job)
+        assert [t["shard"] for t in tasks] == [[0, 3], [1, 3], [2, 3]]
+        # shards=1 must be the *unsharded* CLI run, not --shard 0/1.
+        solo = decompose_job(normalize_job(schedule_spec()))
+        assert solo[0]["shard"] is None
+
+    def test_compare_decomposes_in_canonical_cli_order(self):
+        job = normalize_job({"kind": "compare", "workload": SMALL_CONV,
+                             "arch": "tiny", "mappers": "cosa,timeloop"})
+        names = [t["name"] for t in decompose_job(job)]
+        assert names == ["sunstone", "timeloop-like", "cosa-like"]
+
+    def test_network_dedupes_repeated_shapes(self):
+        layers = [SMALL_CONV, SMALL_FC, SMALL_CONV]
+        job = normalize_job({"kind": "network", "arch": "tiny",
+                             "layers": layers})
+        tasks = decompose_job(job)
+        assert len(tasks) == 2
+        assert tasks[0]["covers"] == [0, 2]
+
+    def test_merge_requires_all_parts(self):
+        job = normalize_job(schedule_spec(shards=2))
+        with pytest.raises(ProtocolError, match="incomplete"):
+            merge_job(job, {})
+
+    def test_merge_stats_recomputes_derived_ratios(self):
+        merged = merge_stats([
+            {"evaluations": 6, "cache_hits": 2, "workers": 2,
+             "hit_rate": 0.25, "requests": 8,
+             "faults": {"degraded_serial": False, "retries": 1}},
+            {"evaluations": 2, "cache_hits": 6, "workers": 1,
+             "hit_rate": 0.75, "requests": 8,
+             "faults": {"degraded_serial": True, "retries": 2}},
+        ])
+        assert merged["evaluations"] == 8
+        assert merged["cache_hits"] == 8
+        assert merged["requests"] == 16
+        assert merged["hit_rate"] == 0.5
+        assert merged["workers"] == 2
+        assert merged["faults"] == {"degraded_serial": True, "retries": 3}
+
+    def test_outcome_sort_key_ranks_validity_then_value(self):
+        lose = {"found": False, "cost": None}
+        ok = {"found": True,
+              "cost": {"edp": 2.0, "energy_pj": 1.0, "valid": True},
+              "mapping": {"levels": []}}
+        invalid = {"found": True,
+                   "cost": {"edp": 1.0, "energy_pj": 1.0, "valid": False},
+                   "mapping": {"levels": []}}
+        ranked = sorted([lose, invalid, ok],
+                        key=lambda d: outcome_sort_key(d, "edp"))
+        assert ranked == [ok, invalid, lose]
+
+
+# ---------------------------------------------------------------------------
+# bit-identity vs the cold CLI
+# ---------------------------------------------------------------------------
+
+def cold_schedule(shard=None):
+    workload = build_workload("conv1d", ["K=4", "C=4", "P=14", "R=3"])
+    arch = build_architecture("tiny")
+    result = schedule(workload, arch, SchedulerOptions(shard=shard))
+    return rt({"found": result.found,
+               "mapping": mapping_to_dict(result.mapping),
+               "cost": _cost_dict(result.cost),
+               "evaluations": result.stats.evaluations})
+
+
+class TestBitIdentity:
+    def test_one_shard_job_equals_cold_cli_run(self):
+        job, = run_jobs([schedule_spec()])
+        cold = cold_schedule()
+        assert job.state == "done", job.error
+        assert job.result["mapping"] == cold["mapping"]
+        assert job.result["cost"] == cold["cost"]
+        assert job.result["evaluations"] == cold["evaluations"]
+        assert job.result["status"] == "ok"
+
+    def test_sharded_job_equals_canonical_merge_of_cold_shards(self):
+        n = 3
+        job, = run_jobs([schedule_spec(shards=n)])
+        colds = [cold_schedule(shard=(i, n)) for i in range(n)]
+        best = min(colds, key=lambda d: outcome_sort_key(d, "edp"))
+        assert job.state == "done", job.error
+        assert job.result["mapping"] == best["mapping"]
+        assert job.result["cost"] == best["cost"]
+        assert job.result["evaluations"] == sum(c["evaluations"]
+                                                for c in colds)
+        assert [p["shard"] for p in job.result["per_shard"]] == [
+            [i, n] for i in range(n)]
+
+    def test_compare_job_rows_equal_cold_cli_rows(self):
+        workload = build_workload("conv1d", ["K=4", "C=4", "P=14", "R=3"])
+        arch = build_architecture("tiny")
+        runners = compare_runners(workload, arch, SchedulerOptions())
+        want = {name: rt(mapper_row(name, runner()))
+                for name, runner in runners.items()
+                if name in ("sunstone", "timeloop-like", "gamma-like")}
+        job, = run_jobs([{
+            "kind": "compare", "workload": SMALL_CONV, "arch": "tiny",
+            "mappers": "timeloop,gamma",
+        }])
+        assert job.state == "done", job.error
+        rows = {row["mapper"]: row for row in job.result["mappers"]}
+        assert set(rows) == set(want)
+        for name, cold in want.items():
+            assert rows[name]["mapping"] == cold["mapping"], name
+            assert rows[name]["cost"] == cold["cost"], name
+            assert rows[name]["evaluations"] == cold["evaluations"], name
+            assert rows[name]["status"] == cold["status"], name
+
+    def test_network_job_equals_cold_schedule_network(self):
+        model = [build_workload("conv1d", ["K=4", "C=4", "P=14", "R=3"]),
+                 build_workload("fc", ["N=2", "K=8", "C=8"])]
+        model.append(model[0])
+        network = schedule_network(model, build_architecture("tiny"),
+                                   SchedulerOptions())
+        job, = run_jobs([{
+            "kind": "network", "arch": "tiny",
+            "layers": [workload_to_dict(w) for w in model],
+        }])
+        assert job.state == "done", job.error
+        result = job.result
+        assert result["found_all"] is network.all_found
+        for got, entry in zip(result["layers"], network.layers):
+            assert got["mapping"] == rt(mapping_to_dict(entry.result.mapping))
+            assert got["cost"] == rt(_cost_dict(entry.result.cost))
+            assert got["shared_with"] == entry.shared_with
+        totals = rt({"energy_pj": network.total_energy_pj,
+                     "cycles": network.total_cycles,
+                     "edp": network.total_edp})
+        assert result["totals"]["energy_pj"] == totals["energy_pj"]
+        assert result["totals"]["cycles"] == totals["cycles"]
+        assert result["totals"]["edp"] == totals["edp"]
+        assert result["totals"]["unique_searches"] == 2
+
+    def test_warm_cache_changes_accounting_but_never_results(self):
+        first, second = run_jobs([schedule_spec(), schedule_spec()])
+        assert first.seed_hits == 0
+        assert second.seed_hits > 0
+        # The shared cache is a pure accelerator: identical outcome...
+        assert second.result["mapping"] == first.result["mapping"]
+        assert second.result["cost"] == first.result["cost"]
+        assert second.result["evaluations"] == first.result["evaluations"]
+        # ...with strictly less model execution.
+        assert (second.result["search"]["evaluations"]
+                < first.result["search"]["evaluations"])
+
+
+# ---------------------------------------------------------------------------
+# fleet: worker death and recovery
+# ---------------------------------------------------------------------------
+
+class TestFleet:
+    def test_killed_worker_is_retried_bit_identically(self, monkeypatch):
+        job_inline, = run_jobs([schedule_spec(shards=2)])
+        monkeypatch.setenv("REPRO_SERVE_KILL_TASK", "j00001:1")
+
+        async def body(daemon):
+            job = daemon.manager.submit(schedule_spec(shards=2))
+            await job.runner
+            return job, daemon.fleet.stats()
+
+        job, fleet_stats = with_daemon(body, workers=1)
+        assert job.state == "done", job.error
+        assert fleet_stats["crashes_recovered"] >= 1
+        assert fleet_stats["retries"] >= 1
+        assert job.result["mapping"] == job_inline.result["mapping"]
+        assert job.result["cost"] == job_inline.result["cost"]
+        assert job.result["evaluations"] == job_inline.result["evaluations"]
+
+    def test_fleet_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            WorkerFleet(-1)
+        with pytest.raises(ValueError):
+            WorkerFleet(0, max_task_attempts=0)
+
+    def test_task_error_propagates_without_retry(self):
+        # A deterministic task error (bad workload doc) must surface
+        # immediately rather than burn the retry budget.
+        bad = {"type": "schedule", "index": 0, "workload": {"bad": 1},
+               "arch": {}, "objective": "edp", "sparsity": None,
+               "shard": None, "options": {"batch": True, "batch_gen": True,
+                                          "cache_size": None}}
+        with pytest.raises(Exception):
+            run_task({"job_id": "x", "task": bad, "seed": [], "attempt": 0})
+
+
+# ---------------------------------------------------------------------------
+# durability: journal, restart, resume
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_restart_recovers_finished_job_without_rerunning(self, tmp_path):
+        journal = str(tmp_path / "serve.jsonl")
+        job, = run_jobs([schedule_spec(shards=2)], journal_path=journal)
+        assert job.state == "done"
+
+        async def body(daemon):
+            recovered = daemon.manager.get(job.id)
+            assert recovered is not None
+            if recovered.runner is not None:
+                await recovered.runner
+            # Replay-only recovery: the fleet never executed a task.
+            return recovered, daemon.fleet.stats()
+
+        recovered, fleet_stats = with_daemon(body, journal_path=journal,
+                                             resume=True)
+        assert recovered.state == "done"
+        assert recovered.result == job.result
+        assert fleet_stats["tasks_run"] == 0
+
+    def test_restart_completes_partial_job_bit_identically(self, tmp_path):
+        uninterrupted, = run_jobs([schedule_spec(shards=2)])
+        journal = str(tmp_path / "serve.jsonl")
+        job, = run_jobs([schedule_spec(shards=2)], journal_path=journal)
+
+        # Simulate a daemon killed after one task: drop one task entry
+        # (and the clean-shutdown marker) from the journal.
+        from repro.search.checkpoint import _encode_line
+        entries = read_journal_entries(journal)
+        kept, dropped_one = [], False
+        for entry in entries:
+            if entry.get("type") == "shutdown":
+                continue
+            if entry.get("type") == "task" and not dropped_one:
+                dropped_one = True
+                continue
+            kept.append(entry)
+        assert dropped_one
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.writelines(_encode_line(e) for e in kept)
+
+        async def body(daemon):
+            restored = daemon.manager.get(job.id)
+            assert restored is not None
+            if restored.runner is not None:
+                await restored.runner
+            return restored
+
+        restored = with_daemon(body, journal_path=journal, resume=True)
+        assert restored.state == "done", restored.error
+        assert (sans_timing(restored.result)
+                == sans_timing(uninterrupted.result))
+
+    def test_daemon_journal_survives_with_stale_temp_sweep(self, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        stale = tmp_path / "serve.jsonl.deadbeef.tmp"
+        stale.write_text("garbage")
+        run_jobs([schedule_spec()], journal_path=str(journal))
+        assert not stale.exists()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end + client + CLI client commands
+# ---------------------------------------------------------------------------
+
+def http_session(body):
+    """Serve on an ephemeral port; run blocking client code in a thread."""
+    async def outer(daemon):
+        client = ServeClient("127.0.0.1", daemon.port)
+        return await asyncio.to_thread(body, client)
+    return with_daemon(outer)
+
+
+class TestHttp:
+    def test_full_client_round_trip(self):
+        def drive(client):
+            health = client.healthz()
+            assert health["ok"] is True
+            row = client.submit(schedule_spec(shards=2))
+            assert row["kind"] == "schedule"
+            assert row["tasks_total"] == 2
+            doc = client.result(row["id"], wait=True)
+            assert doc["state"] == "done"
+            assert doc["result"]["status"] == "ok"
+            jobs = client.jobs()
+            assert [j["id"] for j in jobs] == [row["id"]]
+            stats = client.stats()
+            assert row["id"] in stats["jobs"]
+            assert stats["cache"]["admitted"] > 0
+            assert "faults" in stats["jobs"][row["id"]]["search"]
+            return doc
+
+        doc = http_session(drive)
+        best = min([cold_schedule(shard=(0, 2)), cold_schedule(shard=(1, 2))],
+                   key=lambda d: outcome_sort_key(d, "edp"))
+        # Bit-identity holds across the wire too, not just in-process.
+        assert doc["result"]["mapping"] == best["mapping"]
+        assert doc["result"]["cost"] == best["cost"]
+
+    def test_error_responses(self):
+        def drive(client):
+            from repro.serve import ServeError
+            with pytest.raises(ServeError, match="kind"):
+                client.submit({"kind": "nope"})
+            with pytest.raises(ServeError, match="no such job"):
+                client.result("j99999")
+            with pytest.raises(ServeError, match="no route"):
+                client._request("GET", "/frobnicate")
+            return True
+
+        assert http_session(drive)
+
+    def test_result_conflict_while_running_then_wait(self):
+        def drive(client):
+            row = client.submit(schedule_spec(shards=2))
+            doc = client.result(row["id"], wait=True)
+            assert doc["result"]["found"]
+            return True
+
+        assert http_session(drive)
+
+
+class TestServeCli:
+    @pytest.fixture()
+    def daemon_proc(self, tmp_path):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"),
+               "PATH": "/usr/bin:/bin"}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env, cwd=str(tmp_path))
+        ready = proc.stdout.readline()
+        assert "serving on http://" in ready, proc.stderr.read()
+        port = int(ready.rsplit(":", 1)[1].split()[0])
+        try:
+            yield port
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+            proc.wait(timeout=30)
+
+    def test_submit_jobs_result_commands(self, daemon_proc, capsys):
+        port = str(daemon_proc)
+        code = main(["submit", "--port", port, "--workload", "conv1d",
+                     "--arch", "tiny", "--shards", "2", "--wait",
+                     "K=4", "C=4", "P=14", "R=3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "submitted j00001" in out
+        assert "status ok" in out
+
+        assert main(["jobs", "--port", port]) == 0
+        out = capsys.readouterr().out
+        assert "j00001" in out and "done" in out
+
+        assert main(["result", "--port", port, "j00001"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates evaluated" in out
+
+    def test_client_error_against_dead_daemon(self, capsys):
+        code = main(["jobs", "--port", "1"])  # nothing listens on port 1
+        assert code == 1
+        assert "serve error" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: SIGTERM drains cleanly with exit 143
+# ---------------------------------------------------------------------------
+
+_SIGTERM_ARGS = ["--workload", "conv1d", "--arch", "tiny",
+                 "K=4", "C=4", "P=14", "R=3"]
+
+
+class TestGracefulSigterm:
+    def test_sigterm_mid_search_exits_143_and_flushes_journal(
+            self, tmp_path):
+        ckpt = str(tmp_path / "term.jsonl")
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"),
+               "PATH": "/usr/bin:/bin",
+               "REPRO_CHECKPOINT_KILL_AFTER": "1",
+               "REPRO_CHECKPOINT_KILL_MODE": "sigterm"}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "schedule", *_SIGTERM_ARGS,
+             "--checkpoint", ckpt],
+            capture_output=True, text=True, timeout=600, env=env,
+            cwd=str(tmp_path))
+        assert proc.returncode == 143, proc.stderr
+        assert "terminated" in proc.stderr
+        # The final flush appended a durable interruption marker...
+        entries = read_journal_entries(ckpt)
+        assert any(e.get("type") == "interrupted"
+                   and e.get("note") == "sigterm" for e in entries)
+
+        # ...and the journal still resumes to the uninterrupted result.
+        env_resume = {k: v for k, v in env.items()
+                      if not k.startswith("REPRO_CHECKPOINT_KILL")}
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "schedule", *_SIGTERM_ARGS,
+             "--checkpoint", ckpt, "--resume"],
+            capture_output=True, text=True, timeout=600, env=env_resume,
+            cwd=str(tmp_path))
+        assert resumed.returncode == 0, resumed.stderr
+        cold = subprocess.run(
+            [sys.executable, "-m", "repro", "schedule", *_SIGTERM_ARGS],
+            capture_output=True, text=True, timeout=600, env=env_resume,
+            cwd=str(tmp_path))
+
+        def essence(out):
+            return [line for line in out.splitlines()
+                    if "wall" not in line and " in " not in line
+                    and "search engine:" not in line]
+
+        assert essence(resumed.stdout) == essence(cold.stdout)
+
+    def test_sigterm_handler_restored_after_main(self):
+        before = signal.getsignal(signal.SIGTERM)
+        main(["describe", "--arch", "tiny"])
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_graceful_exit_is_a_keyboard_interrupt(self):
+        # The whole satellite leans on this: every existing interrupt
+        # path (pool drain, engine_scope) must catch SIGTERM unchanged.
+        from repro.cli import GracefulExit
+        assert issubclass(GracefulExit, KeyboardInterrupt)
+
+    def test_sigterm_in_worker_thread_does_not_install_handler(self):
+        # Embedders call main() off the main thread; signal.signal would
+        # raise ValueError there and must be swallowed.
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(main(["describe", "--arch",
+                                              "tiny"])))
+        thread.start()
+        thread.join()
+        assert codes == [0]
