@@ -32,7 +32,7 @@ from ..mapping.mapping import Mapping
 from ..model.cost import CostResult, evaluate
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
-from .common import SearchResult
+from .common import SearchResult, certificate_from_bound
 
 
 @dataclass(frozen=True)
@@ -198,8 +198,13 @@ def dmazerunner_search(
     cache_size: int | None = None,
     shard: tuple[int, int] | None = None,
     batch_gen: bool = True,
+    bound: bool = True,
 ) -> SearchResult:
-    """Run the dMazeRunner-like search."""
+    """Run the dMazeRunner-like search.
+
+    ``bound`` enables the scheduler's analytic branch-and-bound pruning
+    (behaviour-preserving: the winner is bit-identical either way).
+    """
     start = time.perf_counter()
     if _is_asymmetric_convolution(workload):
         return SearchResult(
@@ -225,6 +230,7 @@ def dmazerunner_search(
         batch_gen=batch_gen,
         cache_size=cache_size,
         shard=shard,
+        bound=bound,
     )
     search = _DMazeSearch(workload, arch, config, options, engine=engine)
     result = search.schedule()
@@ -247,4 +253,5 @@ def dmazerunner_search(
         evaluations=result.stats.evaluations,
         wall_time_s=elapsed,
         search_stats=result.stats.search,
+        certificate=certificate_from_bound(result.stats.prune.bound),
     )

@@ -22,7 +22,7 @@ from ..mapspace.tile import TileSpace
 from ..mapspace.unroll import UnrollSpace
 from ..sparse.spec import SparsitySpec
 from ..workloads.expression import Workload
-from .common import SearchResult
+from .common import SearchResult, certificate_from_bound
 
 
 @dataclass(frozen=True)
@@ -98,8 +98,13 @@ def interstellar_search(
     cache_size: int | None = None,
     shard: tuple[int, int] | None = None,
     batch_gen: bool = True,
+    bound: bool = True,
 ) -> SearchResult:
-    """Run the Interstellar-like search."""
+    """Run the Interstellar-like search.
+
+    ``bound`` enables the scheduler's analytic branch-and-bound pruning
+    (behaviour-preserving: the winner is bit-identical either way).
+    """
     start = time.perf_counter()
     options = SchedulerOptions(
         alpha_beta=False,
@@ -113,6 +118,7 @@ def interstellar_search(
         batch_gen=batch_gen,
         cache_size=cache_size,
         shard=shard,
+        bound=bound,
     )
     search = _InterstellarSearch(workload, arch, config, options,
                                  engine=engine)
@@ -135,4 +141,5 @@ def interstellar_search(
         evaluations=result.stats.evaluations,
         wall_time_s=elapsed,
         search_stats=result.stats.search,
+        certificate=certificate_from_bound(result.stats.prune.bound),
     )

@@ -30,6 +30,7 @@ from .baselines import (
     interstellar_search,
     timeloop_search,
 )
+from .baselines.common import certificate_from_bound
 from .baselines.gamma import gamma_search
 from .core import SchedulerOptions, schedule
 from .mapping import render_nest
@@ -174,6 +175,17 @@ def _cost_dict(cost) -> dict:
     }
 
 
+def _certificate_line(certificate: dict | None) -> str | None:
+    """Human-readable optimality certificate, or None when absent."""
+    if not certificate:
+        return None
+    gap = certificate.get("gap_pct")
+    if gap is None:
+        return None
+    return (f"certificate: best found is within {gap:.2f}% of the "
+            f"analytic lower bound")
+
+
 def _write_stats_json(path: str, document: dict) -> None:
     # Atomic (temp file + rename): a crash mid-dump must never leave a
     # truncated, unparseable stats file behind.
@@ -211,7 +223,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                                batch=not args.no_batch,
                                batch_gen=not args.no_batch_gen,
                                cache_size=args.cache_size,
-                               shard=_parse_shard(args.shard))
+                               shard=_parse_shard(args.shard),
+                               bound=not args.no_bound)
     journal = _open_journal(args, {
         "kind": "schedule",
         "workload": workload_to_dict(workload),
@@ -251,6 +264,10 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     print(f"candidates evaluated: {result.stats.evaluations} in "
           f"{result.stats.wall_time_s:.2f}s")
     print(f"search engine: {result.stats.search.summary()}")
+    certificate = certificate_from_bound(result.stats.prune.bound)
+    cert_line = _certificate_line(certificate)
+    if cert_line is not None:
+        print(cert_line)
     if args.profile:
         print(result.stats.search.profile_summary())
     if args.output:
@@ -268,6 +285,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             "evaluations": result.stats.evaluations,
             "wall_time_s": result.stats.wall_time_s,
             "search": result.stats.search.to_dict(),
+            "certificate": certificate,
         })
     return 0
 
@@ -285,7 +303,7 @@ def compare_runners(workload: Workload, arch: Architecture,
     workers, cache = options.workers, options.cache
     sparsity, batch = options.sparsity, options.batch
     batch_gen, cache_size = options.batch_gen, options.cache_size
-    shard = options.shard
+    shard, bound = options.shard, options.bound
     return {
         "sunstone": lambda: schedule(workload, arch, options,
                                      engine=engine),
@@ -303,11 +321,12 @@ def compare_runners(workload: Workload, arch: Architecture,
                                                        batch=batch,
                                                        batch_gen=batch_gen,
                                                        cache_size=cache_size,
-                                                       shard=shard),
+                                                       shard=shard,
+                                                       bound=bound),
         "interstellar-like": lambda: interstellar_search(
             workload, arch, workers=workers, cache=cache,
             sparsity=sparsity, batch=batch, batch_gen=batch_gen,
-            cache_size=cache_size, shard=shard),
+            cache_size=cache_size, shard=shard, bound=bound),
         "cosa-like": lambda: cosa_search(workload, arch,
                                          sparsity=sparsity,
                                          batch=batch,
@@ -334,6 +353,12 @@ def mapper_row(name: str, result) -> dict:
         search_stats = getattr(result.stats, "search", None)
     status = "ok" if getattr(result, "valid", None) or (
         result.found and result.cost.valid) else "invalid"
+    certificate = getattr(result, "certificate", None)
+    if certificate is None and hasattr(result, "stats"):
+        prune = getattr(result.stats, "prune", None)
+        if prune is not None:
+            certificate = certificate_from_bound(
+                getattr(prune, "bound", None))
     return {
         "mapper": name,
         "found": result.found,
@@ -345,6 +370,7 @@ def mapper_row(name: str, result) -> dict:
                     if result.found else None),
         "search": (search_stats.to_dict()
                    if search_stats is not None else None),
+        "certificate": certificate,
     }
 
 
@@ -359,7 +385,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                batch=not args.no_batch,
                                batch_gen=not args.no_batch_gen,
                                cache_size=args.cache_size,
-                               shard=_parse_shard(args.shard))
+                               shard=_parse_shard(args.shard),
+                               bound=not args.no_bound)
     journal = _open_journal(args, {
         "kind": "compare",
         "workload": workload_to_dict(workload),
@@ -404,6 +431,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"{doc['mapper']:<18} {edp:>12.3e} "
               f"{doc['wall_time_s']:>8.2f} {doc['evaluations']:>8} "
               f"{hits:>8} {doc['status']:>8}")
+    for doc in mapper_docs:
+        cert_line = _certificate_line(doc.get("certificate"))
+        if cert_line is not None:
+            print(f"{doc['mapper']}: {cert_line}")
     for name, text in profiles:
         print(f"{name}:")
         print(text)
@@ -429,7 +460,8 @@ def cmd_network(args: argparse.Namespace) -> int:
                                cache=not args.no_cache,
                                batch=not args.no_batch,
                                batch_gen=not args.no_batch_gen,
-                               cache_size=args.cache_size)
+                               cache_size=args.cache_size,
+                               bound=not args.no_bound)
     journal = _open_journal(args, {
         "kind": "network",
         "model": args.model,
@@ -569,6 +601,9 @@ def _print_serve_result(doc: dict) -> int:
               f"cycles {cost['cycles']:.3e}")
         print(f"candidates evaluated: {result['evaluations']} across "
               f"{result['shards']} shard(s); seed hits {seed_hits}")
+        cert_line = _certificate_line(result.get("certificate"))
+        if cert_line is not None:
+            print(cert_line)
         return 0 if result["status"] == "ok" else 1
     if kind == "compare":
         print(f"{'mapper':<18} {'EDP':>12} {'time(s)':>8} {'evals':>8} "
@@ -578,6 +613,10 @@ def _print_serve_result(doc: dict) -> int:
             print(f"{row['mapper']:<18} {edp:>12.3e} "
                   f"{row['wall_time_s']:>8.2f} {row['evaluations']:>8} "
                   f"{row['status']:>8}")
+        for row in result["mappers"]:
+            cert_line = _certificate_line(row.get("certificate"))
+            if cert_line is not None:
+                print(f"{row['mapper']}: {cert_line}")
         print(f"seed hits {seed_hits}")
         return 0
     if kind == "network":
@@ -615,6 +654,8 @@ def _build_job_spec(args: argparse.Namespace) -> dict:
         spec["shards"] = args.shards
     if args.kind == "compare" and args.mappers:
         spec["mappers"] = args.mappers
+    if getattr(args, "no_bound", False):
+        spec["options"] = {"bound": False}
     return spec
 
 
@@ -647,6 +688,9 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     except ServeError as error:
         print(f"serve error: {error}", file=sys.stderr)
         return 1
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
     print(f"{'id':<8} {'kind':<9} {'state':<8} {'tasks':>7} "
           f"{'seed hits':>10} {'wall(s)':>8}")
     for row in rows:
@@ -702,6 +746,11 @@ def make_parser() -> argparse.ArgumentParser:
                        help="disable vectorised candidate generation "
                             "(repro.mapspace.batch); results are "
                             "identical")
+        p.add_argument("--no-bound", action="store_true",
+                       help="disable analytic branch-and-bound pruning "
+                            "(repro.mapspace.bounds); results are "
+                            "identical, only more candidates are "
+                            "evaluated")
         p.add_argument("--cache-size", type=nonnegative_int, default=None,
                        metavar="N",
                        help="entry cap for the result and partial-term "
@@ -848,6 +897,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--mappers",
                    help="comma-separated baseline subset (--kind compare)")
     add_sparsity_flags(p)
+    p.add_argument("--no-bound", action="store_true",
+                   help="run the job without analytic branch-and-bound "
+                        "pruning (results are identical)")
     p.add_argument("--wait", action="store_true",
                    help="block until the result is ready and print it")
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
@@ -855,6 +907,9 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("jobs", help="list a serve daemon's jobs")
     add_client_flags(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw job rows (including search and "
+                        "bound-pruning counters) as JSON")
     p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("result", help="fetch a job result from a daemon")

@@ -32,6 +32,7 @@ from typing import Iterator, Sequence
 from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping, MappingError, build_mapping
 from ..mapspace.batch import NestCohort
+from ..mapspace.bounds import BoundModel, Region
 from ..mapspace.factor import prime_factors
 from ..mapspace.spaces import (
     DependentSpace,
@@ -117,6 +118,14 @@ class SchedulerOptions:
     # part of the evaluation-cache key, so dense and sparse searches never
     # exchange results.
     sparsity: SparsitySpec | None = None
+    # Analytic branch-and-bound pruning (repro.mapspace.bounds): the
+    # final sweep step and the polish skip candidates whose closed-form
+    # lower bound strictly exceeds the incumbent, and the result carries
+    # a certificate (best value vs the whole-space lower bound) in
+    # ``stats.prune.bound``.  Behaviour-preserving: the best mapping and
+    # its cost are bit-identical with the flag off; only evaluation
+    # counts change (tests/test_bounds.py).
+    bound: bool = True
     # Deterministic shard of the per-step candidate stream: ``(i, n)``
     # keeps only the candidates whose enumeration index is congruent to
     # ``i`` modulo ``n``.  The ``n`` shards are pairwise disjoint and
@@ -256,6 +265,20 @@ class SunstoneScheduler:
         # persisted, and a journal opened with ``resume=True`` continues
         # the search from the last completed step instead of restarting.
         self._journal = journal
+        # Lazy analytic bound model (options.bound); shared by the final
+        # sweep step, the polish, and the result certificate.
+        self._bounds: BoundModel | None = None
+
+    def _bound_model(self) -> "BoundModel | None":
+        if not self.options.bound:
+            return None
+        if self._bounds is None:
+            self._bounds = BoundModel(
+                self.workload, self.arch,
+                objective=self.options.objective,
+                partial_reuse=self.options.partial_reuse,
+                sparsity=self.options.sparsity)
+        return self._bounds
 
     def _get_engine(self) -> SearchEngine:
         if self._engine is None:
@@ -320,6 +343,15 @@ class SunstoneScheduler:
             return ScheduleResult(None, None, stats, self.options)
         mapping = mapping_from_dict(doc)
         cost = self._get_engine().evaluate(mapping)
+        bound_model = self._bound_model()
+        if bound_model is not None:
+            # The certificate is a pure function of the analytic model
+            # and the journaled winner, so the restored run reports the
+            # same line the uninterrupted one printed.
+            bnd = stats.prune.bound
+            bnd.lower_bound = bound_model.space_bound()
+            bnd.best_value = (cost.edp if self.options.objective == "edp"
+                              else cost.energy_pj)
         return ScheduleResult(mapping, cost, stats, self.options)
 
     def _run_with_escalation(self) -> ScheduleResult:
@@ -345,6 +377,7 @@ class SunstoneScheduler:
                                       journal=self._journal)
             escalated = retry._run_one_phase("wide")
             escalated.stats.evaluations += result.stats.evaluations
+            escalated.stats.prune.bound.merge(result.stats.prune.bound)
             if escalated.found:
                 def value(r: ScheduleResult) -> float:
                     return (r.edp if self.options.objective == "edp"
@@ -353,6 +386,7 @@ class SunstoneScheduler:
                     result = escalated
                 else:
                     result.stats.evaluations = escalated.stats.evaluations
+                    result.stats.prune.bound = escalated.stats.prune.bound
         return result
 
     def _schedule_once(self, phase: str = "base") -> ScheduleResult:
@@ -370,6 +404,20 @@ class SunstoneScheduler:
             best = self._polish(best[0], best[1], stats)
 
         stats.wall_time_s = time.perf_counter() - start
+        bound_model = self._bound_model()
+        if bound_model is not None:
+            bnd = stats.prune.bound
+            if best is not None:
+                # Optimality certificate: the whole-space analytic floor
+                # bounds the scheduler's restricted space from below too.
+                bnd.lower_bound = bound_model.space_bound()
+                cost = best[1]
+                bnd.best_value = (cost.edp if self.options.objective == "edp"
+                                  else cost.energy_pj)
+            eng_stats = self._get_engine().stats
+            eng_stats.bound_regions_tested += bnd.regions_tested
+            eng_stats.bound_regions_pruned += bnd.regions_pruned
+            eng_stats.bound_candidates_skipped += bnd.candidates_skipped
         if best is None:
             return ScheduleResult(None, None, stats, self.options)
         mapping, cost = best
@@ -439,6 +487,8 @@ class SunstoneScheduler:
                     store[level][dim] = current // p
             return temporal, spatial
 
+        bound_model = self._bound_model()
+
         def try_candidate(temporal, spatial, orders) -> bool:
             nonlocal best_mapping, best_cost, best_value
             try:
@@ -450,6 +500,18 @@ class SunstoneScheduler:
                 )
             except Exception:
                 return False
+            if bound_model is not None:
+                # Point bound: a candidate whose analytic floor strictly
+                # exceeds the incumbent can never be accepted (its value
+                # is >= floor > best_value, and acceptance requires
+                # value < best_value), so the evaluation is skipped
+                # without changing the climb.
+                bnd = stats.prune.bound
+                bnd.regions_tested += 1
+                if bound_model.mapping_bound(candidate) > best_value:
+                    bnd.regions_pruned += 1
+                    bnd.candidates_skipped += 1
+                    return False
             result = self._get_engine().evaluate(candidate)
             stats.evaluations += 1
             if result.valid and value_of(result) < best_value:
@@ -567,6 +629,10 @@ class SunstoneScheduler:
                 stats.evaluations = restored["evaluations"]
                 stats.pruned_alpha_beta = restored["pruned_alpha_beta"]
                 stats.pruned_beam = restored["pruned_beam"]
+                tested, pruned, skipped = restored.get("bound", (0, 0, 0))
+                stats.prune.bound.regions_tested = tested
+                stats.prune.bound.regions_pruned = pruned
+                stats.prune.bound.candidates_skipped = skipped
                 if restored["best"] is not None:
                     mapping = mapping_from_dict(restored["best"])
                     cost = engine.evaluate(mapping)
@@ -585,6 +651,29 @@ class SunstoneScheduler:
             for _, state in frontier:
                 children.extend(
                     self._children(state, level, orderings, stats, bottom_up))
+            bound_model = self._bound_model()
+            if (bound_model is not None and best is not None
+                    and ordinal == len(steps) - 1):
+                # Final step only: these children feed nothing but the
+                # running best (the post-step frontier is never read
+                # again), so a child whose analytic floor strictly
+                # exceeds the incumbent provably cannot improve it —
+                # value >= floor > best-at-skip-time >= best at any later
+                # point of the scan — and is dropped before evaluation.
+                # Mid-sweep filtering would alter the beam frontier and
+                # is therefore never done.
+                bnd = stats.prune.bound
+                kept: list[_State] = []
+                for child in children:
+                    temporal, spatial = self._completion_factors(child)
+                    region = Region(temporal, spatial, {}, num)
+                    bnd.regions_tested += 1
+                    if bound_model.region_bound(region) > best[0]:
+                        bnd.regions_pruned += 1
+                        bnd.candidates_skipped += 1
+                    else:
+                        kept.append(child)
+                children = kept
             # Batch the whole level: the engine dedupes equal fingerprints
             # and vectorises (or fans out) the misses, returning results
             # in candidate order so ranking matches the serial path
@@ -670,6 +759,9 @@ class SunstoneScheduler:
             "evaluations": stats.evaluations,
             "pruned_alpha_beta": stats.pruned_alpha_beta,
             "pruned_beam": stats.pruned_beam,
+            "bound": [stats.prune.bound.regions_tested,
+                      stats.prune.bound.regions_pruned,
+                      stats.prune.bound.candidates_skipped],
         })
         self._journal.save_cache_snapshot(self._get_engine().cache)
 
@@ -1122,15 +1214,13 @@ class SunstoneScheduler:
             orders=orders,
         )
 
-    def _completion_nests(self, state: _State) -> tuple[tuple, tuple]:
-        """The completed per-level nests ``_materialize`` would build,
-        without the ``Mapping``: ``(nests, spatials)`` where ``nests``
-        are temporal nest tuples (outermost first, trivial factors
-        included) and ``spatials`` sorted spatial factor tuples — the
-        exact ``LevelMapping`` contents of ``build_mapping``, so
-        ``NestCohort.materialize`` on this payload reproduces
-        ``self._materialize(state)`` bit-for-bit.
-        """
+    def _completion_factors(
+        self, state: _State,
+    ) -> tuple[list[dict], list[dict]]:
+        """The fully-decided per-level (temporal, spatial) factor dicts
+        of the completion ``_materialize`` would build: frontier extents
+        parked at the sink level, residual factors pushed to the top,
+        mirroring ``build_mapping``."""
         num = self.arch.num_levels
         temporal = [dict(t) for t in state.temporal]
         sink = state.sink_level
@@ -1138,8 +1228,6 @@ class SunstoneScheduler:
             if extent > 1:
                 temporal[sink][d] = temporal[sink].get(d, 1) * extent
         spatial = [dict(s) for s in state.spatial]
-
-        # Residual push to the top level, mirroring build_mapping.
         for dim, size in self.workload.dims.items():
             covered = 1
             for i in range(num):
@@ -1153,7 +1241,19 @@ class SunstoneScheduler:
             if residual > 1:
                 top = temporal[num - 1]
                 top[dim] = top.get(dim, 1) * residual
+        return temporal, spatial
 
+    def _completion_nests(self, state: _State) -> tuple[tuple, tuple]:
+        """The completed per-level nests ``_materialize`` would build,
+        without the ``Mapping``: ``(nests, spatials)`` where ``nests``
+        are temporal nest tuples (outermost first, trivial factors
+        included) and ``spatials`` sorted spatial factor tuples — the
+        exact ``LevelMapping`` contents of ``build_mapping``, so
+        ``NestCohort.materialize`` on this payload reproduces
+        ``self._materialize(state)`` bit-for-bit.
+        """
+        num = self.arch.num_levels
+        temporal, spatial = self._completion_factors(state)
         dim_names = self.workload.dim_names
         nests = []
         spatials = []

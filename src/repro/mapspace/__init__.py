@@ -13,6 +13,7 @@ from .batch import (
     NestCohort,
     full_space_cohorts,
 )
+from .bounds import BoundContext, BoundModel, Region
 from .bypass import BypassAssignment, BypassSpace, architecture_assignment
 from .constraints import (
     capacity_fits,
@@ -38,6 +39,7 @@ from .mapspace import (
 from .order import OrderSpace, PermutationSpace
 from .spaces import (
     DEFAULT_COHORT,
+    BoundStats,
     ChainSpace,
     DependentSpace,
     FilteredSpace,
@@ -60,6 +62,10 @@ from .tile import (
 from .unroll import UnrollSpace, unroll_size
 
 __all__ = [
+    "BoundContext",
+    "BoundModel",
+    "BoundStats",
+    "Region",
     "BypassAssignment",
     "BypassSpace",
     "ChainSpace",

@@ -237,73 +237,75 @@ class MatrixCohort(Cohort):
                 self._order_table)
 
 
-def full_space_cohorts(
-    workload: Workload,
-    arch: Architecture,
-    orders_per_level: int | None = None,
-    shard: tuple[int, int] | None = None,
-    batch_size: int = DEFAULT_COHORT,
-) -> "Iterator[MatrixCohort] | None":
-    """Stream the full mapping space as :class:`MatrixCohort` batches.
+class SpaceDecoder:
+    """Index-decoder for the full mapping space.
 
-    Row order matches :func:`~repro.mapspace.mapspace.full_mapping_space`
-    enumeration (and hence the historical exhaustive stream) exactly;
-    ``shard=(i, n)`` selects the rows whose global enumeration index is
-    congruent to ``i`` mod ``n``.  Returns ``None`` when the vectorized
-    decode is unavailable (no numpy, a lattice too large to stage, or a
-    space beyond the decode guard) — callers then walk the scalar space.
+    Stages every per-dimension factor lattice as an int64 split matrix
+    once, then :meth:`decode` turns any ascending array of global
+    enumeration indices into a :class:`MatrixCohort` — the primitive
+    under both :func:`full_space_cohorts` (contiguous/shard-strided
+    streams) and the branch-and-bound walker (the surviving leaf blocks,
+    arbitrary indices).  ``available`` is False when the vectorized
+    decode cannot run (no numpy, a lattice too large to stage, or a
+    space beyond the decode guard).
     """
-    if _np is None:
-        return None
-    # Imported here: mapspace.py reaches repro.core (via the order trie),
-    # which imports the scheduler, which imports this module — a cycle
-    # at package-load time but not at call time.
-    from .mapspace import assignment_slots
 
-    shard = check_shard(shard)
-    num = arch.num_levels
-    dims = workload.dim_names
-    slots = assignment_slots(arch)
-    lattices = [FactorLattice(d, workload.dims[d], slots) for d in dims]
-    matrices = [lattice.split_matrix() for lattice in lattices]
-    if any(m is None for m in matrices):
-        return None
-    order_items = list(itertools.permutations(dims))
-    if orders_per_level is not None:
-        order_items = order_items[:orders_per_level]
-    if not order_items:
-        return None
-    radices = [len(m) for m in matrices] + [len(order_items)] * num
-    total = 1
-    for radix in radices:
-        total *= radix
-    if total == 0 or total > _MAX_DECODED_SPACE:
-        return None
-    return _decode_cohorts(workload, arch, matrices, order_items, slots,
-                           radices, total, shard, batch_size)
+    def __init__(self, workload: Workload, arch: Architecture,
+                 orders_per_level: int | None = None) -> None:
+        # Imported here: mapspace.py reaches repro.core (via the order
+        # trie), which imports the scheduler, which imports this module —
+        # a cycle at package-load time but not at call time.
+        from .mapspace import assignment_slots
 
+        self.workload = workload
+        self.arch = arch
+        self.num = arch.num_levels
+        self.dims = workload.dim_names
+        self.slots = assignment_slots(arch)
+        self.available = False
+        self.total = 0
+        if _np is None:
+            return
+        lattices = [FactorLattice(d, workload.dims[d], self.slots)
+                    for d in self.dims]
+        matrices = [lattice.split_matrix() for lattice in lattices]
+        if any(m is None for m in matrices):
+            return
+        order_items = list(itertools.permutations(self.dims))
+        if orders_per_level is not None:
+            order_items = order_items[:orders_per_level]
+        if not order_items:
+            return
+        self.matrices = matrices
+        self.order_items = order_items
+        self.radices = [len(m) for m in matrices] \
+            + [len(order_items)] * self.num
+        total = 1
+        for radix in self.radices:
+            total *= radix
+        if total == 0 or total > _MAX_DECODED_SPACE:
+            return
+        self.total = total
+        self.available = True
 
-def _decode_cohorts(workload, arch, matrices, order_items, slots,
-                    radices, total, shard, batch_size):
-    num = arch.num_levels
-    dims = workload.dim_names
-    m = len(order_items)
-    start, step = (0, 1) if shard is None else shard
-    for block_start in range(start, total, step * batch_size):
-        block_end = min(total, block_start + step * batch_size)
-        ks = _np.arange(block_start, block_end, step, dtype=_np.int64)
+    def decode(self, ks) -> "MatrixCohort":
+        """Cohort for the rows at global indices ``ks`` (int64 array,
+        ascending), in that order."""
+        num = self.num
+        dims = self.dims
+        m = len(self.order_items)
         n = len(ks)
         digits = []
         rem = ks
-        for radix in reversed(radices):
+        for radix in reversed(self.radices):
             rem, digit = _np.divmod(rem, radix)
             digits.append(digit)
         digits.reverse()
         t_mat = _np.ones((n, num, len(dims)), dtype=_np.int64)
         s_mat = _np.ones((n, num, len(dims)), dtype=_np.int64)
-        for j, matrix in enumerate(matrices):
+        for j, matrix in enumerate(self.matrices):
             block = matrix[digits[j]]  # (n, num_slots)
-            for s_idx, (kind, level) in enumerate(slots):
+            for s_idx, (kind, level) in enumerate(self.slots):
                 col = block[:, s_idx]
                 if kind == "t":
                     t_mat[:, level, j] = col
@@ -322,6 +324,38 @@ def _decode_cohorts(workload, arch, matrices, order_items, slots,
                 value, digit = divmod(value, m)
                 decoded.append(digit)
             decoded.reverse()
-            order_table.append(tuple(order_items[d] for d in decoded))
-        yield MatrixCohort(workload, arch, t_mat, s_mat,
-                           inv.astype(_np.int64), order_table)
+            order_table.append(tuple(self.order_items[d] for d in decoded))
+        return MatrixCohort(self.workload, self.arch, t_mat, s_mat,
+                            inv.astype(_np.int64), order_table)
+
+
+def full_space_cohorts(
+    workload: Workload,
+    arch: Architecture,
+    orders_per_level: int | None = None,
+    shard: tuple[int, int] | None = None,
+    batch_size: int = DEFAULT_COHORT,
+) -> "Iterator[MatrixCohort] | None":
+    """Stream the full mapping space as :class:`MatrixCohort` batches.
+
+    Row order matches :func:`~repro.mapspace.mapspace.full_mapping_space`
+    enumeration (and hence the historical exhaustive stream) exactly;
+    ``shard=(i, n)`` selects the rows whose global enumeration index is
+    congruent to ``i`` mod ``n``.  Returns ``None`` when the vectorized
+    decode is unavailable (no numpy, a lattice too large to stage, or a
+    space beyond the decode guard) — callers then walk the scalar space.
+    """
+    decoder = SpaceDecoder(workload, arch, orders_per_level)
+    if not decoder.available:
+        return None
+    shard = check_shard(shard)
+    return _decode_cohorts(decoder, shard, batch_size)
+
+
+def _decode_cohorts(decoder, shard, batch_size):
+    start, step = (0, 1) if shard is None else shard
+    total = decoder.total
+    for block_start in range(start, total, step * batch_size):
+        block_end = min(total, block_start + step * batch_size)
+        ks = _np.arange(block_start, block_end, step, dtype=_np.int64)
+        yield decoder.decode(ks)

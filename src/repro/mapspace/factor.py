@@ -82,6 +82,15 @@ class FactorLattice(Space):
     def size(self) -> int:
         return ordered_factorizations(self.extent, len(self.slots))
 
+    def bound(self, objective: str, context: Any = None) -> float:
+        """Analytic lower bound from the decided-factor region carried
+        by ``context`` (a :class:`repro.mapspace.bounds.BoundContext`);
+        the lattice itself holds no cost information, so without a
+        context nothing can be pruned."""
+        if context is None or getattr(context, "model", None) is None:
+            return float("-inf")
+        return context.model.region_bound(context.region)
+
     def _generate(self) -> Iterator[tuple[int, ...]]:
         slots = len(self.slots)
         if not self.primes:

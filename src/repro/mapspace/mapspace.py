@@ -125,6 +125,9 @@ class Mapspace(Space):
     def size(self) -> int:
         return self.root.size()
 
+    def bound(self, objective: str, context=None) -> float:
+        return self.root.bound(objective, context)
+
     def _generate(self) -> Iterator:
         return self.root.enumerate()
 

@@ -58,6 +58,69 @@ def _shard_stream(stream: Iterator, shard: tuple[int, int] | None) -> Iterator:
 
 
 @dataclass
+class BoundStats:
+    """Branch-and-bound accounting (docs/MAPSPACE.md).
+
+    ``regions_tested`` / ``regions_pruned`` count whole-region bound
+    tests and the regions discarded; ``candidates_skipped`` counts the
+    individual evaluations those prunes (plus point-bound skips)
+    provably avoided.  ``lower_bound`` is the analytic bound over the
+    whole space and ``best_value`` the incumbent at search end — their
+    ratio is the bound-tightness certificate ("best found is within
+    ``gap_pct()``% of the analytic lower bound").
+    """
+
+    regions_tested: int = 0
+    regions_pruned: int = 0
+    candidates_skipped: int = 0
+    lower_bound: float | None = None
+    best_value: float | None = None
+
+    def active(self) -> bool:
+        """True once any bound machinery has run."""
+        return bool(self.regions_tested or self.regions_pruned
+                    or self.candidates_skipped
+                    or self.lower_bound is not None)
+
+    def gap_pct(self) -> float | None:
+        """Certificate gap: how far (in %) the best found sits above the
+        analytic lower bound; ``None`` when unknowable."""
+        if (self.lower_bound is None or self.best_value is None
+                or self.lower_bound <= 0):
+            return None
+        return (self.best_value / self.lower_bound - 1.0) * 100.0
+
+    def merge(self, other: "BoundStats") -> None:
+        self.regions_tested += other.regions_tested
+        self.regions_pruned += other.regions_pruned
+        self.candidates_skipped += other.candidates_skipped
+        if other.lower_bound is not None:
+            self.lower_bound = (other.lower_bound
+                                if self.lower_bound is None
+                                else min(self.lower_bound,
+                                         other.lower_bound))
+        if other.best_value is not None:
+            self.best_value = (other.best_value
+                               if self.best_value is None
+                               else min(self.best_value, other.best_value))
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "regions_tested": self.regions_tested,
+            "regions_pruned": self.regions_pruned,
+            "candidates_skipped": self.candidates_skipped,
+        }
+        if self.lower_bound is not None:
+            doc["lower_bound"] = self.lower_bound
+        if self.best_value is not None:
+            doc["best_value"] = self.best_value
+        gap = self.gap_pct()
+        if gap is not None:
+            doc["gap_pct"] = gap
+        return doc
+
+
+@dataclass
 class PruneStats:
     """Per-pass candidate accounting for pruning passes.
 
@@ -69,6 +132,9 @@ class PruneStats:
 
     considered: dict[str, int] = field(default_factory=dict)
     dropped: dict[str, int] = field(default_factory=dict)
+    # Branch-and-bound counters ride along with the pass counters so one
+    # SchedulerStats.prune object tells the whole pruning story.
+    bound: BoundStats = field(default_factory=BoundStats)
 
     def record(self, name: str, kept: bool) -> None:
         self.considered[name] = self.considered.get(name, 0) + 1
@@ -96,15 +162,19 @@ class PruneStats:
             self.considered[name] = self.considered.get(name, 0) + count
         for name, count in other.dropped.items():
             self.dropped[name] = self.dropped.get(name, 0) + count
+        self.bound.merge(other.bound)
 
-    def to_dict(self) -> dict[str, dict[str, int]]:
-        return {
+    def to_dict(self) -> dict[str, dict]:
+        doc: dict[str, dict] = {
             name: {
                 "considered": self.considered.get(name, 0),
                 "dropped": self.dropped.get(name, 0),
             }
             for name in sorted(self.considered)
         }
+        if self.bound.active():
+            doc["bound"] = self.bound.to_dict()
+        return doc
 
 
 class Space:
@@ -187,6 +257,24 @@ class Space:
         return None
 
     # ------------------------------------------------------------------
+    # branch-and-bound
+    # ------------------------------------------------------------------
+    def bound(self, objective: str, context: Any = None) -> float:
+        """Provable lower bound of ``objective`` over every candidate in
+        this space, or ``-inf`` when no bound is derivable (the
+        conservative default — a ``-inf`` bound never prunes anything).
+
+        ``context`` carries whatever the concrete space needs to turn
+        its geometry into a number — for the factor/tile lattices a
+        :class:`repro.mapspace.bounds.BoundContext` (the analytic
+        :class:`~repro.mapspace.bounds.BoundModel` plus the region of
+        decided factors).  Searches prune a space only when its bound
+        *strictly* exceeds the incumbent, so any sound underestimate is
+        safe here (docs/MAPSPACE.md).
+        """
+        return float("-inf")
+
+    # ------------------------------------------------------------------
     # combinators
     # ------------------------------------------------------------------
     def filter(self, predicate: Callable[[Any], bool], name: str,
@@ -257,6 +345,11 @@ class MappedSpace(Space):
     def size(self) -> int:
         return self._inner.size()
 
+    def bound(self, objective: str, context: Any = None) -> float:
+        # ``fn`` relabels candidates without changing which mappings the
+        # space denotes, so the inner geometry's bound carries over.
+        return self._inner.bound(objective, context)
+
     def _generate(self) -> Iterator:
         return (self._fn(item) for item in self._inner.enumerate())
 
@@ -293,6 +386,11 @@ class FilteredSpace(Space):
         # touching the live counters.
         return sum(1 for item in self._inner.enumerate()
                    if self._predicate(item))
+
+    def bound(self, objective: str, context: Any = None) -> float:
+        # The survivors are a subset of the inner space, so any lower
+        # bound over the superset is a (possibly loose) bound here too.
+        return self._inner.bound(objective, context)
 
     def _generate(self) -> Iterator:
         for item in self._inner.enumerate():
@@ -353,6 +451,10 @@ class TruncatedSpace(Space):
     def size(self) -> int:
         return min(self._inner.size(), self._count)
 
+    def bound(self, objective: str, context: Any = None) -> float:
+        # A prefix is a subset: the superset's bound still holds.
+        return self._inner.bound(objective, context)
+
     def _generate(self) -> Iterator:
         # The quota check runs immediately after the yield so the inner
         # stream is never pulled past the last emitted item — upstream
@@ -386,6 +488,13 @@ class ProductSpace(Space):
         for axis in self._axes:
             total *= axis.size()
         return total
+
+    def bound(self, objective: str, context: Any = None) -> float:
+        # Every candidate combines one item from each axis, so each
+        # axis's bound holds for the whole product; take the tightest.
+        return max((axis.bound(objective, context)
+                    for axis in self._axes),
+                   default=float("-inf"))
 
     def _generate(self) -> Iterator:
         def recurse(index: int, chosen: list) -> Iterator:
@@ -464,6 +573,11 @@ class DependentSpace(Space):
         return sum(self._fn(item).size()
                    for item in self._outer.enumerate())
 
+    def bound(self, objective: str, context: Any = None) -> float:
+        # Inner spaces vary per outer item; only the outer geometry is
+        # common to every candidate.
+        return self._outer.bound(objective, context)
+
     def _generate(self) -> Iterator:
         for item in self._outer.enumerate():
             inner = self._fn(item)
@@ -479,6 +593,13 @@ class ChainSpace(Space):
 
     def size(self) -> int:
         return sum(part.size() for part in self._parts)
+
+    def bound(self, objective: str, context: Any = None) -> float:
+        # A candidate may come from any part: only the loosest part
+        # bound holds for the union.
+        return min((part.bound(objective, context)
+                    for part in self._parts),
+                   default=float("-inf"))
 
     def _generate(self) -> Iterator:
         for part in self._parts:

@@ -104,6 +104,12 @@ class SearchStats:
     partial_evictions: int = 0
     stage_time_s: dict[str, float] = field(default_factory=dict)
     faults: FaultStats = field(default_factory=FaultStats)
+    # Branch-and-bound accounting (docs/MAPSPACE.md): whole regions
+    # tested/discarded against the incumbent, and the individual
+    # candidate evaluations those prunes provably avoided.
+    bound_regions_tested: int = 0
+    bound_regions_pruned: int = 0
+    bound_candidates_skipped: int = 0
 
     @property
     def requests(self) -> int:
@@ -154,6 +160,9 @@ class SearchStats:
         for name, seconds in other.stage_time_s.items():
             self.add_stage_time(name, seconds)
         self.faults.merge(other.faults)
+        self.bound_regions_tested += other.bound_regions_tested
+        self.bound_regions_pruned += other.bound_regions_pruned
+        self.bound_candidates_skipped += other.bound_candidates_skipped
 
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot (used by the CLI's ``--stats-json``)."""
@@ -177,6 +186,11 @@ class SearchStats:
             "partial_hit_rate": self.partial_hit_rate,
             "stage_time_s": dict(self.stage_time_s),
             "faults": self.faults.to_dict(),
+            "bound": {
+                "regions_tested": self.bound_regions_tested,
+                "regions_pruned": self.bound_regions_pruned,
+                "candidates_skipped": self.bound_candidates_skipped,
+            },
         }
 
     def summary(self) -> str:
@@ -208,6 +222,13 @@ class SearchStats:
              f"({self.partial_hit_rate:.0%} of {self.partial_requests} "
              f"requests), evictions {self.partial_evictions}"),
         ]
+        if (self.bound_regions_tested or self.bound_regions_pruned
+                or self.bound_candidates_skipped):
+            lines.append(
+                f"  branch-and-bound: regions "
+                f"{self.bound_regions_pruned}/{self.bound_regions_tested} "
+                f"pruned, {self.bound_candidates_skipped} evaluations "
+                f"skipped")
         if self.faults.any():
             lines.append(f"  faults: {self.faults.summary()}")
         return "\n".join(lines)

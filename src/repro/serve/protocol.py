@@ -157,7 +157,8 @@ def build_sparsity_spec(job_or_task: dict):
                          tensor_names=names)
 
 
-_OPTION_DEFAULTS = {"batch": True, "batch_gen": True, "cache_size": None}
+_OPTION_DEFAULTS = {"batch": True, "batch_gen": True, "bound": True,
+                    "cache_size": None}
 
 
 def _normalize_options(entry: Any) -> dict:
@@ -171,7 +172,7 @@ def _normalize_options(entry: Any) -> dict:
             raise ProtocolError(f"unknown option {key!r}; choose from "
                                 f"{sorted(_OPTION_DEFAULTS)}")
         options[key] = value
-    for key in ("batch", "batch_gen"):
+    for key in ("batch", "batch_gen", "bound"):
         options[key] = bool(options[key])
     if options["cache_size"] is not None:
         options["cache_size"] = int(options["cache_size"])
@@ -414,6 +415,7 @@ def merge_job(job: dict, parts: dict[int, dict]) -> dict:
             "mapping": best.get("mapping"),
             "cost": best.get("cost"),
             "evaluations": sum(d.get("evaluations", 0) for d in docs),
+            "certificate": best.get("certificate"),
             "shards": job["shards"],
             "per_shard": [
                 {"shard": t.get("shard"), "found": bool(d.get("found")),

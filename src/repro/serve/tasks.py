@@ -71,17 +71,22 @@ def _scheduler_options(task: dict) -> SchedulerOptions:
                             sparsity=build_sparsity_spec(task),
                             batch=opts["batch"],
                             batch_gen=opts["batch_gen"],
+                            # .get: journals written before the option
+                            # existed resume with the default (on).
+                            bound=bool(opts.get("bound", True)),
                             cache_size=opts["cache_size"],
                             shard=tuple(shard) if shard else None)
 
 
 def _outcome_doc(result) -> dict:
+    from ..baselines.common import certificate_from_bound
     return {
         "found": result.found,
         "mapping": mapping_to_dict(result.mapping) if result.found else None,
         "cost": None,
         "evaluations": result.stats.evaluations,
         "wall_time_s": result.stats.wall_time_s,
+        "certificate": certificate_from_bound(result.stats.prune.bound),
     }
 
 

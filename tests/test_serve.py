@@ -423,10 +423,18 @@ class TestHttp:
             assert doc["result"]["status"] == "ok"
             jobs = client.jobs()
             assert [j["id"] for j in jobs] == [row["id"]]
+            # /jobs rows surface the merged bound-pruning counters
+            # (what ``repro jobs --json`` prints).
+            assert jobs[0]["bound"]["regions_tested"] >= 0
+            assert "candidates_skipped" in jobs[0]["bound"]
             stats = client.stats()
             assert row["id"] in stats["jobs"]
             assert stats["cache"]["admitted"] > 0
             assert "faults" in stats["jobs"][row["id"]]["search"]
+            assert "bound" in stats["jobs"][row["id"]]["search"]
+            # The winning shard's certificate survives the merge.
+            assert doc["result"]["certificate"] is not None
+            assert doc["result"]["certificate"]["gap_pct"] >= 0.0
             return doc
 
         doc = http_session(drive)
