@@ -52,7 +52,14 @@ def occupancy_chart(mapping: Mapping) -> str:
 def energy_chart(cost: CostResult) -> str:
     """Horizontal bars of the per-component energy breakdown."""
     parts: list[tuple[str, float]] = list(cost.level_energy.items())
-    parts.append(("NoC", cost.noc_energy))
+    chip2chip = getattr(cost, "chip2chip_energy", 0.0)
+    if chip2chip > 0:
+        # chip2chip traffic is accounted inside noc_energy; split it out
+        # so package-boundary crossings are visible in the breakdown.
+        parts.append(("NoC", cost.noc_energy - chip2chip))
+        parts.append(("chip2chip", chip2chip))
+    else:
+        parts.append(("NoC", cost.noc_energy))
     parts.append(("compute", cost.compute_energy))
     total = cost.energy_pj or 1.0
     lines = [f"energy breakdown ({total / 1e6:.2f} uJ total):"]

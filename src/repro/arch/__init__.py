@@ -1,16 +1,33 @@
 """Accelerator architecture descriptions and the paper's Table IV presets."""
 
-from .presets import conventional, diannao_like, simba_like, tiny
-from .spec import UNIFIED, Architecture, ArchitectureError, MemoryLevel, words
+from .presets import (
+    conventional,
+    diannao_like,
+    simba_like,
+    tiny,
+    two_chiplet,
+)
+from .spec import (
+    LINK_KINDS,
+    UNIFIED,
+    Architecture,
+    ArchitectureError,
+    ComponentSpec,
+    MemoryLevel,
+    words,
+)
 
 __all__ = [
     "Architecture",
     "ArchitectureError",
+    "ComponentSpec",
     "MemoryLevel",
+    "LINK_KINDS",
     "UNIFIED",
     "words",
     "conventional",
     "simba_like",
     "diannao_like",
     "tiny",
+    "two_chiplet",
 ]

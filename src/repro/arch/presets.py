@@ -8,17 +8,21 @@
 * :func:`diannao_like` — the DianNao-style accelerator used by the paper's
   overhead study (Fig. 9): NBin/NBout/SB buffers feeding a 16x16 multiplier
   array.
+* :func:`two_chiplet` — a Simba-style two-chiplet package: per-PE buffers
+  inside each chiplet, a per-chiplet buffer, and a ``chip2chip`` package
+  link between the chiplets and the package-level DRAM interface.
 
-All per-access energies come from the Accelergy-style models in
-:mod:`repro.energy`.
+Every preset describes its levels with :class:`ComponentSpec` records and
+is resolved through :func:`repro.energy.tech.resolve_architecture`, so the
+same topology can be retargeted to any registered technology pack via the
+``tech`` argument.  The default pack (``cmos45``) reproduces the historical
+hard-coded energies bit-for-bit.
 """
 
 from __future__ import annotations
 
-from ..energy.cacti import regfile_energy, sram_estimate
-from ..energy.noc import NocModel
-from ..energy.table import dram_energy, mac_energy
-from .spec import UNIFIED, Architecture, MemoryLevel, words
+from ..energy.tech import DEFAULT_TECH, resolve_architecture
+from .spec import UNIFIED, Architecture, ComponentSpec, MemoryLevel, words
 
 
 def _sram_level(
@@ -31,25 +35,19 @@ def _sram_level(
     read_bandwidth: float = float("inf"),
     write_bandwidth: float = float("inf"),
 ) -> MemoryLevel:
-    est = sram_estimate(capacity_bytes, word_bits)
-    noc = 0.0
-    if fanout > 1:
-        shape = fanout_shape or (fanout, 1)
-        noc = NocModel(shape, word_bits).unicast_energy()
     return MemoryLevel(
         name=name,
         capacity_words=capacity_words,
         fanout=fanout,
         fanout_shape=fanout_shape,
-        read_energy=est.read_energy,
-        write_energy=est.write_energy,
-        network_energy=noc,
         read_bandwidth=read_bandwidth,
         write_bandwidth=write_bandwidth,
+        component=ComponentSpec(
+            "sram", capacity_bytes=capacity_bytes, word_bits=word_bits),
     )
 
 
-def conventional() -> Architecture:
+def conventional(tech: str = DEFAULT_TECH) -> Architecture:
     """Eyeriss-like conventional accelerator (Table IV, right column).
 
     16-bit datapath, 32x32 PEs each with a unified 512 B L1, a unified
@@ -77,20 +75,20 @@ def conventional() -> Architecture:
     dram = MemoryLevel(
         name="DRAM",
         capacity_words=None,
-        read_energy=dram_energy(word_bits),
-        write_energy=dram_energy(word_bits),
         read_bandwidth=16,
         write_bandwidth=16,
+        component=ComponentSpec("dram", word_bits=word_bits),
     )
-    return Architecture(
+    arch = Architecture(
         "conventional",
         levels=(l1, l2, dram),
-        mac_energy=mac_energy(word_bits),
         mac_width=1,
+        mac_word_bits=word_bits,
     )
+    return resolve_architecture(arch, tech)
 
 
-def simba_like() -> Architecture:
+def simba_like(tech: str = DEFAULT_TECH) -> Architecture:
     """Simba-like modern accelerator (Table IV, left column).
 
     Two spatial levels: 8 vector-MAC lanes (each 8 wide, with a small weight
@@ -98,17 +96,14 @@ def simba_like() -> Architecture:
     (weights 32 KB @ 8 b, ifmap 8 KB @ 8 b, ofmap 3 KB @ 24 b); the 512 KB
     global buffer holds only ifmap and ofmap — weights stream from DRAM.
     """
-    reg_read, reg_write = regfile_energy(entries=8, word_bits=8)
     regs = MemoryLevel(
         name="Regs",
         capacity_words={"weight": 8},
         fanout=64,  # 8 vector MACs x 8 lanes each, modelled uniformly
         fanout_shape=(8, 8),
-        read_energy=reg_read,
-        write_energy=reg_write,
-        network_energy=NocModel((8, 8), word_bits=8).unicast_energy(),
         read_bandwidth=64,
         write_bandwidth=8,
+        component=ComponentSpec("regfile", entries=8, word_bits=8),
     )
     l1 = _sram_level(
         "PEBuf",
@@ -138,20 +133,20 @@ def simba_like() -> Architecture:
     dram = MemoryLevel(
         name="DRAM",
         capacity_words=None,
-        read_energy=dram_energy(8),
-        write_energy=dram_energy(8),
         read_bandwidth=16,
         write_bandwidth=16,
+        component=ComponentSpec("dram", word_bits=8),
     )
-    return Architecture(
+    arch = Architecture(
         "simba-like",
         levels=(regs, l1, l2, dram),
-        mac_energy=mac_energy(8),
         mac_width=1,
+        mac_word_bits=8,
     )
+    return resolve_architecture(arch, tech)
 
 
-def diannao_like() -> Architecture:
+def diannao_like(tech: str = DEFAULT_TECH) -> Architecture:
     """DianNao-like accelerator for the overhead study (Fig. 9).
 
     A 16x16 multiplier array (the NFU) fed by three on-chip buffers: NBin
@@ -165,9 +160,9 @@ def diannao_like() -> Architecture:
         capacity_words={UNIFIED: 4},
         fanout=256,
         fanout_shape=(16, 16),
-        read_energy=0.01,
-        write_energy=0.01,
-        network_energy=NocModel((16, 16), word_bits).unicast_energy(),
+        component=ComponentSpec(
+            "fixed", read_energy=0.01, write_energy=0.01,
+            word_bits=word_bits),
     )
     buffers = _sram_level(
         "Buffers",
@@ -184,40 +179,92 @@ def diannao_like() -> Architecture:
     dram = MemoryLevel(
         name="DRAM",
         capacity_words=None,
-        read_energy=dram_energy(word_bits),
-        write_energy=dram_energy(word_bits),
         read_bandwidth=16,
         write_bandwidth=16,
+        component=ComponentSpec("dram", word_bits=word_bits),
     )
-    return Architecture(
+    arch = Architecture(
         "diannao-like",
         levels=(lanes, buffers, dram),
-        mac_energy=mac_energy(word_bits),
         mac_width=1,
+        mac_word_bits=word_bits,
     )
+    return resolve_architecture(arch, tech)
 
 
-def tiny(l1_words: int = 8, l2_words: int = 64, pes: int = 4) -> Architecture:
-    """A miniature two-memory architecture for tests and examples."""
+def tiny(l1_words: int = 8, l2_words: int = 64, pes: int = 4,
+         tech: str = DEFAULT_TECH) -> Architecture:
+    """A miniature two-memory architecture for tests and examples.
+
+    All energies are hand-picked round numbers (``fixed`` components with a
+    ``fixed`` link), so under the default pack they are exactly the
+    historical constants; other packs scale them by ``logic_scale``.
+    """
     l1 = MemoryLevel(
         name="L1",
         capacity_words={UNIFIED: l1_words},
         fanout=pes,
         fanout_shape=(pes, 1),
-        read_energy=1.0,
-        write_energy=1.0,
         network_energy=0.1,
+        component=ComponentSpec("fixed", read_energy=1.0, write_energy=1.0),
+        link="fixed",
     )
     l2 = MemoryLevel(
         name="L2",
         capacity_words={UNIFIED: l2_words},
-        read_energy=10.0,
-        write_energy=10.0,
+        component=ComponentSpec("fixed", read_energy=10.0, write_energy=10.0),
     )
     dram = MemoryLevel(
         name="DRAM",
         capacity_words=None,
-        read_energy=100.0,
-        write_energy=100.0,
+        component=ComponentSpec("fixed", read_energy=100.0,
+                                write_energy=100.0),
     )
-    return Architecture("tiny", levels=(l1, l2, dram), mac_energy=0.5)
+    arch = Architecture("tiny", levels=(l1, l2, dram), mac_energy=0.5)
+    return resolve_architecture(arch, tech)
+
+
+def two_chiplet(tech: str = DEFAULT_TECH) -> Architecture:
+    """Simba-style two-chiplet package (multi-chip hierarchy demo).
+
+    Each chiplet holds a 4x4 grid of PEs (unified 1 KB L1 each) under a
+    256 KB chiplet buffer; the two chiplet buffers sit behind a
+    ``chip2chip`` package link whose per-word energy and bandwidth come
+    from the technology pack.  DRAM is on the package substrate.
+    """
+    word_bits = 16
+    l1 = _sram_level(
+        "L1",
+        capacity_words={UNIFIED: words(1.0, word_bits)},
+        capacity_bytes=1024,
+        word_bits=word_bits,
+        fanout=16,
+        fanout_shape=(4, 4),
+        read_bandwidth=64,
+        write_bandwidth=64,
+    )
+    chipbuf = MemoryLevel(
+        name="ChipBuf",
+        capacity_words={UNIFIED: words(256, word_bits)},
+        fanout=2,
+        fanout_shape=(2, 1),
+        read_bandwidth=32,
+        write_bandwidth=32,
+        component=ComponentSpec(
+            "sram", capacity_bytes=256 * 1024, word_bits=word_bits),
+        link="chip2chip",
+    )
+    dram = MemoryLevel(
+        name="DRAM",
+        capacity_words=None,
+        read_bandwidth=16,
+        write_bandwidth=16,
+        component=ComponentSpec("dram", word_bits=word_bits),
+    )
+    arch = Architecture(
+        "two-chiplet",
+        levels=(l1, chipbuf, dram),
+        mac_width=1,
+        mac_word_bits=word_bits,
+    )
+    return resolve_architecture(arch, tech)

@@ -26,6 +26,75 @@ class ArchitectureError(ValueError):
     """Raised when an architecture description is malformed."""
 
 
+LINK_KINDS = ("noc", "chip2chip", "fixed")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """What a memory level physically *is*, for technology retargeting.
+
+    A level that carries a component spec gets its per-access energies
+    re-derived by :func:`repro.energy.tech.resolve_architecture` whenever
+    the architecture is resolved under a technology pack; a level without
+    one keeps its hand-specified energies under every pack.
+
+    ``kind`` selects the estimator: ``"sram"`` (Cacti-style analytic model
+    over ``capacity_bytes``/``word_bits``/``banks``), ``"regfile"``
+    (flip-flop array over ``entries``/``word_bits``), ``"dram"`` (off-chip
+    reference energy scaled by ``word_bits``), or ``"fixed"``
+    (``read_energy``/``write_energy`` given directly, scaled by the pack's
+    ``logic_scale``).  ``word_bits`` doubles as the flit width of the
+    level's interconnect link.
+    """
+
+    kind: str
+    capacity_bytes: int = 0
+    word_bits: int = 16
+    banks: int = 1
+    entries: int = 0
+    read_energy: float = 0.0
+    write_energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sram", "regfile", "dram", "fixed"):
+            raise ArchitectureError(
+                f"unknown component kind '{self.kind}' "
+                f"(expected sram, regfile, dram or fixed)")
+        if self.kind == "sram" and self.capacity_bytes < 1:
+            raise ArchitectureError("sram component needs capacity_bytes")
+        if self.kind == "regfile" and self.entries < 1:
+            raise ArchitectureError("regfile component needs entries")
+        if self.word_bits < 1:
+            raise ArchitectureError("component word_bits must be positive")
+
+    def to_dict(self) -> dict:
+        doc: dict = {"kind": self.kind}
+        if self.kind == "sram":
+            doc["capacity_bytes"] = self.capacity_bytes
+            if self.banks != 1:
+                doc["banks"] = self.banks
+        elif self.kind == "regfile":
+            doc["entries"] = self.entries
+        elif self.kind == "fixed":
+            doc["read_energy"] = self.read_energy
+            doc["write_energy"] = self.write_energy
+        if self.word_bits != 16:
+            doc["word_bits"] = self.word_bits
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "ComponentSpec":
+        return cls(
+            kind=doc["kind"],
+            capacity_bytes=int(doc.get("capacity_bytes", 0)),
+            word_bits=int(doc.get("word_bits", 16)),
+            banks=int(doc.get("banks", 1)),
+            entries=int(doc.get("entries", 0)),
+            read_energy=float(doc.get("read_energy", 0.0)),
+            write_energy=float(doc.get("write_energy", 0.0)),
+        )
+
+
 @dataclass(frozen=True)
 class MemoryLevel:
     """One storage level of the hierarchy (innermost = index 0).
@@ -51,6 +120,18 @@ class MemoryLevel:
         level and this level's instances (tagged multicast, Eyeriss-style).
     read_bandwidth / write_bandwidth:
         Words per cycle per instance (``inf`` = never a bottleneck).
+    component:
+        Optional :class:`ComponentSpec` describing the physical component,
+        enabling technology retargeting.  ``None`` freezes the energies.
+    link:
+        Kind of interconnect between the parent level and this level's
+        instances: ``"noc"`` (on-chip tagged-multicast mesh, the default),
+        ``"chip2chip"`` (package-level chiplet link with its own energy and
+        finite bandwidth), or ``"fixed"`` (keep ``network_energy`` as
+        given under every technology pack).
+    link_bandwidth:
+        Words per cycle crossing the link *in total* (``inf`` = never a
+        bottleneck; only chip2chip links typically constrain this).
     """
 
     name: str
@@ -62,10 +143,20 @@ class MemoryLevel:
     network_energy: float = 0.0
     read_bandwidth: float = math.inf
     write_bandwidth: float = math.inf
+    component: ComponentSpec | None = None
+    link: str = "noc"
+    link_bandwidth: float = math.inf
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
             raise ArchitectureError(f"{self.name}: fanout must be >= 1")
+        if self.link not in LINK_KINDS:
+            raise ArchitectureError(
+                f"{self.name}: unknown link kind '{self.link}' "
+                f"(expected one of {', '.join(LINK_KINDS)})")
+        if not self.link_bandwidth > 0:
+            raise ArchitectureError(
+                f"{self.name}: link_bandwidth must be positive")
         if self.capacity_words is not None:
             for role, words in self.capacity_words.items():
                 if words < 1:
@@ -110,6 +201,11 @@ class Architecture:
     the number of scalar MACs ganged per lane (a Simba vector MAC has
     ``mac_width == 8``).  Total peak parallelism is the product of all level
     fanouts times ``mac_width``.
+
+    ``tech`` names the technology pack the per-level energies were resolved
+    under (see :mod:`repro.energy.tech`); ``mac_word_bits``, when given,
+    lets resolution re-derive ``mac_energy`` from the pack's datapath
+    reference energies instead of scaling the given value.
     """
 
     def __init__(
@@ -118,6 +214,9 @@ class Architecture:
         levels: Sequence[MemoryLevel],
         mac_energy: float = 1.0,
         mac_width: int = 1,
+        *,
+        tech: str = "cmos45",
+        mac_word_bits: int | None = None,
     ) -> None:
         if not levels:
             raise ArchitectureError("architecture needs at least one level")
@@ -137,6 +236,9 @@ class Architecture:
         self.levels: tuple[MemoryLevel, ...] = tuple(levels)
         self.mac_energy = mac_energy
         self.mac_width = mac_width
+        self.tech = tech
+        self.mac_word_bits = mac_word_bits
+        self._energy_table = None
 
     # ------------------------------------------------------------------
     @property
@@ -193,7 +295,33 @@ class Architecture:
             replace(level, **changes) if level.name == name else level
             for level in self.levels
         ]
-        return Architecture(self.name, levels, self.mac_energy, self.mac_width)
+        return Architecture(self.name, levels, self.mac_energy, self.mac_width,
+                            tech=self.tech, mac_word_bits=self.mac_word_bits)
+
+    def energy_table(self):
+        """The resolved energy reference table (ERT) for this architecture.
+
+        One Accelergy-style :class:`~repro.energy.table.EnergyTable` built
+        from the already-resolved per-level floats: ``<level>.read`` /
+        ``<level>.write`` for every level, ``<level>.transfer`` for levels
+        with a spatial boundary above them, and ``MAC.compute``.  The cost
+        model gathers its per-level energy arrays from this artefact, so a
+        pack that fails to define an action fails here with a contextual
+        :class:`~repro.energy.table.EnergyLookupError` rather than
+        producing silent zeros.  Built lazily and cached.
+        """
+        if self._energy_table is None:
+            from ..energy.table import EnergyTable  # circular at module load
+
+            table = EnergyTable(pack=self.tech)
+            for level in self.levels:
+                table.define(level.name, "read", level.read_energy)
+                table.define(level.name, "write", level.write_energy)
+                if level.fanout > 1:
+                    table.define(level.name, "transfer", level.network_energy)
+            table.define("MAC", "compute", self.mac_energy)
+            self._energy_table = table
+        return self._energy_table
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""

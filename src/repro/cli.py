@@ -12,6 +12,9 @@ Commands
     Re-evaluate a saved mapping document.
 ``describe``
     Print an architecture preset or the reuse table of a workload.
+``tech``
+    List the registered technology packs, or dump the resolved energy
+    reference table (ERT) of a pack applied to an architecture.
 """
 
 from __future__ import annotations
@@ -22,7 +25,14 @@ import signal
 import sys
 from typing import Sequence
 
-from .arch import Architecture, conventional, diannao_like, simba_like, tiny
+from .arch import (
+    Architecture,
+    conventional,
+    diannao_like,
+    simba_like,
+    tiny,
+    two_chiplet,
+)
 from .baselines import (
     TIMELOOP_FAST,
     cosa_search,
@@ -72,6 +82,7 @@ ARCHITECTURES = {
     "simba": simba_like,
     "diannao": diannao_like,
     "tiny": tiny,
+    "two-chiplet": two_chiplet,
 }
 
 _WORKLOAD_BUILDERS = {
@@ -117,17 +128,47 @@ def build_workload(kind: str, dims: Sequence[str]) -> Workload:
     return builder(**{d: given[d] for d in required})
 
 
-def build_architecture(name: str) -> Architecture:
-    """Resolve a preset name or a JSON architecture-config path."""
+def _resolve_tech(name: str | None):
+    """Look up a technology pack by registry name or JSON path."""
+    if name is None:
+        return None
+    from .energy.tech import TechnologyError, get_pack
+    try:
+        return get_pack(name)
+    except (TechnologyError, OSError) as error:
+        raise SystemExit(f"cannot resolve technology pack {name!r}: {error}")
+
+
+def build_architecture(name: str, tech: str | None = None) -> Architecture:
+    """Resolve a preset name or a JSON architecture-config path.
+
+    ``tech`` retargets the architecture to another technology pack.
+    Presets re-resolve their component descriptions directly; a JSON
+    config can only be retargeted when it carries per-level ``component``
+    metadata (configs written from presets do).
+    """
+    pack = _resolve_tech(tech)
     if name in ARCHITECTURES:
+        if pack is not None:
+            return ARCHITECTURES[name](tech=pack)
         return ARCHITECTURES[name]()
     if name.endswith(".json"):
         from .mapping.serialize import architecture_from_dict
         try:
             with open(name, encoding="utf-8") as handle:
-                return architecture_from_dict(json.load(handle))
+                arch = architecture_from_dict(json.load(handle))
         except OSError as error:
             raise SystemExit(f"cannot read architecture config: {error}")
+        if pack is not None and pack.name != arch.tech:
+            if not any(lvl.component is not None for lvl in arch.levels):
+                raise SystemExit(
+                    f"architecture config {name!r} has no component "
+                    f"metadata, so it cannot be retargeted to pack "
+                    f"{pack.name!r}; regenerate the config from a preset "
+                    f"or drop --tech")
+            from .energy.tech import resolve_architecture
+            arch = resolve_architecture(arch, pack)
+        return arch
     raise SystemExit(f"unknown architecture {name!r}; choose from "
                      f"{sorted(ARCHITECTURES)} or pass a .json config")
 
@@ -171,6 +212,7 @@ def _cost_dict(cost) -> dict:
         "utilization": cost.utilization,
         "compute_energy": cost.compute_energy,
         "noc_energy": cost.noc_energy,
+        "chip2chip_energy": cost.chip2chip_energy,
         "level_energy": dict(cost.level_energy),
     }
 
@@ -214,7 +256,7 @@ def _open_journal(args: argparse.Namespace, meta: dict
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Schedule one workload and print mapping, nest, cost (and report)."""
     workload = build_workload(args.workload, args.dims)
-    arch = build_architecture(args.arch)
+    arch = build_architecture(args.arch, args.tech)
     sparsity = build_sparsity(args, workload)
     options = SchedulerOptions(objective=args.objective,
                                workers=args.workers,
@@ -377,7 +419,7 @@ def mapper_row(name: str, result) -> dict:
 def cmd_compare(args: argparse.Namespace) -> int:
     """Run Sunstone and the selected baselines; print a comparison table."""
     workload = build_workload(args.workload, args.dims)
-    arch = build_architecture(args.arch)
+    arch = build_architecture(args.arch, args.tech)
     sparsity = build_sparsity(args, workload)
     options = SchedulerOptions(workers=args.workers,
                                cache=not args.no_cache,
@@ -455,7 +497,7 @@ def cmd_network(args: argparse.Namespace) -> int:
     from .workloads.importer import load_model
 
     model = load_model(args.model)
-    arch = build_architecture(args.arch)
+    arch = build_architecture(args.arch, args.tech)
     options = SchedulerOptions(workers=args.workers,
                                cache=not args.no_cache,
                                batch=not args.no_batch,
@@ -524,7 +566,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_describe(args: argparse.Namespace) -> int:
     """Print an architecture summary and/or a workload reuse table."""
     if args.arch:
-        print(build_architecture(args.arch).describe())
+        print(build_architecture(args.arch, args.tech).describe())
     if args.workload:
         workload = build_workload(args.workload, args.dims)
         print(workload)
@@ -532,6 +574,35 @@ def cmd_describe(args: argparse.Namespace) -> int:
             print(f"  {name:<10} indexed by {sorted(info.indexed_by)}, "
                   f"reused by {sorted(info.reused_by)}, "
                   f"partial {sorted(info.partially_reused_by)}")
+    return 0
+
+
+def cmd_tech_list(args: argparse.Namespace) -> int:
+    """List the registered technology packs."""
+    from .energy.tech import DEFAULT_TECH, available_packs, get_pack
+
+    for name in available_packs():
+        pack = get_pack(name)
+        marker = " (default)" if name == DEFAULT_TECH else ""
+        print(f"{name:<10} {pack.description}{marker}")
+    return 0
+
+
+def cmd_tech_show(args: argparse.Namespace) -> int:
+    """Dump a pack's parameters and its resolved ERT for --arch."""
+    pack = _resolve_tech(args.pack)
+    print(f"technology pack {pack.name}: {pack.description}")
+    for key, value in pack.to_dict().items():
+        if key in ("name", "description"):
+            continue
+        print(f"  {key} = {value}")
+    if args.arch:
+        arch = build_architecture(args.arch, pack)
+        table = arch.energy_table()
+        print(f"energy reference table for {arch.name} "
+              f"(pack {table.pack}):")
+        for key, value in sorted(table.actions.items()):
+            print(f"  {key:<16} {value:.6f} pJ")
     return 0
 
 
@@ -635,6 +706,10 @@ def _build_job_spec(args: argparse.Namespace) -> dict:
     """Assemble the job spec ``repro submit`` posts to the daemon."""
     spec: dict = {"kind": args.kind, "arch": args.arch,
                   "objective": args.objective}
+    if args.tech:
+        # Resolve locally first so bad pack names fail client-side with
+        # the same message a daemon would return.
+        spec["tech"] = _resolve_tech(args.tech).name
     if args.kind == "network":
         if not args.model:
             raise SystemExit("--kind network requires --model PATH")
@@ -783,6 +858,13 @@ def make_parser() -> argparse.ArgumentParser:
                        metavar="TENSOR=ACTION",
                        help="compute optimisation: none, gating, skipping")
 
+    def add_tech_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tech", metavar="PACK", default=None,
+                       help="technology pack to resolve the architecture "
+                            "under (a registered pack name — see "
+                            "'repro tech list' — or a pack .json path); "
+                            "default: the architecture's own pack")
+
     def add_stats_json(p: argparse.ArgumentParser) -> None:
         p.add_argument("--stats-json", metavar="PATH",
                        help="dump mapping, cost breakdown and search "
@@ -805,6 +887,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="map a workload onto an accelerator")
     p.add_argument("--workload", required=True)
     p.add_argument("--arch", default="conventional")
+    add_tech_flag(p)
     p.add_argument("--objective", default="edp", choices=("edp", "energy"))
     p.add_argument("--output", help="save the mapping document (JSON)")
     p.add_argument("--report", action="store_true",
@@ -821,6 +904,7 @@ def make_parser() -> argparse.ArgumentParser:
                        help="schedule a model description file")
     p.add_argument("model", help="path to a model JSON (see configs/)")
     p.add_argument("--arch", default="conventional")
+    add_tech_flag(p)
     p.add_argument("--processes", type=int, default=None)
     p.add_argument("--no-dedupe", action="store_true",
                    help="search every layer even when shapes repeat")
@@ -832,6 +916,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare Sunstone against baselines")
     p.add_argument("--workload", required=True)
     p.add_argument("--arch", default="conventional")
+    add_tech_flag(p)
     p.add_argument("--mappers",
                    help="comma-separated subset of "
                         "timeloop,dmazerunner,interstellar,cosa,gamma")
@@ -850,9 +935,25 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("describe", help="show an architecture or workload")
     p.add_argument("--arch")
+    add_tech_flag(p)
     p.add_argument("--workload")
     p.add_argument("dims", nargs="*", help="DIM=SIZE assignments")
     p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("tech",
+                       help="list technology packs or dump a resolved ERT")
+    tech_sub = p.add_subparsers(dest="tech_command", required=True)
+    tp = tech_sub.add_parser("list", help="list the registered packs")
+    tp.set_defaults(func=cmd_tech_list)
+    tp = tech_sub.add_parser("show",
+                             help="show a pack's parameters and, with "
+                                  "--arch, its resolved energy reference "
+                                  "table")
+    tp.add_argument("pack", help="registered pack name or pack .json path")
+    tp.add_argument("--arch", default=None,
+                    help="architecture preset or config to resolve the "
+                         "ERT for")
+    tp.set_defaults(func=cmd_tech_show)
 
     def add_client_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1",
@@ -890,6 +991,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", help="workload kind (schedule/compare)")
     p.add_argument("--model", help="model JSON path (--kind network)")
     p.add_argument("--arch", default="conventional")
+    add_tech_flag(p)
     p.add_argument("--objective", default="edp", choices=("edp", "energy"))
     p.add_argument("--shards", type=positive_int, default=1,
                    help="split the mapspace into N union-complete shards "

@@ -8,9 +8,23 @@ from .table import (
     INSTRUCTION_DECODE_ENERGY,
     MAC_ENERGY_8B,
     MAC_ENERGY_16B,
+    EnergyLookupError,
     EnergyTable,
     dram_energy,
     mac_energy,
+)
+from .tech import (
+    CMOS7,
+    CMOS45,
+    CRYO,
+    DEFAULT_TECH,
+    TechnologyError,
+    TechnologyPack,
+    available_packs,
+    get_pack,
+    load_pack,
+    register_pack,
+    resolve_architecture,
 )
 
 __all__ = [
@@ -19,6 +33,7 @@ __all__ = [
     "regfile_energy",
     "NocModel",
     "EnergyTable",
+    "EnergyLookupError",
     "dram_energy",
     "mac_energy",
     "DRAM_ENERGY_PER_WORD_16B",
@@ -28,4 +43,15 @@ __all__ = [
     "AreaBreakdown",
     "estimate_area",
     "mac_area",
+    "TechnologyPack",
+    "TechnologyError",
+    "DEFAULT_TECH",
+    "CMOS45",
+    "CMOS7",
+    "CRYO",
+    "available_packs",
+    "get_pack",
+    "load_pack",
+    "register_pack",
+    "resolve_architecture",
 ]

@@ -13,6 +13,12 @@ to published 45 nm numbers (Eyeriss ISCA'16, Horowitz ISSCC'14):
 
 Absolute values are approximate; the *ratios* between levels (which drive
 mapping decisions) match the published hierarchy.
+
+The 45 nm coefficients below are only the *defaults*: every estimator takes
+the coefficients as keyword arguments so a
+:class:`~repro.energy.tech.TechnologyPack` can retarget the same analytic
+shapes at another process (7 nm-class CMOS, superconducting, ...).  Passing
+the default coefficients reproduces the historical numbers bit-for-bit.
 """
 
 from __future__ import annotations
@@ -24,6 +30,11 @@ from dataclasses import dataclass
 _ARRAY_COEFF = 0.0090  # pJ per sqrt(byte) of array capacity
 _BIT_COEFF = 0.019  # pJ per bit moved on the data bus
 _WRITE_FACTOR = 1.1  # writes cost slightly more than reads
+_SRAM_DENSITY_MB_MM2 = 0.45  # 45 nm SRAM density including periphery
+
+# Register files are flip-flop based; per-bit term plus a decode constant.
+_REGFILE_BIT_COEFF = 0.0035
+_REGFILE_DECODE_COEFF = 0.01
 
 
 @dataclass(frozen=True)
@@ -38,12 +49,18 @@ class SramEstimate:
 
 
 def sram_estimate(capacity_bytes: int, word_bits: int = 16,
-                  banks: int = 1) -> SramEstimate:
+                  banks: int = 1, *,
+                  array_coeff: float = _ARRAY_COEFF,
+                  bit_coeff: float = _BIT_COEFF,
+                  write_factor: float = _WRITE_FACTOR,
+                  density_mb_mm2: float = _SRAM_DENSITY_MB_MM2,
+                  ) -> SramEstimate:
     """Estimate read/write energy (pJ/word) and area for an SRAM array.
 
     ``banks`` splits the array into independently-accessed banks, which
     reduces the per-access array term (shorter lines) the way Cacti's
-    banking optimisation does.
+    banking optimisation does.  The coefficient keywords select the
+    process technology; the defaults are the fitted 45 nm values.
     """
     if capacity_bytes < 1:
         raise ValueError("capacity must be positive")
@@ -51,13 +68,16 @@ def sram_estimate(capacity_bytes: int, word_bits: int = 16,
         raise ValueError("word width must be positive")
     if banks < 1:
         raise ValueError("banks must be positive")
+    if array_coeff < 0 or bit_coeff < 0:
+        raise ValueError("energy coefficients must be non-negative")
+    if write_factor <= 0 or density_mb_mm2 <= 0:
+        raise ValueError("write factor and density must be positive")
     bank_bytes = capacity_bytes / banks
-    array = _ARRAY_COEFF * math.sqrt(bank_bytes)
-    bus = _BIT_COEFF * word_bits
+    array = array_coeff * math.sqrt(bank_bytes)
+    bus = bit_coeff * word_bits
     read = array + bus
-    write = read * _WRITE_FACTOR
-    # 45 nm SRAM density is roughly 0.45 MB/mm^2 including periphery.
-    area = capacity_bytes / (0.45 * 1024 * 1024)
+    write = read * write_factor
+    area = capacity_bytes / (density_mb_mm2 * 1024 * 1024)
     return SramEstimate(
         capacity_bytes=capacity_bytes,
         word_bits=word_bits,
@@ -67,13 +87,18 @@ def sram_estimate(capacity_bytes: int, word_bits: int = 16,
     )
 
 
-def regfile_energy(entries: int, word_bits: int = 16) -> tuple[float, float]:
+def regfile_energy(entries: int, word_bits: int = 16, *,
+                   bit_coeff: float = _REGFILE_BIT_COEFF,
+                   decode_coeff: float = _REGFILE_DECODE_COEFF,
+                   write_factor: float = _WRITE_FACTOR,
+                   ) -> tuple[float, float]:
     """Read/write energy (pJ) for a small register file.
 
     Registers are flip-flop based; energy is dominated by the per-bit term
-    with a small constant for the decode.
+    with a small constant for the decode.  The coefficient keywords select
+    the technology (defaults: fitted 45 nm values).
     """
     if entries < 1:
         raise ValueError("entries must be positive")
-    read = 0.0035 * word_bits + 0.01 * math.log2(entries + 1)
-    return read, read * _WRITE_FACTOR
+    read = bit_coeff * word_bits + decode_coeff * math.log2(entries + 1)
+    return read, read * write_factor

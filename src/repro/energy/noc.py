@@ -5,6 +5,10 @@ destination tag with X/Y PE coordinates, and a tag-check unit at each PE
 accepts only designated packets.  Energy per delivered word is therefore the
 wire energy to traverse the mesh plus a tag comparison at every PE on the
 route.
+
+The wire/tag constants here are 45 nm defaults; :class:`NocModel` carries
+them as fields so a :class:`~repro.energy.tech.TechnologyPack` can rebuild
+the same mesh model with different process parameters.
 """
 
 from __future__ import annotations
@@ -23,12 +27,16 @@ class NocModel:
     """Energy model for one spatial boundary (parent memory -> children).
 
     ``fanout_shape`` is the (x, y) mesh of children; ``word_bits`` the data
-    width carried per flit.
+    width carried per flit.  ``wire_energy_per_mm_per_bit`` and
+    ``tag_check_energy`` default to the 45 nm constants and are overridden
+    by technology packs.
     """
 
     fanout_shape: tuple[int, int]
     word_bits: int = 16
     pe_pitch_mm: float = PE_PITCH_MM
+    wire_energy_per_mm_per_bit: float = WIRE_ENERGY_PER_MM_PER_BIT
+    tag_check_energy: float = TAG_CHECK_ENERGY
 
     @property
     def fanout(self) -> int:
@@ -43,8 +51,9 @@ class NocModel:
         """
         x, y = self.fanout_shape
         hops = (x + y) / 2.0
-        wire = hops * self.pe_pitch_mm * WIRE_ENERGY_PER_MM_PER_BIT * self.word_bits
-        tags = hops * TAG_CHECK_ENERGY
+        wire = (hops * self.pe_pitch_mm
+                * self.wire_energy_per_mm_per_bit * self.word_bits)
+        tags = hops * self.tag_check_energy
         return wire + tags
 
     def multicast_energy(self, destinations: int) -> float:
@@ -63,8 +72,8 @@ class NocModel:
         span = min(math.sqrt(destinations) * max(x, y) / math.sqrt(self.fanout),
                    float(max(x, y)))
         wire = (span * self.pe_pitch_mm
-                * WIRE_ENERGY_PER_MM_PER_BIT * self.word_bits)
-        tags = destinations * TAG_CHECK_ENERGY
+                * self.wire_energy_per_mm_per_bit * self.word_bits)
+        tags = destinations * self.tag_check_energy
         return wire + tags
 
     def transfer_energy(self, words: int, destinations: int) -> float:

@@ -6,6 +6,11 @@ multiply by action counts.  This module provides the same interface: a
 :class:`EnergyTable` mapping named actions to pJ costs, built from the
 analytical models in :mod:`repro.energy.cacti` plus published datapath
 numbers (Horowitz, ISSCC'14, scaled to 45 nm).
+
+The module-level constants are the default (45 nm) technology values; the
+pluggable registry in :mod:`repro.energy.tech` generalises them to other
+processes.  ``dram_energy``/``mac_energy`` keep their historical signatures
+and remain the 45 nm reference implementations.
 """
 
 from __future__ import annotations
@@ -34,28 +39,78 @@ def mac_energy(word_bits: int = 16) -> float:
     return MAC_ENERGY_16B * (word_bits / 16.0)
 
 
+class EnergyLookupError(KeyError):
+    """An action was requested that the active energy table does not define.
+
+    Subclasses ``KeyError`` for backwards compatibility, but carries enough
+    context (component, action, requesting level, active technology pack,
+    and the actions that *are* defined) to debug a misconfigured pack
+    instead of a bare key mid-sum.
+    """
+
+    def __init__(self, component: str, action: str, *,
+                 level: str | None = None, pack: str | None = None,
+                 known: tuple[str, ...] = ()):
+        self.component = component
+        self.action = action
+        self.level = level
+        self.pack = pack
+        self.known = known
+        msg = f"no energy defined for action '{component}.{action}'"
+        if level is not None:
+            msg += f" (requested by level '{level}')"
+        if pack is not None:
+            msg += f" under technology pack '{pack}'"
+        if known:
+            msg += f"; known actions: {', '.join(sorted(known))}"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
 @dataclass
 class EnergyTable:
     """Named per-action energies (pJ), Accelergy's output artefact.
 
     ``actions`` maps ``"<component>.<action>"`` (e.g. ``"L1.read"``) to a
-    per-event energy.  Unknown actions raise ``KeyError`` so silent zeros
-    cannot skew an evaluation.
+    per-event energy.  Unknown actions raise :class:`EnergyLookupError`
+    (a ``KeyError``) so silent zeros cannot skew an evaluation.  ``pack``
+    records the technology pack the table was resolved from, for error
+    messages and provenance.
     """
 
     actions: dict[str, float] = field(default_factory=dict)
+    pack: str | None = None
 
     def define(self, component: str, action: str, energy: float) -> None:
         if energy < 0:
             raise ValueError(f"negative energy for {component}.{action}")
         self.actions[f"{component}.{action}"] = energy
 
-    def energy(self, component: str, action: str) -> float:
-        return self.actions[f"{component}.{action}"]
+    def energy(self, component: str, action: str, *,
+               level: str | None = None) -> float:
+        try:
+            return self.actions[f"{component}.{action}"]
+        except KeyError:
+            raise EnergyLookupError(
+                component, action, level=level, pack=self.pack,
+                known=tuple(self.actions)) from None
 
-    def cost(self, counts: dict[str, int]) -> float:
+    def cost(self, counts: dict[str, int], *,
+             level: str | None = None) -> float:
         """Total energy (pJ) of a bag of action counts."""
-        return sum(self.actions[key] * count for key, count in counts.items())
+        total = 0.0
+        for key, count in counts.items():
+            try:
+                per_event = self.actions[key]
+            except KeyError:
+                component, _, action = key.rpartition(".")
+                raise EnergyLookupError(
+                    component or key, action, level=level, pack=self.pack,
+                    known=tuple(self.actions)) from None
+            total += per_event * count
+        return total
 
     def define_sram(self, component: str, capacity_bytes: int,
                     word_bits: int = 16, banks: int = 1) -> None:

@@ -1,0 +1,365 @@
+"""Pluggable technology packs: Accelergy-style energy plugin registry.
+
+Historically every energy number in the repo came from module-level 45 nm
+constants in :mod:`repro.energy.table`/``cacti``/``noc``.  A
+:class:`TechnologyPack` lifts those constants into data: one frozen record
+of process parameters (SRAM/regfile analytic coefficients, DRAM and MAC
+reference energies, wire/tag NoC parameters, chip-to-chip link energy) plus
+explicit per-action overrides.  Packs are registered by name, loadable from
+JSON, and resolved **once per run** by :func:`resolve_architecture`, which
+rewrites an :class:`~repro.arch.spec.Architecture`'s per-level energies from
+the component descriptions the architecture carries.  After resolution the
+rest of the stack (cost model, bounds, caches) only ever sees plain floats —
+no per-candidate lookups.
+
+Three packs ship built in:
+
+* ``cmos45`` — the default; reproduces the historical 45 nm constants
+  bit-for-bit (this is a tested contract, see ``tests/test_tech.py``).
+* ``cmos7``  — a 7 nm-class CMOS pack: logic and SRAM energies scaled to
+  published finFET ratios, a Simba-style ground-referenced chip-to-chip
+  link at ~0.5 pJ/bit.
+* ``cryo``   — a cryogenic/superconducting-style pack: near-zero logic and
+  on-chip movement, but very expensive traffic across the thermal boundary
+  (DRAM sits at room temperature behind long cables).
+
+Mirrors Accelergy's plugin architecture (Wu et al., ICCAD'19): estimation
+plugins produce an energy reference table (ERT) once, and the mapper
+consumes only the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from .cacti import SramEstimate, regfile_energy, sram_estimate
+from .noc import PE_PITCH_MM, TAG_CHECK_ENERGY, NocModel
+from .table import (
+    DRAM_ENERGY_PER_WORD_16B,
+    MAC_ENERGY_8B,
+    MAC_ENERGY_16B,
+    WIRE_ENERGY_PER_MM_PER_BIT,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular import
+    from ..arch.spec import Architecture
+
+DEFAULT_TECH = "cmos45"
+
+
+class TechnologyError(ValueError):
+    """Raised for unknown packs or malformed pack definitions."""
+
+
+@dataclass(frozen=True)
+class TechnologyPack:
+    """One process technology: every coefficient the energy models need.
+
+    All energies in pJ.  ``overrides`` maps ``"<component>.<action>"`` to an
+    explicit per-event energy that takes precedence over the analytic
+    estimators during resolution — the escape hatch for measured numbers.
+    ``logic_scale`` multiplies energies of ``fixed`` components (and the MAC
+    when no operand width is declared), so hand-specified test architectures
+    retarget sensibly.
+    """
+
+    name: str
+    description: str = ""
+    # SRAM (Cacti-style analytic model) --------------------------------
+    sram_array_coeff: float = 0.0090  # pJ per sqrt(byte)
+    sram_bit_coeff: float = 0.019  # pJ per bit on the data bus
+    sram_write_factor: float = 1.1
+    sram_density_mb_mm2: float = 0.45
+    # Register files ----------------------------------------------------
+    regfile_bit_coeff: float = 0.0035
+    regfile_decode_coeff: float = 0.01
+    # Off-chip DRAM -----------------------------------------------------
+    dram_energy_per_word_16b: float = DRAM_ENERGY_PER_WORD_16B
+    # Datapath ----------------------------------------------------------
+    mac_energy_16b: float = MAC_ENERGY_16B
+    mac_energy_8b: float = MAC_ENERGY_8B
+    logic_scale: float = 1.0
+    # On-chip interconnect ---------------------------------------------
+    wire_energy_per_mm_per_bit: float = WIRE_ENERGY_PER_MM_PER_BIT
+    tag_check_energy: float = TAG_CHECK_ENERGY
+    pe_pitch_mm: float = PE_PITCH_MM
+    # Chip-to-chip (chiplet package) link ------------------------------
+    chip2chip_energy_per_bit: float = 1.0  # pJ/bit across the package
+    chip2chip_bandwidth: float = 8.0  # words/cycle per link
+    # Explicit per-action overrides ------------------------------------
+    overrides: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TechnologyError("technology pack needs a name")
+        for f in dataclasses.fields(self):
+            if f.type == "float":
+                value = getattr(self, f.name)
+                if not value >= 0:
+                    raise TechnologyError(
+                        f"pack '{self.name}': {f.name} must be >= 0, "
+                        f"got {value!r}")
+        for key, value in self.overrides.items():
+            if "." not in key:
+                raise TechnologyError(
+                    f"pack '{self.name}': override key '{key}' is not of "
+                    f"the form '<component>.<action>'")
+            if not value >= 0:
+                raise TechnologyError(
+                    f"pack '{self.name}': override '{key}' must be >= 0")
+
+    # -- component estimators (pack-parameterised) ----------------------
+    def sram_estimate(self, capacity_bytes: int, word_bits: int = 16,
+                      banks: int = 1) -> SramEstimate:
+        return sram_estimate(
+            capacity_bytes, word_bits, banks,
+            array_coeff=self.sram_array_coeff,
+            bit_coeff=self.sram_bit_coeff,
+            write_factor=self.sram_write_factor,
+            density_mb_mm2=self.sram_density_mb_mm2,
+        )
+
+    def regfile_energy(self, entries: int,
+                       word_bits: int = 16) -> tuple[float, float]:
+        return regfile_energy(
+            entries, word_bits,
+            bit_coeff=self.regfile_bit_coeff,
+            decode_coeff=self.regfile_decode_coeff,
+            write_factor=self.sram_write_factor,
+        )
+
+    def dram_energy(self, word_bits: int = 16) -> float:
+        return self.dram_energy_per_word_16b * word_bits / 16.0
+
+    def mac_energy(self, word_bits: int = 16) -> float:
+        if word_bits <= 8:
+            return self.mac_energy_8b
+        return self.mac_energy_16b * (word_bits / 16.0)
+
+    def noc(self, fanout_shape: tuple[int, int],
+            word_bits: int = 16) -> NocModel:
+        return NocModel(
+            fanout_shape, word_bits,
+            pe_pitch_mm=self.pe_pitch_mm,
+            wire_energy_per_mm_per_bit=self.wire_energy_per_mm_per_bit,
+            tag_check_energy=self.tag_check_energy,
+        )
+
+    def chip2chip_energy(self, word_bits: int = 16) -> float:
+        """Energy per word crossing a chip-to-chip (package) link."""
+        return self.chip2chip_energy_per_bit * word_bits
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        doc = dataclasses.asdict(self)
+        doc["overrides"] = dict(self.overrides)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "TechnologyPack":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise TechnologyError(
+                f"unknown technology pack fields: {sorted(unknown)}; "
+                f"known fields: {sorted(known)}")
+        if "name" not in doc:
+            raise TechnologyError("technology pack document needs a 'name'")
+        kwargs = dict(doc)
+        kwargs["overrides"] = dict(doc.get("overrides", {}))
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, TechnologyPack] = {}
+
+
+def register_pack(pack: TechnologyPack, *, replace_existing: bool = False) -> None:
+    """Add a pack to the registry under its own name."""
+    existing = _REGISTRY.get(pack.name)
+    if existing is not None and existing != pack and not replace_existing:
+        raise TechnologyError(
+            f"technology pack '{pack.name}' is already registered with "
+            f"different parameters")
+    _REGISTRY[pack.name] = pack
+
+
+def available_packs() -> tuple[str, ...]:
+    """Names of registered packs, registration order (default first)."""
+    return tuple(_REGISTRY)
+
+
+def load_pack(path: str | os.PathLike) -> TechnologyPack:
+    """Load a pack from a JSON file and register it."""
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TechnologyError(f"{path}: invalid JSON: {exc}") from exc
+    pack = TechnologyPack.from_dict(doc)
+    register_pack(pack)
+    return pack
+
+
+def get_pack(name: str | TechnologyPack) -> TechnologyPack:
+    """Resolve a pack by registry name or JSON file path."""
+    if isinstance(name, TechnologyPack):
+        return name
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    if name.endswith(".json") or os.sep in name:
+        if not os.path.exists(name):
+            raise TechnologyError(f"technology pack file not found: {name}")
+        return load_pack(name)
+    raise TechnologyError(
+        f"unknown technology pack '{name}'; available: "
+        f"{', '.join(available_packs())} (or a path to a pack .json)")
+
+
+# ---------------------------------------------------------------------------
+# Built-in packs
+# ---------------------------------------------------------------------------
+
+# The default pack repeats the historical 45 nm constants exactly; resolving
+# any architecture with it must be bit-identical to the pre-registry code.
+CMOS45 = TechnologyPack(
+    name="cmos45",
+    description="45 nm bulk CMOS (historical default; Eyeriss/Horowitz refs)",
+    chip2chip_energy_per_bit=2.0,  # conservative package SerDes at 45 nm
+    chip2chip_bandwidth=8.0,
+)
+
+# 7 nm-class finFET: logic/SRAM scaled by published ratios (~3.5-4x denser,
+# ~3x lower dynamic energy); wires scale much less; off-chip DRAM barely at
+# all.  Chip-to-chip uses a Simba-style ground-referenced link (~0.5 pJ/bit).
+CMOS7 = TechnologyPack(
+    name="cmos7",
+    description="7 nm-class finFET CMOS with Simba-style chiplet links",
+    sram_array_coeff=0.0030,
+    sram_bit_coeff=0.0060,
+    sram_density_mb_mm2=4.0,
+    regfile_bit_coeff=0.0012,
+    regfile_decode_coeff=0.0040,
+    dram_energy_per_word_16b=150.0,
+    mac_energy_16b=0.60,
+    mac_energy_8b=0.16,
+    logic_scale=0.27,
+    wire_energy_per_mm_per_bit=0.030,
+    tag_check_energy=0.0040,
+    pe_pitch_mm=0.08,
+    chip2chip_energy_per_bit=0.5,
+    chip2chip_bandwidth=8.0,
+)
+
+# Cryogenic/superconducting-style: on-chip logic and movement are nearly
+# free, but every word that crosses the thermal boundary (DRAM at room
+# temperature, inter-chip cables) is very expensive.
+CRYO = TechnologyPack(
+    name="cryo",
+    description=("cryogenic/superconducting-style: near-zero logic, "
+                 "expensive cable/IO across the thermal boundary"),
+    sram_array_coeff=0.0005,
+    sram_bit_coeff=0.0010,
+    sram_write_factor=1.05,
+    sram_density_mb_mm2=0.25,
+    regfile_bit_coeff=0.0002,
+    regfile_decode_coeff=0.0005,
+    dram_energy_per_word_16b=2000.0,
+    mac_energy_16b=0.050,
+    mac_energy_8b=0.015,
+    logic_scale=0.01,
+    wire_energy_per_mm_per_bit=0.0020,
+    tag_check_energy=0.0005,
+    chip2chip_energy_per_bit=5.0,  # cable through the cryostat wall
+    chip2chip_bandwidth=4.0,
+)
+
+for _pack in (CMOS45, CMOS7, CRYO):
+    register_pack(_pack)
+del _pack
+
+
+# ---------------------------------------------------------------------------
+# Architecture resolution
+# ---------------------------------------------------------------------------
+
+def _resolve_level_energy(level, pack: TechnologyPack) -> tuple[float, float]:
+    comp = level.component
+    if comp.kind == "sram":
+        est = pack.sram_estimate(comp.capacity_bytes, comp.word_bits,
+                                 comp.banks)
+        return est.read_energy, est.write_energy
+    if comp.kind == "regfile":
+        return pack.regfile_energy(comp.entries, comp.word_bits)
+    if comp.kind == "dram":
+        energy = pack.dram_energy(comp.word_bits)
+        return energy, energy
+    if comp.kind == "fixed":
+        return (comp.read_energy * pack.logic_scale,
+                comp.write_energy * pack.logic_scale)
+    raise TechnologyError(
+        f"level '{level.name}': unknown component kind '{comp.kind}'")
+
+
+def resolve_architecture(arch: "Architecture",
+                         pack: str | TechnologyPack) -> "Architecture":
+    """Re-derive an architecture's energies under a technology pack.
+
+    Levels that carry a :class:`~repro.arch.spec.ComponentSpec` get their
+    read/write energies recomputed from the pack's estimators; levels
+    without one keep their hand-specified energies untouched.  Network
+    energies are rebuilt according to each level's ``link`` kind:
+    ``"noc"`` from the pack's mesh model, ``"chip2chip"`` from the pack's
+    package-link energy (also filling in ``link_bandwidth`` when the level
+    leaves it unbounded), ``"fixed"`` kept as-is.  The MAC energy is
+    recomputed from ``mac_word_bits`` when the architecture declares it,
+    otherwise scaled by ``logic_scale``.
+
+    Resolution happens once per run; the returned architecture carries only
+    plain floats plus the pack name in ``tech``, so the cost model, bounds
+    and caches never consult the pack again.  Resolving with the default
+    pack is bit-identical to the historical constants.
+    """
+    pack = get_pack(pack)
+    levels = []
+    for level in arch.levels:
+        changes: dict = {}
+        comp = level.component
+        if comp is not None:
+            read, write = _resolve_level_energy(level, pack)
+            read = pack.overrides.get(f"{level.name}.read", read)
+            write = pack.overrides.get(f"{level.name}.write", write)
+            changes["read_energy"] = read
+            changes["write_energy"] = write
+        if level.fanout > 1 and level.link != "fixed":
+            word_bits = comp.word_bits if comp is not None else 16
+            if level.link == "noc":
+                shape = level.fanout_shape or (level.fanout, 1)
+                network = pack.noc(shape, word_bits).unicast_energy()
+            elif level.link == "chip2chip":
+                network = pack.chip2chip_energy(word_bits)
+                if level.link_bandwidth == float("inf"):
+                    changes["link_bandwidth"] = pack.chip2chip_bandwidth
+            else:
+                raise TechnologyError(
+                    f"level '{level.name}': unknown link kind "
+                    f"'{level.link}'")
+            network = pack.overrides.get(f"{level.name}.transfer", network)
+            changes["network_energy"] = network
+        levels.append(replace(level, **changes) if changes else level)
+    if arch.mac_word_bits is not None:
+        mac = pack.mac_energy(arch.mac_word_bits)
+    else:
+        mac = arch.mac_energy * pack.logic_scale
+    mac = pack.overrides.get("MAC.compute", mac)
+    return arch.__class__(
+        arch.name, levels, mac, arch.mac_width,
+        tech=pack.name, mac_word_bits=arch.mac_word_bits,
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..arch.spec import Architecture, MemoryLevel
+from ..arch.spec import Architecture, ComponentSpec, MemoryLevel
 from ..workloads.expression import IndexExpr, TensorRef, Workload
 from .mapping import LevelMapping, Mapping
 
@@ -61,29 +61,47 @@ def workload_from_dict(data: dict[str, Any]) -> Workload:
 # ---------------------------------------------------------------------------
 
 def architecture_to_dict(arch: Architecture) -> dict[str, Any]:
-    return {
+    """Serialise an architecture.
+
+    Technology-retargeting metadata (``tech``, ``mac_word_bits``, level
+    ``component``/``link``/``link_bandwidth``) is emitted only when
+    non-default, so documents written by older versions of this schema
+    round-trip unchanged and old readers ignore nothing.
+    """
+    doc: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "name": arch.name,
         "mac_energy": arch.mac_energy,
         "mac_width": arch.mac_width,
-        "levels": [
-            {
-                "name": lvl.name,
-                "capacity_words": (dict(lvl.capacity_words)
-                                   if lvl.capacity_words is not None
-                                   else None),
-                "fanout": lvl.fanout,
-                "fanout_shape": (list(lvl.fanout_shape)
-                                 if lvl.fanout_shape else None),
-                "read_energy": lvl.read_energy,
-                "write_energy": lvl.write_energy,
-                "network_energy": lvl.network_energy,
-                "read_bandwidth": _bw(lvl.read_bandwidth),
-                "write_bandwidth": _bw(lvl.write_bandwidth),
-            }
-            for lvl in arch.levels
-        ],
+        "levels": [],
     }
+    if arch.tech != "cmos45":
+        doc["tech"] = arch.tech
+    if arch.mac_word_bits is not None:
+        doc["mac_word_bits"] = arch.mac_word_bits
+    for lvl in arch.levels:
+        entry: dict[str, Any] = {
+            "name": lvl.name,
+            "capacity_words": (dict(lvl.capacity_words)
+                               if lvl.capacity_words is not None
+                               else None),
+            "fanout": lvl.fanout,
+            "fanout_shape": (list(lvl.fanout_shape)
+                             if lvl.fanout_shape else None),
+            "read_energy": lvl.read_energy,
+            "write_energy": lvl.write_energy,
+            "network_energy": lvl.network_energy,
+            "read_bandwidth": _bw(lvl.read_bandwidth),
+            "write_bandwidth": _bw(lvl.write_bandwidth),
+        }
+        if lvl.component is not None:
+            entry["component"] = lvl.component.to_dict()
+        if lvl.link != "noc":
+            entry["link"] = lvl.link
+        if lvl.link_bandwidth != float("inf"):
+            entry["link_bandwidth"] = lvl.link_bandwidth
+        doc["levels"].append(entry)
+    return doc
 
 
 def _bw(value: float) -> float | None:
@@ -93,6 +111,7 @@ def _bw(value: float) -> float | None:
 def architecture_from_dict(data: dict[str, Any]) -> Architecture:
     levels = []
     for entry in data["levels"]:
+        component = entry.get("component")
         levels.append(MemoryLevel(
             name=entry["name"],
             capacity_words=entry["capacity_words"],
@@ -108,11 +127,19 @@ def architecture_from_dict(data: dict[str, Any]) -> Architecture:
             write_bandwidth=(entry.get("write_bandwidth")
                              if entry.get("write_bandwidth") is not None
                              else float("inf")),
+            component=(ComponentSpec.from_dict(component)
+                       if component is not None else None),
+            link=entry.get("link", "noc"),
+            link_bandwidth=(entry.get("link_bandwidth")
+                            if entry.get("link_bandwidth") is not None
+                            else float("inf")),
         ))
     return Architecture(
         data["name"], levels,
         mac_energy=data.get("mac_energy", 1.0),
         mac_width=data.get("mac_width", 1),
+        tech=data.get("tech", "cmos45"),
+        mac_word_bits=data.get("mac_word_bits"),
     )
 
 

@@ -214,7 +214,10 @@ class BoundModel:
         num = info.num_levels
         reads = [0.0] * num
         writes = [0.0] * num
-        energy = self.energy_ops * arch.mac_energy
+        # All per-access energies below come from the resolved technology
+        # tables hoisted on ModelInfo — the identical floats the exact
+        # model multiplies, so the floors stay exact under any pack.
+        energy = self.energy_ops * info.mac_energy
         sizes_cache: dict[int, dict[str, int]] = {}
         above_cache: dict[int, dict[str, int]] = {}
         slack = None
@@ -289,10 +292,10 @@ class BoundModel:
                     reads[parent] += parent_vol
                 for j in range(child, parent):
                     if j in info.fanout_set:
-                        energy += parent_vol * arch.levels[j].network_energy
-        for i, arch_level in enumerate(arch.levels):
-            energy += (reads[i] * arch_level.read_energy
-                       + writes[i] * arch_level.write_energy)
+                        energy += parent_vol * info.network_energies[j]
+        for i in range(num):
+            energy += (reads[i] * info.read_energies[i]
+                       + writes[i] * info.write_energies[i])
         if self.objective == "energy":
             return energy * _SAFETY
         lanes = self._max_lanes(region, slack) * arch.mac_width
@@ -305,6 +308,9 @@ class BoundModel:
             if arch_level.write_bandwidth != math.inf:
                 cycles = max(cycles,
                              writes[i] / inst / arch_level.write_bandwidth)
+        # The exact model adds a further latency floor for finite
+        # chip2chip link bandwidths; omitting it here only makes the
+        # bound smaller, so it stays a sound lower bound.
         return energy * cycles * _SAFETY
 
     # ------------------------------------------------------------------

@@ -547,21 +547,29 @@ def _rollup(
                     noc_words[j] += parent_side
 
     # ---- energy rollup (scalar accumulation order preserved) ----
+    # Per-access energies are the resolved-technology floats hoisted on
+    # ModelInfo (the same objects as the levels' attributes).
+    read_energies = info.read_energies
+    write_energies = info.write_energies
+    network_energies = info.network_energies
     level_energy = np.empty((n, num))
     total = np.zeros(n)
-    for i, arch_level in enumerate(arch.levels):
-        energy = (reads[:, i] * arch_level.read_energy
-                  + writes[:, i] * arch_level.write_energy)
+    for i in range(num):
+        energy = (reads[:, i] * read_energies[i]
+                  + writes[:, i] * write_energies[i])
         level_energy[:, i] = energy
         total = total + energy
 
     noc_energy = np.zeros(n)
+    chip2chip_energy = np.zeros(n) if info.chip2chip_levels else None
     for boundary in info.fanout_levels:
-        noc_energy = noc_energy \
-            + noc_words[boundary] * arch.levels[boundary].network_energy
+        contribution = noc_words[boundary] * network_energies[boundary]
+        noc_energy = noc_energy + contribution
+        if chip2chip_energy is not None and boundary in info.chip2chip_levels:
+            chip2chip_energy = chip2chip_energy + contribution
     total = total + noc_energy
 
-    compute_energy = energy_ops * arch.mac_energy
+    compute_energy = energy_ops * info.mac_energy
     total = total + compute_energy
 
     # ---- latency rollup ----
@@ -572,6 +580,10 @@ def _rollup(
         read_cycles = reads[:, i] / instances / arch_level.read_bandwidth
         write_cycles = writes[:, i] / instances / arch_level.write_bandwidth
         cycles = np.maximum(np.maximum(cycles, read_cycles), write_cycles)
+    # Finite-bandwidth interconnect links (chip2chip), mirroring the
+    # scalar path's trailing max terms.
+    for boundary, link_bw in info.link_bandwidths:
+        cycles = np.maximum(cycles, noc_words[boundary] / link_bw)
 
     total_fanout = arch.total_fanout
     all_violations = _violations_cols(info, geo)
@@ -580,6 +592,8 @@ def _rollup(
     total_l = total.tolist()
     cycles_l = cycles.tolist()
     noc_l = noc_energy.tolist()
+    c2c_l = (chip2chip_energy.tolist()
+             if chip2chip_energy is not None else None)
     level_rows = level_energy.tolist()
     # total_inst is the machine-wide instance count (inst_above[0] of
     # the scalar view); the int64/int division is the same IEEE op.
@@ -597,6 +611,7 @@ def _rollup(
             level_energy=dict(zip(names, row)),
             compute_energy=compute_energy,
             noc_energy=noc_l[k],
+            chip2chip_energy=c2c_l[k] if c2c_l is not None else 0.0,
             utilization=util_l[k],
             accesses=None,
         ))

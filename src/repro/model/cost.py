@@ -16,12 +16,16 @@ from ..arch.spec import Architecture
 from ..mapping.mapping import Mapping
 from ..sparse.spec import SparsitySpec
 from .accesses import AccessCounts, count_accesses
-from .terms import ModelInfo, PartialEvalCache
+from .terms import ModelInfo, PartialEvalCache, model_info
 
 
 @dataclass
 class CostResult:
-    """Evaluation of one mapping."""
+    """Evaluation of one mapping.
+
+    ``chip2chip_energy`` is the portion of ``noc_energy`` spent on
+    package-level chiplet links (zero for single-chip hierarchies).
+    """
 
     energy_pj: float
     cycles: float
@@ -30,6 +34,7 @@ class CostResult:
     level_energy: dict[str, float] = field(default_factory=dict)
     compute_energy: float = 0.0
     noc_energy: float = 0.0
+    chip2chip_energy: float = 0.0
     utilization: float = 0.0
     accesses: AccessCounts | None = None
 
@@ -72,26 +77,37 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
     or without them; docs/PERF.md describes the pipeline.
     """
     arch = mapping.arch
+    if info is None:
+        info = model_info(mapping.workload, arch)
     violations = mapping.validate()
     counts = count_accesses(mapping, partial_reuse=partial_reuse,
                             sparsity=sparsity, info=info,
                             partial_cache=partial_cache)
 
+    # Per-access energies come from the resolved technology tables hoisted
+    # on ModelInfo (identical floats to the levels' attributes).
+    read_energies = info.read_energies
+    write_energies = info.write_energies
     level_energy: dict[str, float] = {}
     total = 0.0
     for i, arch_level in enumerate(arch.levels):
         acc = counts.levels[i]
-        energy = (acc.reads * arch_level.read_energy
-                  + acc.writes * arch_level.write_energy)
+        energy = (acc.reads * read_energies[i]
+                  + acc.writes * write_energies[i])
         level_energy[arch_level.name] = energy
         total += energy
 
     noc_energy = 0.0
+    chip2chip_energy = 0.0
+    network_energies = info.network_energies
     for boundary, words in counts.noc_words.items():
-        noc_energy += words * arch.levels[boundary].network_energy
+        energy = words * network_energies[boundary]
+        noc_energy += energy
+        if boundary in info.chip2chip_levels:
+            chip2chip_energy += energy
     total += noc_energy
 
-    compute_energy = counts.energy_ops * arch.mac_energy
+    compute_energy = counts.energy_ops * info.mac_energy
     total += compute_energy
 
     # Latency: compute-bound vs per-level bandwidth-bound.  Skipping
@@ -107,6 +123,10 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
         read_cycles = acc.reads / instances / arch_level.read_bandwidth
         write_cycles = acc.writes / instances / arch_level.write_bandwidth
         cycles = max(cycles, read_cycles, write_cycles)
+    # Finite-bandwidth interconnect links (chip2chip): all words crossing
+    # the boundary share the link.
+    for boundary, link_bw in info.link_bandwidths:
+        cycles = max(cycles, counts.noc_words[boundary] / link_bw)
 
     return CostResult(
         energy_pj=total,
@@ -116,6 +136,7 @@ def evaluate(mapping: Mapping, partial_reuse: bool = True,
         level_energy=level_energy,
         compute_energy=compute_energy,
         noc_energy=noc_energy,
+        chip2chip_energy=chip2chip_energy,
         utilization=mapping.spatial_utilization(),
         accesses=counts if keep_accesses else None,
     )

@@ -117,6 +117,33 @@ class ModelInfo:
             i for i, lvl in enumerate(arch.levels) if lvl.fanout > 1
         )
         self.fanout_set = frozenset(self.fanout_levels)
+        # Resolved per-level energies, gathered once from the architecture's
+        # energy reference table (the Accelergy-style ERT artefact).  The
+        # hot paths multiply these plain floats; a technology pack that
+        # failed to define an action fails here with full context instead
+        # of mid-evaluation.
+        table = arch.energy_table()
+        self.energy_table = table
+        self.read_energies = tuple(
+            table.energy(lvl.name, "read", level=lvl.name)
+            for lvl in arch.levels)
+        self.write_energies = tuple(
+            table.energy(lvl.name, "write", level=lvl.name)
+            for lvl in arch.levels)
+        self.network_energies = tuple(
+            table.energy(lvl.name, "transfer", level=lvl.name)
+            if lvl.fanout > 1 else 0.0
+            for lvl in arch.levels)
+        self.mac_energy = table.energy("MAC", "compute")
+        # chip2chip boundaries: fanout levels whose link is a package-level
+        # chiplet link.  Their traffic is reported separately and their
+        # finite link bandwidth contributes a latency term.
+        self.chip2chip_levels = frozenset(
+            i for i in self.fanout_levels if arch.levels[i].link == "chip2chip")
+        self.link_bandwidths = tuple(
+            (i, arch.levels[i].link_bandwidth)
+            for i in self.fanout_levels
+            if arch.levels[i].link_bandwidth != float("inf"))
         self.dim_names = tuple(workload.dim_names)
         self.dim_index = {d: i for i, d in enumerate(self.dim_names)}
         self.token = _structure_token(workload)

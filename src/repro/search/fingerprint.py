@@ -40,17 +40,32 @@ def workload_fingerprint(workload: Workload) -> Fingerprint:
 
 
 def architecture_fingerprint(arch: Architecture) -> Fingerprint:
-    """Hashable identity of every level parameter the cost model reads."""
+    """Hashable identity of every level parameter the cost model reads.
+
+    The technology pack name and any non-default link topology are part of
+    the identity — two resolutions of the same hierarchy under different
+    packs (or link kinds) must never share cached costs.  Both extras are
+    appended *conditionally*, keeping the fingerprint byte-identical to its
+    historical form for default-pack, NoC-only architectures (the golden
+    regression files embed stringified fingerprints).
+    """
     levels = []
     for lvl in arch.levels:
         capacity = (None if lvl.capacity_words is None
                     else tuple(sorted(lvl.capacity_words.items())))
-        levels.append((
+        entry = (
             lvl.name, capacity, lvl.fanout, lvl.fanout_shape,
             lvl.read_energy, lvl.write_energy, lvl.network_energy,
             lvl.read_bandwidth, lvl.write_bandwidth,
-        ))
-    return (arch.name, arch.mac_energy, arch.mac_width, tuple(levels))
+        )
+        if lvl.link == "chip2chip":
+            entry += (lvl.link, lvl.link_bandwidth)
+        levels.append(entry)
+    fp = (arch.name, arch.mac_energy, arch.mac_width, tuple(levels))
+    tech = getattr(arch, "tech", "cmos45")
+    if tech != "cmos45":
+        fp += (("tech", tech),)
+    return fp
 
 
 def mapping_fingerprint(

@@ -113,7 +113,11 @@ class SharedEvalCache:
         Mapping fingerprints are
         ``(workload_fp, arch_fp, levels, partial_reuse, sparsity)``;
         the prefix filter ships only entries the task can actually hit.
-        Serving a seed refreshes recency of the served entries.
+        ``arch_fp`` embeds the resolved per-level energies and (for
+        non-default packs) the technology pack name, so two resolutions
+        of the same hierarchy under different packs never share entries
+        (pinned by ``tests/test_serve_cache.py``).  Serving a seed
+        refreshes recency of the served entries.
         """
         with self._lock:
             seed = [(key, result) for key, result in self._entries.items()

@@ -105,20 +105,55 @@ def _normalize_workload(entry: Any) -> dict:
         raise ProtocolError(f"bad workload dims: {error}")
 
 
-def _normalize_arch(entry: Any) -> dict:
-    """Resolve an architecture (preset name or inline document)."""
+def _normalize_tech(entry: Any) -> str | None:
+    """Validate the job-spec ``tech`` field (a registered pack name)."""
+    if entry is None:
+        return None
+    if not isinstance(entry, str):
+        raise ProtocolError(f"tech must be a pack name, got {entry!r}")
+    from ..energy.tech import TechnologyError, get_pack
+    try:
+        return get_pack(entry).name
+    except TechnologyError as error:
+        raise ProtocolError(str(error))
+
+
+def _normalize_arch(entry: Any, tech: str | None = None) -> dict:
+    """Resolve an architecture (preset name or inline document).
+
+    With ``tech``, presets are built under that technology pack and
+    inline documents that carry component metadata are re-resolved;
+    documents without component metadata cannot be retargeted and are
+    rejected when ``tech`` disagrees with the document's own pack.
+    The returned document embeds the resolved energies *and* the pack
+    identity, so worker tasks are self-contained.
+    """
     if isinstance(entry, str):
         from ..cli import ARCHITECTURES
         if entry not in ARCHITECTURES:
             raise ProtocolError(
                 f"unknown architecture {entry!r}; choose from "
                 f"{sorted(ARCHITECTURES)} or embed a document")
+        if tech is not None:
+            return architecture_to_dict(ARCHITECTURES[entry](tech=tech))
         return architecture_to_dict(ARCHITECTURES[entry]())
     if isinstance(entry, dict):
         try:
-            return architecture_to_dict(architecture_from_dict(entry))
+            arch = architecture_from_dict(entry)
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"bad architecture document: {error}")
+        if tech is not None and tech != arch.tech:
+            if not any(lvl.component is not None for lvl in arch.levels):
+                raise ProtocolError(
+                    f"architecture document (pack '{arch.tech}') carries no "
+                    f"component metadata, so it cannot be retargeted to "
+                    f"pack '{tech}'")
+            from ..energy.tech import TechnologyError, resolve_architecture
+            try:
+                arch = resolve_architecture(arch, tech)
+            except TechnologyError as error:
+                raise ProtocolError(str(error))
+        return architecture_to_dict(arch)
     raise ProtocolError(f"architecture must be a preset name or an object, "
                         f"got {entry!r}")
 
@@ -196,10 +231,16 @@ def normalize_job(spec: dict) -> dict:
     objective = spec.get("objective", "edp")
     if objective not in ("edp", "energy"):
         raise ProtocolError(f"unknown objective {objective!r}")
-    arch = _normalize_arch(spec.get("arch", "conventional"))
+    tech = _normalize_tech(spec.get("tech"))
+    arch = _normalize_arch(spec.get("arch", "conventional"), tech)
     options = _normalize_options(spec.get("options"))
     job: dict[str, Any] = {"kind": kind, "arch": arch,
                            "objective": objective, "options": options}
+    if tech is not None:
+        # The resolved arch document already embeds the pack identity;
+        # recording the request keeps the job fingerprint pack-aware even
+        # for packs whose resolved energies coincide.
+        job["tech"] = tech
 
     if kind == "network":
         layers = spec.get("layers")

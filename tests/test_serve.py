@@ -129,6 +129,25 @@ class TestProtocol:
         with pytest.raises(ProtocolError, match="objective"):
             normalize_job(schedule_spec(objective="latency"))
 
+    def test_tech_field_resolves_and_keys_the_fingerprint(self):
+        base = normalize_job(schedule_spec())
+        alt = normalize_job(schedule_spec(tech="cmos7"))
+        assert alt["tech"] == "cmos7"
+        assert "tech" not in base
+        # The resolved arch doc embeds the pack's energies, and the job
+        # fingerprint separates the two runs.
+        assert alt["arch"] != base["arch"]
+        assert job_fingerprint(alt) != job_fingerprint(base)
+        # Explicitly requesting the default pack is also recorded.
+        default = normalize_job(schedule_spec(tech="cmos45"))
+        assert default["tech"] == "cmos45"
+        assert default["arch"] == base["arch"]
+        assert job_fingerprint(default) != job_fingerprint(base)
+
+    def test_rejects_unknown_tech(self):
+        with pytest.raises(ProtocolError, match="technology"):
+            normalize_job(schedule_spec(tech="3nm-imaginary"))
+
     def test_normalisation_preserves_dim_order(self):
         # Dict order in the workload doc is the searchers' iteration
         # order; sorting it would change sampler trajectories vs the

@@ -97,6 +97,23 @@ class TestSharedEvalCache:
         assert shared.stats()["seeds_served"] == 1
         assert shared.stats()["seed_entries_served"] == 1
 
+    def test_seeds_are_disjoint_across_technology_packs(self):
+        # arch fingerprints embed resolved energies and (non-default)
+        # pack identity, so the same hierarchy under two packs can never
+        # exchange cache entries through the shared store.
+        from repro.arch import tiny
+        from repro.search.fingerprint import architecture_fingerprint
+        afp45 = architecture_fingerprint(tiny(tech="cmos45"))
+        afp7 = architecture_fingerprint(tiny(tech="cmos7"))
+        assert afp45 != afp7
+        shared = SharedEvalCache(max_entries=0)
+        shared.admit([(("wl", afp45, "m"), "cost45"),
+                      (("wl", afp7, "m"), "cost7")])
+        assert shared.seed_for("wl", afp45) == [(("wl", afp45, "m"),
+                                                 "cost45")]
+        assert shared.seed_for("wl", afp7) == [(("wl", afp7, "m"),
+                                                "cost7")]
+
     def test_concurrent_admissions_account_every_put_exactly_once(self):
         shared = SharedEvalCache(max_entries=0)
         clients, per_client = 8, 200
