@@ -619,7 +619,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          journal_path=args.journal,
                          resume=args.resume,
                          cache_entries=args.cache_entries,
-                         max_task_attempts=args.max_task_attempts)
+                         max_task_attempts=args.max_task_attempts,
+                         fleet=args.fleet,
+                         lease_ttl_s=args.lease_ttl,
+                         poll_s=args.poll,
+                         window=args.window,
+                         queue_limit=args.queue_limit or None,
+                         read_timeout_s=args.read_timeout or None)
     daemon = ServeDaemon(config)
     exit_code = 0
 
@@ -642,8 +648,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 pass
 
         def _ready(port: int, resumed: list) -> None:
+            fleet = (f"fleet=remote, window={config.window}"
+                     if config.fleet == "remote"
+                     else f"workers={config.workers}")
             print(f"serving on http://{config.host}:{port} "
-                  f"(workers={config.workers}, "
+                  f"({fleet}, "
                   f"restarted {len(resumed)} unfinished jobs)", flush=True)
 
         await daemon.serve(ready_cb=_ready)
@@ -651,6 +660,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     asyncio.run(_run())
     print("serve: stopped", file=sys.stderr)
     return exit_code
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Join a remote-fleet daemon as a worker (docs/SERVE_API.md,
+    "Remote worker fleets")."""
+    from .serve import run_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--connect expects HOST:PORT, got "
+                         f"{args.connect!r}")
+
+    def _log(message: str) -> None:
+        print(f"worker: {message}", file=sys.stderr, flush=True)
+
+    return run_worker(host or "127.0.0.1", port, workers=args.workers,
+                      name=args.name, retry_s=args.retry, log=_log)
 
 
 def _print_serve_result(doc: dict) -> int:
@@ -982,7 +1010,45 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-task-attempts", type=positive_int, default=3,
                    help="pool-crash retries per task before degrading "
                         "to an in-process run")
+    p.add_argument("--fleet", default="local",
+                   choices=("local", "remote"),
+                   help="task execution backend: 'local' runs a process "
+                        "pool in the daemon, 'remote' leases tasks to "
+                        "'repro worker' processes")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="remote fleet: lease lifetime without a "
+                        "heartbeat before the task is fenced and "
+                        "re-leased")
+    p.add_argument("--poll", type=float, default=10.0, metavar="SECONDS",
+                   help="remote fleet: long-poll window for POST /lease")
+    p.add_argument("--window", type=positive_int, default=32,
+                   help="remote fleet: tasks dispatched (and cache-"
+                        "seeded) concurrently")
+    p.add_argument("--queue-limit", type=nonnegative_int, default=4096,
+                   help="pending-task bound; POST /jobs answers 429 + "
+                        "Retry-After above it (0 = unbounded)")
+    p.add_argument("--read-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="per-connection request read timeout "
+                        "(0 = none)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("worker",
+                       help="join a remote-fleet daemon as a worker")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="daemon address (its ready line prints the "
+                        "actual port)")
+    p.add_argument("--workers", type=positive_int, default=1,
+                   help="local worker processes (= lease slots held "
+                        "concurrently)")
+    p.add_argument("--name", default=None,
+                   help="worker name shown in /stats "
+                        "(default host:pid)")
+    p.add_argument("--retry", type=float, default=60.0, metavar="SECONDS",
+                   help="give up after this long without reaching the "
+                        "daemon")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("submit", help="submit a job to a serve daemon")
     add_client_flags(p)

@@ -12,10 +12,16 @@ server:
   :class:`SharedEvalCache` (admission/eviction policy, per-job hit
   accounting);
 * :mod:`repro.serve.tasks` — the picklable worker entry point;
-* :mod:`repro.serve.fleet` — the fault-tolerant worker fleet (workers
-  can die and rejoin; lost tasks re-run bit-identically);
+* :mod:`repro.serve.fleet` — the :class:`FleetBackend` contract and
+  the fault-tolerant local pool fleet (workers can die and rejoin;
+  lost tasks re-run bit-identically);
+* :mod:`repro.serve.remote` — the lease-based :class:`RemoteFleet`
+  and the ``repro worker`` agent (multi-host fan-out with lease
+  fencing and exactly-once part admission);
+* :mod:`repro.serve.wire` — the exact JSON codec that carries cache
+  seeds and entries across the HTTP boundary;
 * :mod:`repro.serve.jobs` — the :class:`JobManager` (decompose, fan
-  out, merge, durable state, resume);
+  out, merge, durable state, resume, bounded-queue backpressure);
 * :mod:`repro.serve.server` — the stdlib-only asyncio HTTP/JSON
   front-end;
 * :mod:`repro.serve.client` — the ``repro submit``/``jobs``/``result``
@@ -24,8 +30,9 @@ server:
 
 from .cache import SeedCache, SharedEvalCache
 from .client import ServeClient, ServeError
-from .jobs import Job, JobManager
-from .fleet import WorkerFleet
+from .jobs import Job, JobManager, QueueFullError
+from .fleet import FleetBackend, WorkerFleet
+from .remote import RemoteFleet, WorkerAgent, run_worker
 from .protocol import (
     ProtocolError,
     decompose_job,
@@ -37,19 +44,24 @@ from .protocol import (
 from .server import ServeConfig, ServeDaemon
 
 __all__ = [
+    "FleetBackend",
     "Job",
     "JobManager",
     "ProtocolError",
+    "QueueFullError",
+    "RemoteFleet",
     "SeedCache",
     "ServeClient",
     "ServeConfig",
     "ServeDaemon",
     "ServeError",
     "SharedEvalCache",
+    "WorkerAgent",
     "WorkerFleet",
     "decompose_job",
     "job_fingerprint",
     "merge_job",
     "normalize_job",
     "outcome_sort_key",
+    "run_worker",
 ]

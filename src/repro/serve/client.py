@@ -88,6 +88,24 @@ class ServeClient:
         return self._request("POST", "/shutdown")
 
     # ------------------------------------------------------------------
+    # remote-fleet worker surface (``repro worker``)
+    def register_worker(self, name: str | None, slots: int) -> dict:
+        return self._request("POST", "/register",
+                             body={"name": name, "slots": slots})
+
+    def lease(self, worker_id: str) -> dict:
+        """Long-poll one task (``{"lease": None}`` on an empty window)."""
+        return self._request("POST", "/lease", body={"worker": worker_id})
+
+    def heartbeat(self, worker_id: str) -> dict:
+        return self._request("POST", "/heartbeat",
+                             body={"worker": worker_id})
+
+    def deliver_part(self, body: dict) -> dict:
+        """``{"worker", "lease", "part"|"error"}`` -> ``{"accepted"}``."""
+        return self._request("POST", "/parts", body=body)
+
+    # ------------------------------------------------------------------
     def wait_ready(self, deadline_s: float = 30.0) -> dict:
         """Poll ``/healthz`` until the daemon answers (startup races in
         tests and the CI smoke)."""

@@ -1,15 +1,23 @@
-"""Fault-tolerant worker fleet for the serve daemon.
+"""Fleet backends for the serve daemon.
 
-A thin async wrapper over ``ProcessPoolExecutor`` with the same
-recovery contract as the search engine's ``_run_pooled``
-(docs/SEARCH.md, "Fault recovery"): a worker death surfaces as
-``BrokenExecutor`` on the awaiting task, the pool is rebuilt exactly
-once per break (a generation counter keeps concurrent awaiters from
-stampeding), and the lost task is re-submitted.  Because
-:func:`repro.serve.tasks.run_task` is a pure function of its payload,
-the retry is bit-identical to the run that died.  After the attempt
-budget the task degrades to an in-process run so the job still
-completes (counted, and reported via ``/stats``).
+:class:`FleetBackend` is the contract the :class:`JobManager` drives:
+``run(payload) -> part`` executes one self-contained task document and
+returns its mergeable part, ``stats()`` snapshots health counters,
+``close()`` releases resources.  Two implementations exist:
+
+* :class:`WorkerFleet` (here) — the local ``ProcessPoolExecutor`` pool
+  with the same recovery contract as the search engine's
+  ``_run_pooled`` (docs/SEARCH.md, "Fault recovery"): a worker death
+  surfaces as ``BrokenExecutor`` on the awaiting task, the pool is
+  rebuilt exactly once per break (a generation counter keeps concurrent
+  awaiters from stampeding), and the lost task is re-submitted.
+  Because :func:`repro.serve.tasks.run_task` is a pure function of its
+  payload, the retry is bit-identical to the run that died.  After the
+  attempt budget the task degrades to an in-process run so the job
+  still completes (counted, and reported via ``/stats``).
+* :class:`~repro.serve.remote.RemoteFleet` — lease-based fan-out to
+  ``repro worker`` processes on other hosts (docs/SERVE_API.md,
+  "Remote worker fleets").
 
 ``workers=0`` runs everything in-process (no pool) — the deterministic
 mode the unit tests use.
@@ -17,6 +25,7 @@ mode the unit tests use.
 
 from __future__ import annotations
 
+import abc
 import asyncio
 import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -24,8 +33,41 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from .tasks import run_task
 
 
-class WorkerFleet:
-    """Owns the worker pool; ``run`` survives worker deaths."""
+class FleetBackend(abc.ABC):
+    """What the :class:`~repro.serve.jobs.JobManager` needs from a
+    fleet: execute payloads, report health, shut down."""
+
+    #: Nominal parallelism, for display (``/healthz``).
+    workers: int = 0
+
+    @property
+    def gate_size(self) -> int:
+        """How many tasks the manager should dispatch (and therefore
+        seed) concurrently.  Local fleets gate to their real
+        parallelism so queued tasks seed late — and warm."""
+        return max(1, self.workers)
+
+    @abc.abstractmethod
+    async def run(self, payload: dict) -> dict:
+        """Execute one task payload and return its part document."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """JSON-ready health counters for ``/stats``."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+
+
+class WorkerFleet(FleetBackend):
+    """Owns the local worker pool; ``run`` survives worker deaths.
+
+    Counter discipline: ``stats()`` reads under ``_lock``, so every
+    counter write takes the same lock — ``run`` is called from many
+    concurrent manager tasks and unlocked ``+= 1`` increments can lose
+    updates under free-threaded interleavings.
+    """
 
     def __init__(self, workers: int = 1, *, max_task_attempts: int = 3,
                  rebuild_backoff_s: float = 0.05) -> None:
@@ -48,6 +90,10 @@ class WorkerFleet:
         self.degraded_tasks = 0
 
     # ------------------------------------------------------------------
+    def _count(self, counter: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+
     def _rebuild(self, seen_generation: int) -> None:
         """Replace a broken pool (once per break: later callers that saw
         the same generation find it already bumped and do nothing)."""
@@ -66,7 +112,7 @@ class WorkerFleet:
 
     async def _run_inline(self, payload: dict) -> dict:
         part = await asyncio.to_thread(run_task, payload)
-        self.tasks_run += 1
+        self._count("tasks_run")
         return part
 
     async def run(self, payload: dict) -> dict:
@@ -81,22 +127,32 @@ class WorkerFleet:
             return await self._run_inline(payload)
         for attempt in range(self.max_task_attempts):
             if attempt:
-                self.retries += 1
+                self._count("retries")
             with self._lock:
                 pool, generation = self._pool, self._generation
             try:
                 future = pool.submit(run_task, dict(payload, attempt=attempt))
-                part = await asyncio.wrap_future(future)
-                self.tasks_run += 1
+                try:
+                    part = await asyncio.wrap_future(future)
+                except asyncio.CancelledError:
+                    # The awaiting manager task was cancelled (job
+                    # failure or daemon shutdown): abandoning the pool
+                    # future would leave the worker grinding on — and
+                    # journaling nothing — so cancel it explicitly.  A
+                    # queued work item dies here; a running one finishes
+                    # and is discarded by the pool.
+                    future.cancel()
+                    raise
+                self._count("tasks_run")
                 return part
             except BrokenExecutor:
-                self.crashes_recovered += 1
+                self._count("crashes_recovered")
                 self._rebuild(generation)
                 await asyncio.sleep(self.rebuild_backoff_s * (attempt + 1))
         # Attempt budget exhausted: the pool keeps breaking on this
         # task.  Run it in-process so the job completes (bit-identical;
         # the daemon just loses parallelism for this one task).
-        self.degraded_tasks += 1
+        self._count("degraded_tasks")
         return await self._run_inline(
             dict(payload, attempt=self.max_task_attempts))
 
@@ -104,6 +160,7 @@ class WorkerFleet:
     def stats(self) -> dict:
         with self._lock:
             return {
+                "backend": "local",
                 "workers": self.workers,
                 "generation": self._generation,
                 "tasks_run": self.tasks_run,

@@ -2,9 +2,10 @@
 
 One :class:`JobManager` owns every job the daemon has accepted.  A job
 moves through ``queued -> running -> done`` (or ``failed``); its task
-parts stream in from the :class:`~repro.serve.fleet.WorkerFleet` in
-arbitrary order and are merged by the canonical, order-independent
-tie-breaks of :func:`repro.serve.protocol.merge_job`.
+parts stream in from the :class:`~repro.serve.fleet.FleetBackend`
+(local pool or remote lease fleet) in arbitrary order and are merged
+by the canonical, order-independent tie-breaks of
+:func:`repro.serve.protocol.merge_job`.
 
 Durability: every accepted job and every completed task part is
 appended to a :class:`~repro.search.CheckpointJournal` (CRC-per-line,
@@ -30,7 +31,7 @@ from typing import Any
 
 from ..search import CheckpointJournal
 from .cache import SharedEvalCache
-from .fleet import WorkerFleet
+from .fleet import FleetBackend
 from .protocol import (
     decompose_job,
     job_fingerprint,
@@ -41,6 +42,19 @@ from .protocol import (
 )
 
 JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class QueueFullError(RuntimeError):
+    """The bounded task queue is full; the caller should retry later
+    (HTTP surface: 429 with a ``Retry-After`` header)."""
+
+    def __init__(self, pending: int, limit: int,
+                 retry_after_s: int) -> None:
+        super().__init__(f"task queue is full ({pending} task(s) pending, "
+                         f"limit {limit}); retry in {retry_after_s}s")
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 
 def _json_roundtrip(doc: Any) -> Any:
@@ -107,16 +121,18 @@ class Job:
 class JobManager:
     """Accepts jobs, drives them through the fleet, merges results."""
 
-    def __init__(self, fleet: WorkerFleet, cache: SharedEvalCache,
-                 journal: CheckpointJournal | None = None) -> None:
+    def __init__(self, fleet: FleetBackend, cache: SharedEvalCache,
+                 journal: CheckpointJournal | None = None, *,
+                 queue_limit: int | None = None) -> None:
         self.fleet = fleet
         self.cache = cache
         self.journal = journal
+        self.queue_limit = queue_limit
         self.jobs: dict[str, Job] = {}
         self._seq = 0
         # Seeds are snapshotted at dispatch; gate dispatch to the
-        # fleet's real parallelism so queued tasks seed late (and warm).
-        self._gate = asyncio.Semaphore(max(1, fleet.workers))
+        # backend's dispatch width so queued tasks seed late (and warm).
+        self._gate = asyncio.Semaphore(fleet.gate_size)
 
     # ------------------------------------------------------------------
     # intake
@@ -125,10 +141,24 @@ class JobManager:
         self._seq += 1
         return f"j{self._seq:05d}"
 
+    def pending_tasks(self) -> int:
+        """Tasks accepted but not yet finished, across live jobs."""
+        return sum(job.tasks_total - len(job.parts)
+                   for job in self.jobs.values()
+                   if job.state in ("queued", "running"))
+
     def submit(self, spec: dict) -> Job:
         """Validate, persist and start one job (raises
-        :class:`~repro.serve.protocol.ProtocolError` on a bad spec)."""
+        :class:`~repro.serve.protocol.ProtocolError` on a bad spec,
+        :class:`QueueFullError` when the bounded queue is full)."""
         job_doc = normalize_job(spec)
+        if self.queue_limit is not None:
+            pending = self.pending_tasks()
+            if pending >= self.queue_limit:
+                # A rough drain estimate: pending tasks over dispatch
+                # width, clamped to something a client can sleep on.
+                retry = min(60, max(1, round(pending / self.fleet.gate_size)))
+                raise QueueFullError(pending, self.queue_limit, retry)
         job = Job(
             id=self._next_id(),
             spec=job_doc,
@@ -171,13 +201,28 @@ class JobManager:
             self.journal.append({"type": "task", "id": job.id,
                                  "part": stored})
 
+    async def _run_all(self, job: Job, pending: list[dict]) -> None:
+        """Run every pending task; on the first failure, cancel and
+        await the siblings (TaskGroup semantics) so a dead job cannot
+        keep journaling parts or admitting cache entries."""
+        loop = asyncio.get_running_loop()
+        runners = [loop.create_task(self._run_task(job, task),
+                                    name=f"serve-{job.id}-t{task['index']}")
+                   for task in pending]
+        try:
+            await asyncio.gather(*runners)
+        except BaseException:
+            for runner in runners:
+                runner.cancel()
+            await asyncio.gather(*runners, return_exceptions=True)
+            raise
+
     async def _run_job(self, job: Job) -> None:
         try:
             tasks = decompose_job(job.spec)
             pending = [t for t in tasks if t["index"] not in job.parts]
             if pending:
-                await asyncio.gather(
-                    *(self._run_task(job, t) for t in pending))
+                await self._run_all(job, pending)
             job.result = merge_job(job.spec, job.parts)
             job.state = "done"
         except asyncio.CancelledError:
@@ -205,6 +250,12 @@ class JobManager:
         if self.journal is None:
             return []
         failed = {e["id"] for e in self.journal.all("failed")}
+        # One pass over the task entries, indexed by job id — the
+        # journal is read O(1) times however many jobs it holds.
+        parts_by_job: dict[str, list[dict]] = {}
+        for task_entry in self.journal.all("task"):
+            parts_by_job.setdefault(task_entry["id"],
+                                    []).append(task_entry["part"])
         restarted: list[Job] = []
         for entry in self.journal.all("job"):
             job = Job(
@@ -216,10 +267,7 @@ class JobManager:
             )
             self.jobs[job.id] = job
             self._seq = max(self._seq, int(job.id.lstrip("j") or 0))
-            for task_entry in self.journal.all("task"):
-                if task_entry["id"] != job.id:
-                    continue
-                part = task_entry["part"]
+            for part in parts_by_job.get(job.id, ()):
                 job.parts[part["index"]] = part
                 job.seed_hits += int(part.get("seed_hits") or 0)
             if job.id in failed:

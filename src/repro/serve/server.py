@@ -2,7 +2,8 @@
 
 One event loop owns the listener, the :class:`JobManager` and the
 shared cache; CPU-heavy search work never runs on the loop — it is
-dispatched to the :class:`~repro.serve.fleet.WorkerFleet`.  The wire
+dispatched to the configured :class:`~repro.serve.fleet.FleetBackend`
+(a local process pool, or a lease-based remote fleet).  The wire
 protocol is deliberately minimal HTTP/1.1 (one request per connection,
 ``Connection: close``) so both ends stay inside the standard library.
 
@@ -11,9 +12,15 @@ Endpoints
 ``GET /healthz``            liveness + job/worker counts
 ``GET /stats``              shared-cache, fleet and per-job statistics
 ``POST /jobs``              submit a job spec; returns the job row
+                            (429 + ``Retry-After`` when the bounded
+                            task queue is full)
 ``GET /jobs``               list all jobs
 ``GET /jobs/ID``            one job row
 ``GET /jobs/ID/result``     merged result; ``?wait=1`` blocks until done
+``POST /register``          join the remote fleet (remote backend only)
+``POST /lease``             long-poll one task payload
+``POST /heartbeat``         renew a worker's leases
+``POST /parts``             deliver one part (or task error)
 ``POST /shutdown``          graceful stop (drains nothing — in-flight
                             jobs are journaled and resume on restart)
 """
@@ -26,13 +33,15 @@ from dataclasses import dataclass
 
 from ..search import CheckpointJournal
 from .cache import SharedEvalCache
-from .fleet import WorkerFleet
-from .jobs import JobManager
+from .fleet import FleetBackend, WorkerFleet
+from .jobs import JobManager, QueueFullError
 from .protocol import ProtocolError
+from .remote import RemoteFleet, UnknownWorkerError
+from .wire import WireError
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
-             404: "Not Found", 409: "Conflict",
-             500: "Internal Server Error"}
+             404: "Not Found", 408: "Request Timeout", 409: "Conflict",
+             429: "Too Many Requests", 500: "Internal Server Error"}
 _MAX_BODY = 32 * 1024 * 1024
 
 
@@ -47,6 +56,12 @@ class ServeConfig:
     resume: bool = False
     cache_entries: int | None = 200_000
     max_task_attempts: int = 3
+    fleet: str = "local"
+    lease_ttl_s: float = 30.0
+    poll_s: float = 10.0
+    window: int = 32
+    queue_limit: int | None = 4096
+    read_timeout_s: float | None = 30.0
 
 
 class ServeDaemon:
@@ -55,8 +70,17 @@ class ServeDaemon:
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
         self.cache = SharedEvalCache(max_entries=config.cache_entries)
-        self.fleet = WorkerFleet(config.workers,
-                                 max_task_attempts=config.max_task_attempts)
+        self.fleet: FleetBackend
+        if config.fleet == "remote":
+            self.fleet = RemoteFleet(lease_ttl_s=config.lease_ttl_s,
+                                     poll_s=config.poll_s,
+                                     window=config.window)
+        elif config.fleet == "local":
+            self.fleet = WorkerFleet(
+                config.workers, max_task_attempts=config.max_task_attempts)
+        else:
+            raise ValueError(f"unknown fleet backend {config.fleet!r} "
+                             f"(expected 'local' or 'remote')")
         self.journal: CheckpointJournal | None = None
         if config.journal_path is not None:
             self.journal = CheckpointJournal(
@@ -75,7 +99,8 @@ class ServeDaemon:
     async def serve(self, *, ready_cb=None) -> None:
         """Run until :meth:`request_stop`; resumes journaled jobs first."""
         self.manager = JobManager(self.fleet, self.cache,
-                                  journal=self.journal)
+                                  journal=self.journal,
+                                  queue_limit=self.config.queue_limit)
         resumed = self.manager.resume()
         server = await asyncio.start_server(self._handle, self.config.host,
                                             self.config.port)
@@ -83,16 +108,23 @@ class ServeDaemon:
         if ready_cb is not None:
             ready_cb(self.port, resumed)
         try:
-            async with server:
-                await self._stop.wait()
+            await self._stop.wait()
         finally:
             # In-flight jobs keep their journaled parts; a restart with
-            # --resume re-enqueues only the missing tasks.
+            # --resume re-enqueues only the missing tasks.  Close the
+            # fleet *before* waiting the server down so long-polling
+            # /lease handlers return promptly instead of pinning the
+            # listener for a full poll window.
             for job in self.manager.jobs.values():
                 if job.runner is not None and not job.runner.done():
                     job.runner.cancel()
             await self.manager.drain()
             self.fleet.close()
+            server.close()
+            try:
+                await server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
             if self.journal is not None:
                 self.journal.append({"type": "shutdown"})
 
@@ -101,24 +133,43 @@ class ServeDaemon:
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        headers: dict[str, str] = {}
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                # A client that connects and never finishes its headers
+                # must not pin this handler forever; the timeout covers
+                # only the read, never a long-poll route.
+                read = self._read_request(reader)
+                if self.config.read_timeout_s is not None:
+                    read = asyncio.wait_for(read, self.config.read_timeout_s)
+                method, path, body = await read
                 status, doc = await self._route(method, path, body)
             except ProtocolError as error:
                 status, doc = 400, {"error": str(error)}
+            except WireError as error:
+                status, doc = 400, {"error": f"bad wire document: {error}"}
+            except QueueFullError as error:
+                headers["Retry-After"] = str(error.retry_after_s)
+                status, doc = 429, {"error": str(error),
+                                    "retry_after_s": error.retry_after_s}
+            except UnknownWorkerError as error:
+                status, doc = 409, {"error": str(error)}
             except _HttpError as error:
                 status, doc = error.status, {"error": error.message}
+            except (asyncio.TimeoutError, TimeoutError):
+                status, doc = 408, {"error": "timed out reading request"}
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
             except Exception as error:  # noqa: BLE001 - keep serving
                 status, doc = 500, {"error":
                                     f"{type(error).__name__}: {error}"}
             payload = (json.dumps(doc, indent=2) + "\n").encode()
+            extra = "".join(f"{name}: {value}\r\n"
+                            for name, value in headers.items())
             writer.write(
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                 f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(payload)}\r\n"
+                f"Content-Length: {len(payload)}\r\n{extra}"
                 f"Connection: close\r\n\r\n".encode() + payload)
             await writer.drain()
         finally:
@@ -144,6 +195,10 @@ class ServeDaemon:
                     length = int(value.strip())
                 except ValueError:
                     raise _HttpError(400, "bad Content-Length")
+        if length < 0:
+            # int("-5") parses fine but readexactly(-5) raises a bare
+            # ValueError that used to surface as a 500.
+            raise _HttpError(400, "bad Content-Length")
         if length > _MAX_BODY:
             raise _HttpError(400, "body too large")
         body = None
@@ -158,6 +213,12 @@ class ServeDaemon:
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
+    def _remote_fleet(self) -> RemoteFleet:
+        if not isinstance(self.fleet, RemoteFleet):
+            raise _HttpError(409, "daemon is running a local fleet "
+                                  "(start it with --fleet remote)")
+        return self.fleet
+
     async def _route(self, method: str, target: str, body: dict | None,
                      ) -> tuple[int, dict]:
         path, _, query = target.partition("?")
@@ -177,6 +238,8 @@ class ServeDaemon:
             return 200, {
                 "cache": self.cache.stats(),
                 "fleet": self.fleet.stats(),
+                "queue": {"pending_tasks": manager.pending_tasks(),
+                          "limit": manager.queue_limit},
                 "jobs": manager.stats(),
             }
         if method == "POST" and parts == ["jobs"]:
@@ -208,6 +271,29 @@ class ServeDaemon:
                                       "pass ?wait=1"}
             return 200, {"id": job.id, "state": job.state,
                          "seed_hits": job.seed_hits, "result": job.result}
+        if method == "POST" and parts == ["register"]:
+            fleet = self._remote_fleet()
+            doc = body or {}
+            return 200, fleet.register(doc.get("name"), doc.get("slots", 1))
+        if method == "POST" and parts == ["lease"]:
+            fleet = self._remote_fleet()
+            if not body or "worker" not in body:
+                raise ProtocolError("POST /lease needs {\"worker\": id}")
+            return 200, await fleet.lease(body["worker"])
+        if method == "POST" and parts == ["heartbeat"]:
+            fleet = self._remote_fleet()
+            if not body or "worker" not in body:
+                raise ProtocolError("POST /heartbeat needs {\"worker\": id}")
+            return 200, fleet.heartbeat(body["worker"])
+        if method == "POST" and parts == ["parts"]:
+            fleet = self._remote_fleet()
+            if not body or "lease" not in body:
+                raise ProtocolError(
+                    "POST /parts needs {\"worker\", \"lease\", "
+                    "\"part\"|\"error\"}")
+            return 200, fleet.deliver(body.get("worker"), body["lease"],
+                                      part=body.get("part"),
+                                      error=body.get("error"))
         if method == "POST" and parts == ["shutdown"]:
             self.request_stop()
             return 200, {"ok": True, "stopping": True}

@@ -1,0 +1,128 @@
+"""JSON wire codec for cache seeds and computed entries.
+
+The local :class:`~repro.serve.fleet.WorkerFleet` ships task payloads
+to pool processes by pickle, so the seed a task receives and the
+entries it returns — ``(fingerprint, CostResult)`` pairs, where a
+fingerprint is a nest of tuples/scalars that may embed a frozen
+:class:`~repro.sparse.spec.SparsitySpec` — never leave the Python
+object world.  A remote worker talks HTTP/JSON, so those objects need
+an exact, reversible JSON form.
+
+The codec is value-preserving, not merely structural:
+
+* JSON floats round-trip exactly in Python (``repr``-based emit, exact
+  parse), so decoded :class:`~repro.model.cost.CostResult`\\ s compare
+  equal to the originals bit for bit;
+* tuples are tagged (``{"__t__": [...]}``) so decoding restores
+  hashable fingerprint keys, never lists;
+* dataclass leaves (:class:`SparsitySpec`, :class:`TensorSparsity`,
+  the density models, :class:`CostResult`) are tagged by kind and
+  rebuilt through their constructors, so invariants (canonical entry
+  order, validation) re-apply on decode.
+
+A :class:`CostResult` that carries ``accesses`` cannot be shipped (the
+engine's cache never stores one — ``keep_accesses`` is a report-path
+flag); :func:`encode_entries` simply drops such an entry, which is
+always sound because the shared cache is a pure accelerator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from ..model.cost import CostResult
+from ..sparse.density import Banded, Dense, Uniform
+from ..sparse.spec import SparsitySpec, TensorSparsity
+
+_DENSITY_KINDS = {cls.__name__: cls for cls in (Dense, Uniform, Banded)}
+
+
+class WireError(ValueError):
+    """A document the codec cannot encode or decode."""
+
+
+def _encode_dataclass(value: Any) -> dict:
+    return {f.name: encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)}
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one fingerprint/result value into JSON-safe form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__t__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__l__": [encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {"__m__": [[encode_value(k), encode_value(v)]
+                          for k, v in value.items()]}
+    if isinstance(value, SparsitySpec):
+        return {"__sparsity__": encode_value(value.entries)}
+    if isinstance(value, TensorSparsity):
+        return {"__tensor_sparsity__": _encode_dataclass(value)}
+    if type(value).__name__ in _DENSITY_KINDS:
+        return {"__density__": [type(value).__name__,
+                                _encode_dataclass(value)]}
+    if isinstance(value, CostResult):
+        if value.accesses is not None:
+            raise WireError("CostResult with accesses is not shippable")
+        doc = _encode_dataclass(value)
+        doc.pop("accesses")
+        return {"__cost__": doc}
+    raise WireError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def decode_value(doc: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if doc is None or isinstance(doc, (bool, int, float, str)):
+        return doc
+    if isinstance(doc, list):
+        # Bare arrays never leave encode_value; reject rather than
+        # guess tuple-vs-list (hashability of keys depends on it).
+        raise WireError("untagged array in wire document")
+    if not isinstance(doc, dict) or len(doc) != 1:
+        raise WireError(f"malformed wire node: {doc!r}")
+    tag, body = next(iter(doc.items()))
+    if tag == "__t__":
+        return tuple(decode_value(v) for v in body)
+    if tag == "__l__":
+        return [decode_value(v) for v in body]
+    if tag == "__m__":
+        return {decode_value(k): decode_value(v) for k, v in body}
+    if tag == "__sparsity__":
+        return SparsitySpec(entries=decode_value(body))
+    if tag == "__tensor_sparsity__":
+        return TensorSparsity(**{k: decode_value(v)
+                                 for k, v in body.items()})
+    if tag == "__density__":
+        name, fields = body
+        if name not in _DENSITY_KINDS:
+            raise WireError(f"unknown density model {name!r}")
+        return _DENSITY_KINDS[name](**{k: decode_value(v)
+                                       for k, v in fields.items()})
+    if tag == "__cost__":
+        return CostResult(**{k: decode_value(v) for k, v in body.items()})
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+def encode_entries(entries: Iterable[tuple[Any, Any]]) -> list:
+    """Encode ``(fingerprint, CostResult)`` pairs; entries that cannot
+    cross the wire (``accesses`` attached) are dropped — sound, because
+    the shared cache is a pure accelerator."""
+    encoded = []
+    for key, result in entries:
+        try:
+            encoded.append([encode_value(key), encode_value(result)])
+        except WireError:
+            continue
+    return encoded
+
+
+def decode_entries(doc: Sequence) -> list[tuple[Any, Any]]:
+    """Decode a wire entry list back into ``(key, CostResult)`` pairs."""
+    if not doc:
+        return []
+    return [(decode_value(key), decode_value(result))
+            for key, result in doc]

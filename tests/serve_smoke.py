@@ -1,7 +1,7 @@
 """End-to-end serve smoke for CI: kill a worker, SIGKILL the daemon,
 resume, and require bit-identity with the cold CLI.
 
-The scenario (docs/SERVE_API.md, "Durability"):
+The **local** scenario (docs/SERVE_API.md, "Durability"):
 
 1. start a journalled daemon with one pool worker and an injected
    worker kill (``REPRO_SERVE_KILL_TASK``) armed for job 1's second
@@ -13,8 +13,25 @@ The scenario (docs/SERVE_API.md, "Durability"):
    (``repro schedule --shard i/2 --stats-json``) and require the
    daemon's merged mapping/cost/evaluations to match exactly.
 
-Run directly (CI does): ``python tests/serve_smoke.py``.
-Exit code 0 on success; any assertion failure is a real regression.
+The **remote** scenario (docs/SERVE_API.md, "Remote worker fleets")
+drives the same jobs through ``repro worker`` processes instead of the
+in-daemon pool:
+
+1. start a journalled ``--fleet remote`` daemon and one worker armed
+   with ``REPRO_WORKER_KILL_LEASE`` — it hard-exits the moment it
+   leases job 1's second shard, exactly like a SIGKILL mid-lease;
+2. a probe registration from this script heartbeats until the dead
+   worker's lease is fenced (``/stats`` shows the fence); with no live
+   worker attached the fenced task stays pending;
+3. SIGKILL the daemon while that work is outstanding;
+4. restart with ``--resume``, attach two fresh workers — they must
+   lease and finish the remaining shards (replaying the journal alone
+   cannot complete the jobs) — and require both merged results to
+   match the cold CLI exactly.
+
+Run directly (CI does): ``python tests/serve_smoke.py [local|remote]``
+(no argument runs both).  Exit code 0 on success; any assertion
+failure is a real regression.
 """
 
 import json
@@ -44,9 +61,12 @@ JOBS = [
 ]
 
 
-def start_daemon(workdir, journal, *, resume=False, extra_env=None):
+def start_daemon(workdir, journal, *, resume=False, extra_env=None,
+                 fleet="local"):
     argv = [sys.executable, "-m", "repro", "serve", "--port", "0",
             "--workers", "1", "--journal", journal]
+    if fleet == "remote":
+        argv += ["--fleet", "remote", "--lease-ttl", "2", "--poll", "0.5"]
     if resume:
         argv.append("--resume")
     proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
@@ -57,6 +77,26 @@ def start_daemon(workdir, journal, *, resume=False, extra_env=None):
     assert "serving on http://" in ready, (ready, proc.stderr.read())
     port = int(ready.rsplit(":", 1)[1].split()[0])
     return proc, ServeClient("127.0.0.1", port)
+
+
+def start_worker(workdir, port, name, *, extra_env=None):
+    """One ``repro worker`` process leasing from the daemon at `port`."""
+    log = open(Path(workdir) / f"worker_{name}.log", "w")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}", "--workers", "1",
+         "--name", name, "--retry", "120"],
+        stdout=log, stderr=log, env={**ENV, **(extra_env or {})},
+        cwd=str(workdir))
+    proc._smoke_log = log  # keep the handle alive with the process
+    return proc
+
+
+def stop_worker(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=60)
+    proc._smoke_log.close()
 
 
 def cold_shard_run(workdir, spec, shard_index):
@@ -83,8 +123,25 @@ def cold_merged(workdir, spec):
             "evaluations": sum(p["evaluations"] for p in parts)}
 
 
-def main() -> int:
-    workdir = tempfile.mkdtemp(prefix="serve_smoke_")
+def check_bit_identity(workdir, results):
+    """Phase 3 of either scenario: daemon results vs the cold CLI."""
+    for job_id, spec in zip(("j00001", "j00002"), JOBS):
+        got = results[job_id]
+        want = cold_merged(workdir, spec)
+        name = spec["workload"]["kind"]
+        assert got["status"] == "ok", got
+        assert got["mapping"] == want["mapping"], \
+            f"{name}: daemon mapping diverged from cold CLI"
+        assert got["cost"] == want["cost"], \
+            f"{name}: daemon cost diverged from cold CLI"
+        assert got["evaluations"] == want["evaluations"], \
+            f"{name}: daemon evaluation accounting diverged"
+        print(f"{name}: bit-identical to cold CLI "
+              f"(edp {got['cost']['edp']}, "
+              f"{got['evaluations']} candidates)")
+
+
+def run_local(workdir) -> None:
     journal = str(Path(workdir) / "serve.jsonl")
 
     # Phase 1: daemon with an armed worker kill for job 1, shard 2.
@@ -130,21 +187,111 @@ def main() -> int:
         proc.wait(timeout=60)
 
     # Phase 3: bit-identity with the cold CLI.
-    for job_id, spec in zip(("j00001", "j00002"), JOBS):
-        got = results[job_id]
-        want = cold_merged(workdir, spec)
-        name = spec["workload"]["kind"]
-        assert got["status"] == "ok", got
-        assert got["mapping"] == want["mapping"], \
-            f"{name}: daemon mapping diverged from cold CLI"
-        assert got["cost"] == want["cost"], \
-            f"{name}: daemon cost diverged from cold CLI"
-        assert got["evaluations"] == want["evaluations"], \
-            f"{name}: daemon evaluation accounting diverged"
-        print(f"{name}: bit-identical to cold CLI "
-              f"(edp {got['cost']['edp']}, "
-              f"{got['evaluations']} candidates)")
+    check_bit_identity(workdir, results)
+    print("serve smoke (local fleet) OK")
 
+
+def run_remote(workdir) -> None:
+    journal = str(Path(workdir) / "serve_remote.jsonl")
+
+    # Phase 1: remote-fleet daemon; worker A is armed to die the
+    # moment it leases job 1's second shard (SIGKILL mid-lease).
+    proc, client = start_daemon(workdir, journal, fleet="remote")
+    workers = []
+    try:
+        client.wait_ready()
+        workers.append(start_worker(
+            workdir, client.port, "armed",
+            extra_env={"REPRO_WORKER_KILL_LEASE": "j00001:1"}))
+        ids = [client.submit(spec)["id"] for spec in JOBS]
+        assert ids == ["j00001", "j00002"], ids
+        print(f"submitted {ids} (worker kill armed for lease j00001:1)")
+
+        # The armed worker must die holding the lease.
+        workers[0].wait(timeout=300)
+        print("armed worker died mid-lease")
+        # Register a probe worker (this script) whose heartbeats give
+        # the daemon a clock edge to reap the dead lease on; with no
+        # real worker attached, the fenced task stays pending, so the
+        # restart below must genuinely re-lease it — not just replay
+        # the journal.
+        probe = client.register_worker("probe", 1)["worker"]
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            client.heartbeat(probe)
+            stats = client.stats()["fleet"]
+            if (stats["fences"] >= 1
+                    and client.job("j00001")["tasks_done"] >= 1):
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError("lease was never fenced")
+        rows = stats["per_worker"]
+        assert any(row["fences"] >= 1 for row in rows.values()), rows
+        assert any(row["name"] == "probe" and row["alive"]
+                   for row in rows.values()), rows
+        print(f"lease fenced (fences={stats['fences']}, "
+              f"workers={list(rows)}); SIGKILLing the daemon")
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+        for worker in workers:
+            stop_worker(worker)
+
+    # Phase 2: restart with --resume; two fresh workers re-register
+    # against the new daemon (old registry died with the process).
+    proc, client = start_daemon(workdir, journal, resume=True,
+                                fleet="remote")
+    workers = []
+    try:
+        client.wait_ready()
+        workers = [start_worker(workdir, client.port, f"fresh{i}")
+                   for i in range(2)]
+        results = {}
+        for job_id in ("j00001", "j00002"):
+            doc = client.result(job_id, wait=True)
+            assert doc["state"] == "done", doc
+            results[job_id] = doc["result"]
+        # Both fresh workers re-register against the new daemon (the
+        # old in-memory registry died with the SIGKILLed process).
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            stats = client.stats()["fleet"]
+            if len(stats["per_worker"]) == 2:
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError(f"workers never re-registered: {stats}")
+        parts = [row["parts_delivered"]
+                 for row in stats["per_worker"].values()]
+        # Phase 1 fenced j00001:1 with no worker left to run it, so the
+        # resumed daemon must have leased real work out again — a
+        # journal-replay-only resume cannot have completed the jobs.
+        assert sum(parts) >= 1, stats
+        print(f"resume completed both jobs on a 2-worker fleet "
+              f"(parts={parts})")
+        client.shutdown()
+    except BaseException:
+        proc.terminate()
+        raise
+    finally:
+        proc.wait(timeout=60)
+        for worker in workers:
+            stop_worker(worker)
+
+    # Phase 3: bit-identity with the cold CLI.
+    check_bit_identity(workdir, results)
+    print("serve smoke (remote fleet) OK")
+
+
+def main() -> int:
+    scenarios = sys.argv[1:] or ["local", "remote"]
+    assert all(s in ("local", "remote") for s in scenarios), scenarios
+    workdir = tempfile.mkdtemp(prefix="serve_smoke_")
+    if "local" in scenarios:
+        run_local(workdir)
+    if "remote" in scenarios:
+        run_remote(workdir)
     print("serve smoke OK")
     return 0
 

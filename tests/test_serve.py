@@ -14,9 +14,12 @@ The load-bearing guarantees pinned here:
 import asyncio
 import json
 import signal
+import socket
 import subprocess
 import sys
 import threading
+from collections import Counter
+from concurrent.futures import Future
 from pathlib import Path
 
 import pytest
@@ -32,12 +35,16 @@ from repro.cli import (
 from repro.core import SchedulerOptions, schedule
 from repro.core.network import schedule_network
 from repro.mapping.serialize import mapping_to_dict, workload_to_dict
-from repro.search import read_journal_entries
+from repro.search import CheckpointJournal, read_journal_entries
 from repro.serve import (
+    FleetBackend,
+    JobManager,
     ProtocolError,
+    QueueFullError,
     ServeClient,
     ServeConfig,
     ServeDaemon,
+    SharedEvalCache,
     WorkerFleet,
     decompose_job,
     job_fingerprint,
@@ -350,6 +357,222 @@ class TestFleet:
                                           "cache_size": None}}
         with pytest.raises(Exception):
             run_task({"job_id": "x", "task": bad, "seed": [], "attempt": 0})
+
+
+# ---------------------------------------------------------------------------
+# connection/lifecycle bugfixes (this PR's satellites)
+# ---------------------------------------------------------------------------
+
+def raw_http(port, data, timeout=20.0):
+    """One raw request on a fresh socket; returns the response bytes."""
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=timeout) as sock:
+        if data:
+            sock.sendall(data)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestConnectionHardening:
+    def test_negative_content_length_is_rejected_with_400(self):
+        # int("-5") parses, and readexactly(-5) used to blow up into a
+        # 500 via the blanket handler.
+        async def body(daemon):
+            return await asyncio.to_thread(
+                raw_http, daemon.port,
+                b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+        response = with_daemon(body)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"Content-Length" in response
+
+    def test_oversized_content_length_is_rejected_with_400(self):
+        async def body(daemon):
+            return await asyncio.to_thread(
+                raw_http, daemon.port,
+                b"POST /jobs HTTP/1.1\r\n"
+                b"Content-Length: 999999999999\r\n\r\n")
+
+        response = with_daemon(body)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"too large" in response
+
+    def test_stalled_request_times_out_with_408(self):
+        # A client that connects and never finishes its headers must
+        # not pin the handler task forever.
+        async def body(daemon):
+            return await asyncio.to_thread(
+                raw_http, daemon.port, b"POST /jobs HTTP/1.1\r\n")
+
+        response = with_daemon(body, read_timeout_s=0.3)
+        assert response.startswith(b"HTTP/1.1 408 ")
+
+
+class _FailingFleet(FleetBackend):
+    """Task index 1 fails fast; every other task lingers and must be
+    cancelled instead of journaling parts for a dead job."""
+
+    workers = 4
+
+    def __init__(self):
+        self.cancelled = 0
+
+    async def run(self, payload):
+        index = payload["task"]["index"]
+        if index == 1:
+            await asyncio.sleep(0.05)
+            raise RuntimeError("deterministic task error")
+        try:
+            await asyncio.sleep(60)
+        except asyncio.CancelledError:
+            self.cancelled += 1
+            raise
+        return {"index": index, "doc": {}, "stats": None,
+                "seed_hits": 0, "entries": [], "wall_time_s": 0.0}
+
+    def stats(self):
+        return {"backend": "fake"}
+
+    def close(self):
+        pass
+
+
+class TestJobLifecycle:
+    def test_first_failure_cancels_siblings_no_stray_journal_appends(
+            self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "serve.jsonl"),
+                                    {"kind": "serve"})
+        fleet = _FailingFleet()
+
+        async def body():
+            manager = JobManager(fleet, SharedEvalCache(), journal=journal)
+            job = manager.submit(schedule_spec(shards=3))
+            await job.runner
+            assert job.state == "failed"
+            assert "deterministic task error" in job.error
+            # Give any stray sibling time to (incorrectly) journal.
+            await asyncio.sleep(0.2)
+            return job
+
+        job = asyncio.run(body())
+        assert fleet.cancelled == 2
+        assert journal.all("task") == []
+        assert [e["id"] for e in journal.all("failed")] == [job.id]
+
+    def test_gate_follows_backend_dispatch_width(self):
+        async def probe():
+            return JobManager(_FailingFleet(),
+                              SharedEvalCache())._gate._value
+
+        assert asyncio.run(probe()) == 4
+
+
+class _CountingJournal:
+    def __init__(self, inner):
+        self.inner = inner
+        self.all_calls = Counter()
+
+    def all(self, kind):
+        self.all_calls[kind] += 1
+        return self.inner.all(kind)
+
+    def append(self, entry):
+        return self.inner.append(entry)
+
+
+class TestResumeScan:
+    def test_resume_scans_the_journal_once_not_once_per_job(
+            self, tmp_path):
+        journal_path = str(tmp_path / "serve.jsonl")
+        jobs = run_jobs([schedule_spec(), schedule_spec(shards=2),
+                         schedule_spec(shards=3)],
+                        journal_path=journal_path)
+        assert all(job.state == "done" for job in jobs)
+        counting = _CountingJournal(CheckpointJournal(
+            journal_path, {"kind": "serve"}, resume=True))
+        manager = JobManager(WorkerFleet(0), SharedEvalCache(),
+                             journal=counting)
+        restarted = manager.resume()
+        assert restarted == []
+        assert len(manager.jobs) == 3
+        assert all(job.state == "done" for job in manager.jobs.values())
+        # O(1) journal passes however many jobs the journal holds
+        # (used to be one full task scan per job).
+        assert counting.all_calls == {"failed": 1, "task": 1, "job": 1}
+
+
+class TestFleetCounters:
+    def test_cancelled_run_cancels_the_pool_future(self):
+        class _StubPool:
+            def __init__(self):
+                self.futures = []
+
+            def submit(self, fn, payload):
+                future = Future()
+                self.futures.append(future)
+                return future
+
+            def shutdown(self, wait=False, cancel_futures=False):
+                pass
+
+        async def body():
+            fleet = WorkerFleet(0)
+            fleet.workers = 1  # force the pooled path onto the stub
+            stub = fleet._pool = _StubPool()
+            task = asyncio.ensure_future(fleet.run(
+                {"job_id": "x", "task": {"index": 0}, "seed": [],
+                 "attempt": 0}))
+            while not stub.futures:
+                await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return stub
+
+        stub = asyncio.run(body())
+        # The abandoned pool future used to keep grinding; now the
+        # cancellation reaches it.
+        assert stub.futures[0].cancelled()
+
+    def test_counter_writes_share_the_stats_lock(self):
+        fleet = WorkerFleet(0)
+        with fleet._lock:
+            thread = threading.Thread(target=fleet._count,
+                                      args=("tasks_run",))
+            thread.start()
+            thread.join(timeout=0.2)
+            assert thread.is_alive()  # blocked on the held lock
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert fleet.tasks_run == 1
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self):
+        # A remote fleet with no workers keeps every task pending, so
+        # the second submit deterministically overflows the bound.
+        async def body(daemon):
+            manager = daemon.manager
+            manager.submit(schedule_spec(shards=2))
+            with pytest.raises(QueueFullError) as err:
+                manager.submit(schedule_spec())
+            assert err.value.retry_after_s >= 1
+            spec = json.dumps(schedule_spec()).encode()
+            request = (f"POST /jobs HTTP/1.1\r\n"
+                       f"Content-Length: {len(spec)}\r\n\r\n"
+                       ).encode() + spec
+            return await asyncio.to_thread(raw_http, daemon.port, request)
+
+        response = with_daemon(body, fleet="remote", queue_limit=1,
+                               poll_s=0.2)
+        assert response.startswith(b"HTTP/1.1 429 ")
+        assert b"Retry-After:" in response
+        assert b"retry_after_s" in response
 
 
 # ---------------------------------------------------------------------------

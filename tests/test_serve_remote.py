@@ -1,0 +1,411 @@
+"""Tests for the remote worker fleet (wire codec, leases, fencing).
+
+The load-bearing guarantees pinned here:
+
+* the wire codec round-trips cache fingerprints (tuples, sparsity
+  specs) and ``CostResult``\\ s exactly — hashable keys, equal values;
+* a lease that stops heartbeating is fenced: the task is re-leased
+  (with ``attempt`` bumped so first-attempt kill hooks fire once) and
+  the dead worker's late part is discarded — exactly-once admission;
+* a daemon with remote workers produces the same merged result —
+  mapping, cost, candidate accounting — as the local fleet and the
+  cold CLI, including when a worker dies mid-lease;
+* ``/stats`` reports per-worker health rows and fence counts.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.model.cost import AccessCounts, CostResult
+from repro.serve import (
+    RemoteFleet,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+)
+from repro.serve.remote import UnknownWorkerError, WorkerAgent
+from repro.serve.wire import (
+    WireError,
+    decode_entries,
+    decode_value,
+    encode_entries,
+    encode_value,
+)
+from repro.sparse.density import Banded, Dense, Uniform
+from repro.sparse.spec import SparsitySpec, TensorSparsity
+
+SMALL_CONV = {"kind": "conv1d", "dims": {"K": 4, "C": 4, "P": 14, "R": 3}}
+
+
+def schedule_spec(**overrides):
+    spec = {"kind": "schedule", "workload": dict(SMALL_CONV),
+            "arch": "tiny"}
+    spec.update(overrides)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# wire codec
+# ---------------------------------------------------------------------------
+
+class TestWire:
+    def test_fingerprint_round_trip_is_exact_and_hashable(self):
+        sparsity = SparsitySpec(entries=(
+            ("W", TensorSparsity(density=Uniform(density=0.25),
+                                 format="bitmask", action="gating")),
+            ("I", TensorSparsity(density=Banded(density=0.3, cluster=4),
+                                 format="csr", action="skipping")),
+            ("O", TensorSparsity(density=Dense(), format="uncompressed",
+                                 action="none")),
+        ))
+        key = (("conv1d", (("K", 4), ("C", 4))), ("tiny", 256),
+               ((("L1", ("K", 2)), ("L2", ("C", 2))),), False, sparsity)
+        decoded = decode_value(encode_value(key))
+        assert decoded == key
+        assert hash(decoded) == hash(key)  # fingerprints are dict keys
+        # The whole trip must survive real JSON serialisation.
+        rewired = decode_value(json.loads(json.dumps(encode_value(key))))
+        assert rewired == key
+
+    def test_cost_result_round_trip_is_bit_exact(self):
+        cost = CostResult(energy_pj=1.2345678901234567e8,
+                          cycles=98765.0, valid=True,
+                          violations=["cap L1"],
+                          level_energy={"L1": 0.1, "L2": 2.0 / 3.0},
+                          compute_energy=17.25, noc_energy=3.5,
+                          chip2chip_energy=0.75, utilization=0.8125)
+        decoded = decode_value(json.loads(json.dumps(encode_value(cost))))
+        assert decoded == cost
+        assert decoded.edp == cost.edp
+
+    def test_entries_with_accesses_are_dropped_not_shipped(self):
+        plain = CostResult(energy_pj=1.0, cycles=2.0, valid=True)
+        heavy = CostResult(energy_pj=1.0, cycles=2.0, valid=True,
+                           accesses=AccessCounts(levels={}, per_tensor={},
+                                                 noc_words=0.0,
+                                                 total_ops=0))
+        encoded = encode_entries([(("a",), plain), (("b",), heavy)])
+        assert decode_entries(encoded) == [(("a",), plain)]
+        with pytest.raises(WireError, match="accesses"):
+            encode_value(heavy)
+
+    def test_malformed_documents_are_rejected(self):
+        with pytest.raises(WireError, match="untagged"):
+            decode_value([1, 2, 3])
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode_value({"__nope__": 1})
+        with pytest.raises(WireError, match="cannot encode"):
+            encode_value(object())
+
+
+# ---------------------------------------------------------------------------
+# lease protocol (RemoteFleet unit level, fake clock)
+# ---------------------------------------------------------------------------
+
+def _payload(index, attempt=0):
+    return {"job_id": "j00001", "task": {"index": index}, "seed": [],
+            "attempt": attempt}
+
+
+def _part(index):
+    return {"index": index, "doc": {"v": index}, "stats": None,
+            "seed_hits": 0, "entries": [], "wall_time_s": 0.0}
+
+
+class TestLeaseProtocol:
+    def run(self, body):
+        clock = [0.0]
+
+        async def outer():
+            fleet = RemoteFleet(lease_ttl_s=10.0, poll_s=5.0, window=4,
+                                clock=lambda: clock[0])
+            try:
+                return await body(fleet, clock)
+            finally:
+                fleet.close()
+
+        return asyncio.run(outer())
+
+    def test_expired_lease_is_fenced_and_releases_with_attempt_bump(
+            self):
+        async def body(fleet, clock):
+            alpha = fleet.register("alpha", 1)["worker"]
+            beta = fleet.register("beta", 1)["worker"]
+            run = asyncio.ensure_future(fleet.run(_payload(0)))
+            await asyncio.sleep(0)
+            stale = await fleet.lease(alpha)
+            assert stale["lease"] and stale["payload"]["attempt"] == 0
+            clock[0] += 11.0  # alpha never heartbeats: past the TTL
+            fresh = await fleet.lease(beta)
+            assert fresh["lease"] != stale["lease"]
+            # First-attempt kill hooks must not re-fire on the re-lease.
+            assert fresh["payload"]["attempt"] == 1
+            # The fenced worker's late part is discarded...
+            late = fleet.deliver(alpha, stale["lease"], part=_part(0))
+            assert late == {"accepted": False,
+                            "reason": "unknown or fenced lease"}
+            assert not run.done()
+            # ...and only the re-leased run resolves the task.
+            assert fleet.deliver(beta, fresh["lease"],
+                                 part=_part(0))["accepted"]
+            part = await run
+            assert part["index"] == 0
+            stats = fleet.stats()
+            assert stats["fences"] == 1
+            assert stats["late_parts_discarded"] == 1
+            assert stats["per_worker"][alpha]["fences"] == 1
+            assert stats["per_worker"][alpha]["late_parts"] == 1
+            assert stats["per_worker"][beta]["parts_delivered"] == 1
+
+        self.run(body)
+
+    def test_heartbeat_keeps_leases_alive_past_the_ttl(self):
+        async def body(fleet, clock):
+            worker = fleet.register("steady", 1)["worker"]
+            run = asyncio.ensure_future(fleet.run(_payload(0)))
+            await asyncio.sleep(0)
+            lease = await fleet.lease(worker)
+            for _ in range(4):
+                clock[0] += 6.0  # each step < TTL, total far past it
+                beat = fleet.heartbeat(worker)
+                assert beat["leases"] == [lease["lease"]]
+            assert fleet.deliver(worker, lease["lease"],
+                                 part=_part(0))["accepted"]
+            await run
+            assert fleet.stats()["fences"] == 0
+
+        self.run(body)
+
+    def test_worker_error_fails_the_task_without_retry(self):
+        async def body(fleet, clock):
+            worker = fleet.register("w", 1)["worker"]
+            run = asyncio.ensure_future(fleet.run(_payload(0)))
+            await asyncio.sleep(0)
+            lease = await fleet.lease(worker)
+            assert fleet.deliver(worker, lease["lease"],
+                                 error="ValueError: bad doc")["accepted"]
+            with pytest.raises(Exception, match="bad doc"):
+                await run
+            assert fleet.stats()["tasks_failed"] == 1
+
+        self.run(body)
+
+    def test_cancelled_run_abandons_queue_and_lease(self):
+        async def body(fleet, clock):
+            worker = fleet.register("w", 1)["worker"]
+            queued = asyncio.ensure_future(fleet.run(_payload(0)))
+            leased = asyncio.ensure_future(fleet.run(_payload(1)))
+            await asyncio.sleep(0)
+            lease = await fleet.lease(worker)
+            for future in (queued, leased):
+                future.cancel()
+            await asyncio.gather(queued, leased, return_exceptions=True)
+            # The leased task's part arrives late: discarded, and the
+            # queued task must not be leased to anyone.
+            late = fleet.deliver(worker, lease["lease"], part=_part(1))
+            assert late["accepted"] is False
+            assert fleet.stats()["queued"] == 0
+            assert fleet.stats()["leased"] == 0
+
+        self.run(body)
+
+    def test_unknown_worker_must_reregister(self):
+        async def body(fleet, clock):
+            with pytest.raises(UnknownWorkerError, match="register"):
+                await fleet.lease("w999")
+            with pytest.raises(UnknownWorkerError):
+                fleet.heartbeat("w999")
+            # An unknown worker's delivery is a late part, not a crash.
+            assert fleet.deliver("w999", "L000001",
+                                 part=_part(0))["accepted"] is False
+
+        self.run(body)
+
+    def test_empty_poll_window_returns_no_lease(self):
+        async def outer():
+            fleet = RemoteFleet(lease_ttl_s=1.0, poll_s=0.1, window=1)
+            worker = fleet.register("idle", 1)["worker"]
+            try:
+                return await fleet.lease(worker)
+            finally:
+                fleet.close()
+
+        assert asyncio.run(outer()) == {"lease": None}
+
+
+# ---------------------------------------------------------------------------
+# end to end over HTTP: daemon + worker agents, bit-identity
+# ---------------------------------------------------------------------------
+
+async def _daemon_session(config, body):
+    daemon = ServeDaemon(config)
+    server = asyncio.get_running_loop().create_task(daemon.serve())
+    try:
+        while daemon.manager is None or daemon.port is None:
+            await asyncio.sleep(0.01)
+        return await body(daemon)
+    finally:
+        daemon.request_stop()
+        await server
+
+
+def remote_daemon(body, **overrides):
+    config = dict(port=0, fleet="remote", lease_ttl_s=2.0, poll_s=0.3,
+                  read_timeout_s=5.0)
+    config.update(overrides)
+    return asyncio.run(_daemon_session(ServeConfig(**config), body))
+
+
+async def _with_agent(daemon, coro, workers=0):
+    agent = WorkerAgent("127.0.0.1", daemon.port, workers=workers,
+                        retry_s=30.0)
+    task = asyncio.create_task(agent.run())
+    try:
+        return await coro()
+    finally:
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+
+def _local_job(spec):
+    async def body(daemon):
+        job = daemon.manager.submit(spec)
+        await job.runner
+        return job
+
+    return asyncio.run(_daemon_session(
+        ServeConfig(port=0, workers=0), body))
+
+
+class TestRemoteHttp:
+    def test_remote_result_is_bit_identical_to_local_fleet(self):
+        spec = schedule_spec(shards=3)
+        local = _local_job(spec)
+
+        def drive(client):
+            row = client.submit(spec)
+            doc = client.result(row["id"], wait=True)
+            return doc, client.stats()
+
+        async def body(daemon):
+            client = ServeClient("127.0.0.1", daemon.port)
+            return await _with_agent(
+                daemon, lambda: asyncio.to_thread(drive, client))
+
+        doc, stats = remote_daemon(body)
+        assert doc["state"] == "done"
+        assert doc["result"]["mapping"] == local.result["mapping"]
+        assert doc["result"]["cost"] == local.result["cost"]
+        assert doc["result"]["evaluations"] == local.result["evaluations"]
+        fleet = stats["fleet"]
+        assert fleet["backend"] == "remote"
+        assert fleet["tasks_run"] == 3
+        row, = fleet["per_worker"].values()
+        assert row["alive"] is True
+        assert row["parts_delivered"] == 3
+        assert row["leases_held"] == 0
+        assert row["fences"] == 0
+
+    def test_dead_worker_is_fenced_and_job_completes_identically(self):
+        spec = schedule_spec(shards=2)
+        local = _local_job(spec)
+
+        def submit(client):
+            return client.submit(spec)["id"]
+
+        def steal_lease(client):
+            # A "worker" that registers, leases one task and then goes
+            # silent — exactly what a SIGKILLed process looks like to
+            # the daemon.
+            ghost = client.register_worker("ghost", 1)["worker"]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                lease = client.lease(ghost)
+                if lease.get("lease"):
+                    return ghost, lease
+            raise AssertionError("ghost never got a lease")
+
+        def finish(client, job_id):
+            return client.result(job_id, wait=True), client.stats()
+
+        async def body(daemon):
+            client = ServeClient("127.0.0.1", daemon.port)
+            job_id = await asyncio.to_thread(submit, client)
+            ghost, lease = await asyncio.to_thread(steal_lease, client)
+            # Only now does a live worker join: it must pick up both
+            # the other shard and, after the TTL fences the ghost's
+            # lease, the re-leased one.
+            doc, stats = await _with_agent(
+                daemon,
+                lambda: asyncio.to_thread(finish, client, job_id))
+            late = await asyncio.to_thread(
+                client.deliver_part,
+                {"worker": ghost, "lease": lease["lease"],
+                 "part": _part(lease["payload"]["task"]["index"])})
+            return doc, stats, late
+
+        doc, stats, late = remote_daemon(body, lease_ttl_s=1.0)
+        assert doc["state"] == "done"
+        assert doc["result"]["mapping"] == local.result["mapping"]
+        assert doc["result"]["cost"] == local.result["cost"]
+        assert doc["result"]["evaluations"] == local.result["evaluations"]
+        fleet = stats["fleet"]
+        assert fleet["fences"] >= 1
+        ghost_row = fleet["per_worker"]["w001"]
+        assert ghost_row["fences"] >= 1
+        # The fenced worker's part arrived after the re-leased run won:
+        # discarded, never double-admitted.
+        assert late["accepted"] is False
+
+    def test_local_fleet_daemon_rejects_worker_endpoints(self):
+        async def body(daemon):
+            client = ServeClient("127.0.0.1", daemon.port)
+
+            def drive():
+                with pytest.raises(ServeError, match="local fleet") as err:
+                    client.register_worker("w", 1)
+                assert err.value.status == 409
+                return True
+
+            return await asyncio.to_thread(drive)
+
+        assert asyncio.run(_daemon_session(
+            ServeConfig(port=0, workers=0), body))
+
+    def test_worker_reregisters_after_daemon_forgets_it(self):
+        # Workers outlive daemon restarts: an unknown worker id gets a
+        # 409 and the agent re-registers rather than dying.
+        async def body(daemon):
+            client = ServeClient("127.0.0.1", daemon.port)
+
+            def drive():
+                with pytest.raises(ServeError) as err:
+                    client.lease("w777")
+                assert err.value.status == 409
+                assert "re" in str(err.value)
+                return True
+
+            return await asyncio.to_thread(drive)
+
+        assert remote_daemon(body)
+
+
+class TestWorkerCli:
+    def test_worker_gives_up_cleanly_when_daemon_unreachable(self,
+                                                             capsys):
+        code = main(["worker", "--connect", "127.0.0.1:1",
+                     "--retry", "0.5"])
+        assert code == 1
+        assert "cannot join fleet" in capsys.readouterr().err
+
+    def test_worker_rejects_malformed_connect(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["worker", "--connect", "nonsense"])
